@@ -1,0 +1,77 @@
+// Command synergy-characterize sweeps benchmarks across a device's
+// frequency table and prints the speedup / normalised-energy
+// characterisation with the Pareto front (the data behind Figs. 2, 7, 8)
+// together with every standard energy-target selection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"synergy/internal/benchsuite"
+	"synergy/internal/hw"
+	"synergy/internal/metrics"
+	"synergy/internal/model"
+	"synergy/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("synergy-characterize: ")
+	device := flag.String("device", "v100", "target device (v100, a100, mi100)")
+	benchArg := flag.String("bench", "all", "comma-separated benchmark names, or 'all'")
+	full := flag.Bool("full", false, "print the full sweep instead of a sampled series")
+	flag.Parse()
+
+	spec, err := hw.SpecByName(*device)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var names []string
+	if *benchArg == "all" {
+		names = benchsuite.Names()
+	} else {
+		names = strings.Split(*benchArg, ",")
+	}
+
+	for _, name := range names {
+		c, err := report.BuildCharacterization(spec, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *full {
+			fmt.Printf("%s on %s (full sweep)\n", c.Benchmark, c.Device)
+			fmt.Println("freqMHz speedup normEnergy")
+			for _, p := range c.Points {
+				fmt.Printf("%7d %7.4f %10.4f\n", p.FreqMHz, p.Speedup, p.NormEnergy)
+			}
+		} else {
+			fmt.Println(c.Render())
+		}
+		printSelections(spec, name)
+	}
+}
+
+func printSelections(spec *hw.Spec, name string) {
+	b, err := benchsuite.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sweep, err := model.GroundTruthSweep(spec, b.Kernel, b.CharItems)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := sweep.BaselinePoint()
+	fmt.Println("  target selections:")
+	for _, tgt := range metrics.StandardTargets {
+		p, err := sweep.Select(tgt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("    %-10s -> %4d MHz (saving %5.1f%%, loss %5.1f%%)\n",
+			tgt, p.FreqMHz, 100*(1-p.EnergyJ/base.EnergyJ), 100*(p.TimeSec/base.TimeSec-1))
+	}
+	fmt.Println()
+}

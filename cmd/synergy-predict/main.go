@@ -1,0 +1,120 @@
+// Command synergy-predict runs the full prediction pipeline of §6.2 for
+// one benchmark: it trains the per-device models on the micro-benchmark
+// suite, extracts the benchmark kernel's static features, predicts the
+// optimal frequency for the requested energy target and compares it with
+// the ground-truth optimum.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"synergy/internal/benchsuite"
+	"synergy/internal/features"
+	"synergy/internal/hw"
+	"synergy/internal/metrics"
+	"synergy/internal/microbench"
+	"synergy/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("synergy-predict: ")
+	device := flag.String("device", "v100", "target device (v100, a100, mi100)")
+	benchName := flag.String("bench", "black_scholes", "benchmark kernel to predict for")
+	targetArg := flag.String("target", "MIN_EDP", "energy target (MAX_PERF, MIN_ENERGY, MIN_EDP, MIN_ED2P, ES_x, PL_x)")
+	algo := flag.String("algo", model.AlgoForest, "model algorithm (Linear, Lasso, RandomForest, SVR_RBF)")
+	stride := flag.Int("stride", 4, "training-sweep frequency stride")
+	load := flag.String("load", "", "load a trained model bundle (from synergy-train -save) instead of training")
+	flag.Parse()
+
+	spec, err := hw.SpecByName(*device)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target, err := metrics.ParseTarget(*targetArg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench, err := benchsuite.ByName(*benchName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var m *model.Models
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err = model.LoadModels(f)
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if m.Spec.Name != spec.Name {
+			log.Fatalf("bundle is for %s, requested device is %s", m.Spec.Name, spec.Name)
+		}
+	} else {
+		kernels, err := microbench.Kernels(microbench.DefaultSet())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts, err := model.CollectTraining(spec, kernels, *stride)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err = model.Train(spec, ts, *algo)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	v, err := features.Extract(bench.Kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Kernel %s on %s\n", bench.Name, spec.Name)
+	fmt.Printf("  static features: %s\n", v)
+
+	predFreq, err := m.SearchFrequency(v, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gt, err := model.GroundTruthSweep(spec, bench.Kernel, bench.CharItems)
+	if err != nil {
+		log.Fatal(err)
+	}
+	actual, err := gt.Select(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	predPoint, ok := gt.PointAt(predFreq)
+	if !ok {
+		log.Fatalf("predicted frequency %d not in ground truth", predFreq)
+	}
+	actObj := metrics.ObjectiveValue(target, actual)
+	preObj := metrics.ObjectiveValue(target, predPoint)
+	ape := 0.0
+	if actObj != 0 {
+		ape = (preObj - actObj) / actObj
+		if ape < 0 {
+			ape = -ape
+		}
+	}
+	fmt.Printf("  target %s (%s model):\n", target, m.Algo)
+	fmt.Printf("    predicted frequency: %d MHz\n", predFreq)
+	fmt.Printf("    actual optimum:      %d MHz\n", actual.FreqMHz)
+	fmt.Printf("    objective at prediction vs optimum: %.4g vs %.4g (APE %.2f%%)\n",
+		preObj, actObj, 100*ape)
+	base := gt.BaselinePoint()
+	fmt.Printf("    vs default (%d MHz): energy saving %.1f%%, perf loss %.1f%%\n",
+		base.FreqMHz,
+		100*(1-predPoint.EnergyJ/base.EnergyJ),
+		100*(predPoint.TimeSec/base.TimeSec-1))
+}

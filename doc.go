@@ -1,0 +1,12 @@
+// Package synergy is a from-scratch Go reproduction of "SYnergy:
+// Fine-grained Energy-Efficient Heterogeneous Computing for Scalable
+// Energy Saving" (SC '23): a SYCL-style energy-aware runtime with
+// per-kernel DVFS targets, the compiler feature-extraction pass, the
+// machine-learning frequency models, the SLURM nvgpufreq plugin and the
+// multi-node evaluation — all running on a simulated GPU/cluster
+// substrate (see DESIGN.md for the substitution rationale).
+//
+// The public surface lives in the internal packages (this module is a
+// self-contained research artifact); bench_test.go regenerates every
+// table and figure of the paper's evaluation.
+package synergy

@@ -1,0 +1,340 @@
+// Package apps implements the two real-world applications of the
+// multi-node evaluation (§8.4) as SYCL+MPI programs on the SYnergy API:
+// a mini CloverLeaf (2-D compressible Euler hydrodynamics on a staggered
+// grid) and a mini MiniWeather (2-D atmospheric flow). Both decompose
+// the domain in one dimension across ranks, run a fixed kernel sequence
+// per timestep, exchange halo rows with neighbours and reduce global
+// diagnostics — the structure that makes Fig. 10's weak-scaling energy
+// curves.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"synergy/internal/core"
+	"synergy/internal/hw"
+	"synergy/internal/kernelir"
+	"synergy/internal/metrics"
+	"synergy/internal/mpi"
+	"synergy/internal/power"
+	"synergy/internal/sycl"
+)
+
+// State is the per-rank simulation state: argument bindings for each
+// kernel plus the fields whose boundary rows are exchanged every step.
+type State struct {
+	Nx, Ny int
+	// Args maps kernel name to its bindings.
+	Args map[string]kernelir.Args
+	// Halo lists the fields (length Nx*Ny) to exchange with the north
+	// and south neighbours each step.
+	Halo [][]float32
+}
+
+// App is one multi-node application.
+type App struct {
+	Name string
+	// Kernels is the per-timestep sequence, in submission order.
+	Kernels []*kernelir.Kernel
+	// NewState allocates a rank-local state for an nx × ny grid.
+	NewState func(nx, ny int) *State
+}
+
+// KernelByName returns one of the app's kernels.
+func (a *App) KernelByName(name string) (*kernelir.Kernel, bool) {
+	for _, k := range a.Kernels {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return nil, false
+}
+
+// FreqPlan maps kernel names to pinned core frequencies in MHz; kernels
+// absent from the plan run at the device default. A nil plan is the
+// baseline configuration.
+type FreqPlan map[string]int
+
+// PlanFromAdvisor builds the fine-grained per-kernel plan of §6.2: one
+// predicted frequency per kernel for the chosen energy target.
+func PlanFromAdvisor(app *App, adv core.FrequencyAdvisor, items int, target metrics.Target) (FreqPlan, error) {
+	plan := FreqPlan{}
+	for _, k := range app.Kernels {
+		f, err := adv.AdviseCoreFreq(k, items, target)
+		if err != nil {
+			return nil, fmt.Errorf("apps: planning %s for %s: %w", target, k.Name, err)
+		}
+		plan[k.Name] = f
+	}
+	return plan, nil
+}
+
+// RunConfig parameterises one multi-node run.
+type RunConfig struct {
+	Spec        *hw.Spec
+	Nodes       int
+	GPUsPerNode int
+	// LocalNx, LocalNy is the per-rank grid (held constant for weak
+	// scaling).
+	LocalNx, LocalNy int
+	Steps            int
+	Plan             FreqPlan
+	Net              mpi.NetworkModel
+	// FunctionalCap bounds interpreted work-items per launch (0 = all);
+	// timing/energy always account for the full grid.
+	FunctionalCap int
+	// StateRows bounds the allocated grid rows per rank (0 = LocalNy):
+	// the virtual launch still covers LocalNx × LocalNy items, but host
+	// memory and interpretation are limited to the first StateRows rows
+	// — the memory-side counterpart of FunctionalCap for cluster-scale
+	// virtual grids.
+	StateRows int
+	// Devices optionally supplies the GPUs to run on (one per rank, in
+	// rank order) — this is how a SLURM allocation's GPUs are used. When
+	// nil, fresh devices are created from Spec.
+	Devices []*hw.Device
+	// User runs the job as this (non-root) identity; frequency scaling
+	// then requires the nvgpufreq privilege window. Empty means a
+	// privileged (single-node research) session.
+	User string
+	// Profile enables per-kernel statistics collection (merged across
+	// ranks into RunResult.Kernels).
+	Profile bool
+}
+
+func (c *RunConfig) validate() error {
+	if c.Spec == nil {
+		return fmt.Errorf("apps: config needs a device spec")
+	}
+	if c.Nodes <= 0 || c.GPUsPerNode <= 0 {
+		return fmt.Errorf("apps: invalid cluster shape %dx%d", c.Nodes, c.GPUsPerNode)
+	}
+	if c.LocalNx < 4 || c.LocalNy < 4 {
+		return fmt.Errorf("apps: local grid %dx%d too small", c.LocalNx, c.LocalNy)
+	}
+	if c.Steps <= 0 {
+		return fmt.Errorf("apps: need at least one step")
+	}
+	return nil
+}
+
+// RunResult is the outcome of one configuration — one point of Fig. 10.
+type RunResult struct {
+	App   string
+	Ranks int
+	Steps int
+	// TimeSec is the application wall time (compute + communication; the
+	// slowest rank).
+	TimeSec float64
+	// EnergyJ is the total GPU energy (the paper's energy metric counts
+	// only the devices).
+	EnergyJ float64
+	// ClockSets counts application-clock changes across all GPUs (the
+	// §4.4 overhead diagnostic).
+	ClockSets int64
+	// Kernels holds per-kernel statistics merged across ranks when
+	// RunConfig.Profile is set (sorted by descending energy).
+	Kernels []core.KernelStats
+}
+
+// Run executes the application on a simulated GPU cluster: one MPI rank
+// per GPU, 1-D domain decomposition, per-kernel frequency scaling
+// through the SYnergy queue.
+func Run(app *App, cfg RunConfig) (*RunResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ranks := cfg.Nodes * cfg.GPUsPerNode
+	world, err := mpi.NewWorld(ranks, cfg.GPUsPerNode, cfg.Net)
+	if err != nil {
+		return nil, err
+	}
+
+	devices := cfg.Devices
+	if devices == nil {
+		devices = make([]*hw.Device, ranks)
+		for i := range devices {
+			devices[i] = hw.NewDevice(cfg.Spec)
+		}
+	}
+	if len(devices) != ranks {
+		return nil, fmt.Errorf("apps: %d devices supplied for %d ranks", len(devices), ranks)
+	}
+	// Synchronise all devices to a common job-start epoch (devices that
+	// ran earlier jobs are ahead in virtual time; the others idle until
+	// the job launches everywhere).
+	epoch := 0.0
+	for _, d := range devices {
+		if t := d.Now(); t > epoch {
+			epoch = t
+		}
+	}
+	startE := make([]float64, ranks)
+	startSets := make([]int64, ranks)
+	for i, d := range devices {
+		if dt := epoch - d.Now(); dt > 0 {
+			d.AdvanceIdle(dt)
+		}
+		startE[i] = d.EnergyBetween(0, d.Now())
+		startSets[i] = d.ClockSetCount()
+	}
+	times := make([]float64, ranks)
+	profiles := make([][]core.KernelStats, ranks)
+	items := cfg.LocalNx * cfg.LocalNy
+
+	err = world.Run(func(r *mpi.Rank) error {
+		dev := devices[r.Rank()]
+		var pm power.Manager
+		var err error
+		if cfg.User == "" {
+			pm, err = power.NewPrivilegedManager(dev)
+		} else {
+			pm, err = power.NewManager(dev, cfg.User, false)
+		}
+		if err != nil {
+			return err
+		}
+		// Device time may not start at zero when the scheduler hands us
+		// a device that ran earlier jobs.
+		r.AdvanceTo(dev.Now())
+		q := core.NewQueue(sycl.WrapDevice(dev), pm)
+		if cfg.Profile {
+			q.EnableProfiling()
+		}
+		stateNy := cfg.LocalNy
+		if cfg.StateRows > 0 && cfg.StateRows < stateNy {
+			stateNy = cfg.StateRows
+		}
+		// Interpretation must stay within the allocated state.
+		funcCap := cfg.FunctionalCap
+		if stateNy < cfg.LocalNy {
+			if limit := cfg.LocalNx * stateNy; funcCap == 0 || funcCap > limit {
+				funcCap = limit
+			}
+		}
+		if funcCap > 0 {
+			q.SetFunctionalCap(funcCap)
+		}
+		st := app.NewState(cfg.LocalNx, stateNy)
+
+		for step := 0; step < cfg.Steps; step++ {
+			for _, k := range app.Kernels {
+				args, ok := st.Args[k.Name]
+				if !ok {
+					return fmt.Errorf("apps: %s: no bindings for kernel %s", app.Name, k.Name)
+				}
+				cg := func(h *sycl.Handler) { h.ParallelFor(items, k, args) }
+				var ev *sycl.Event
+				if f := cfg.Plan[k.Name]; f > 0 {
+					ev, err = q.SubmitWithFreq(0, f, cg)
+				} else {
+					ev, err = q.Submit(cg)
+				}
+				if err != nil {
+					return err
+				}
+				if err := ev.Wait(); err != nil {
+					return err
+				}
+			}
+			// The rank's clock follows the device through the step's
+			// kernels...
+			r.AdvanceTo(dev.Now())
+			// ...then pays for the halo exchange...
+			if err := exchangeHalos(r, st, step); err != nil {
+				return err
+			}
+			// ...and a small global diagnostic reduction.
+			diag := []float64{1, float64(step)}
+			r.AllreduceSum(diag)
+			// The device idles while the host communicates.
+			if gap := r.Now() - dev.Now(); gap > 0 {
+				dev.AdvanceIdle(gap)
+			}
+		}
+		r.Barrier()
+		times[r.Rank()] = r.Now()
+		if cfg.Profile {
+			profiles[r.Rank()] = q.Profile()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RunResult{App: app.Name, Ranks: ranks, Steps: cfg.Steps}
+	for i, d := range devices {
+		if dt := times[i] - epoch; dt > res.TimeSec {
+			res.TimeSec = dt
+		}
+		res.EnergyJ += d.EnergyBetween(0, d.Now()) - startE[i]
+		res.ClockSets += d.ClockSetCount() - startSets[i]
+	}
+	if cfg.Profile {
+		res.Kernels = mergeKernelStats(profiles)
+	}
+	return res, nil
+}
+
+// mergeKernelStats sums per-rank kernel statistics by kernel name.
+func mergeKernelStats(profiles [][]core.KernelStats) []core.KernelStats {
+	byName := map[string]*core.KernelStats{}
+	var order []string
+	for _, prof := range profiles {
+		for _, s := range prof {
+			agg, ok := byName[s.Name]
+			if !ok {
+				agg = &core.KernelStats{Name: s.Name, FreqLaunches: map[int]int{}}
+				byName[s.Name] = agg
+				order = append(order, s.Name)
+			}
+			agg.Launches += s.Launches
+			agg.TimeSec += s.TimeSec
+			agg.EnergyJ += s.EnergyJ
+			for f, n := range s.FreqLaunches {
+				agg.FreqLaunches[f] += n
+			}
+		}
+	}
+	out := make([]core.KernelStats, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EnergyJ > out[j].EnergyJ })
+	return out
+}
+
+// exchangeHalos swaps boundary rows with the 1-D neighbours: the last
+// interior row goes south, the first interior row goes north; ghost rows
+// (row 0 and row ny-1) receive.
+func exchangeHalos(r *mpi.Rank, st *State, step int) error {
+	nx, ny := st.Nx, st.Ny
+	for fi, field := range st.Halo {
+		// The tag identifies (step, field); the (from, to) pair already
+		// disambiguates the two directions across one boundary.
+		tag := step*len(st.Halo) + fi
+		south := r.Rank() + 1
+		north := r.Rank() - 1
+		// Exchange with south neighbour.
+		if south < r.Size() {
+			send := field[(ny-2)*nx : (ny-1)*nx]
+			recv := make([]float32, nx)
+			if err := r.SendRecv(south, tag, send, recv); err != nil {
+				return err
+			}
+			copy(field[(ny-1)*nx:], recv)
+		}
+		// Exchange with north neighbour.
+		if north >= 0 {
+			send := field[nx : 2*nx]
+			recv := make([]float32, nx)
+			if err := r.SendRecv(north, tag, send, recv); err != nil {
+				return err
+			}
+			copy(field[:nx], recv)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package apps
+
+import (
+	"testing"
+
+	"synergy/internal/mpi"
+)
+
+// TestExchangeHalosMovesBoundaryRows verifies the halo protocol
+// directly: each rank's ghost rows receive the neighbour's interior
+// boundary rows, with rank-distinct data.
+func TestExchangeHalosMovesBoundaryRows(t *testing.T) {
+	const nx, ny = 6, 4
+	world, err := mpi.NewWorld(3, 4, mpi.EDRFabric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := make([][]float32, 3)
+	err = world.Run(func(r *mpi.Rank) error {
+		field := make([]float32, nx*ny)
+		for i := range field {
+			// Encode (rank, row) in each value.
+			field[i] = float32(100*r.Rank() + i/nx)
+		}
+		fields[r.Rank()] = field
+		st := &State{Nx: nx, Ny: ny, Halo: [][]float32{field}}
+		return exchangeHalos(r, st, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for rank := 0; rank < 3; rank++ {
+		field := fields[rank]
+		// Ghost row 0 (north) holds the north neighbour's last interior
+		// row (ny-2); rank 0 has no north neighbour.
+		if rank > 0 {
+			want := float32(100*(rank-1) + (ny - 2))
+			for x := 0; x < nx; x++ {
+				if field[x] != want {
+					t.Fatalf("rank %d north ghost[%d] = %v, want %v", rank, x, field[x], want)
+				}
+			}
+		} else {
+			for x := 0; x < nx; x++ {
+				if field[x] != float32(0) {
+					t.Fatalf("rank 0 north ghost modified: %v", field[x])
+				}
+			}
+		}
+		// Ghost row ny-1 (south) holds the south neighbour's first
+		// interior row (row 1); the last rank has no south neighbour.
+		if rank < 2 {
+			want := float32(100*(rank+1) + 1)
+			for x := 0; x < nx; x++ {
+				if field[(ny-1)*nx+x] != want {
+					t.Fatalf("rank %d south ghost[%d] = %v, want %v", rank, x, field[(ny-1)*nx+x], want)
+				}
+			}
+		} else {
+			want := float32(100*rank + ny - 1)
+			for x := 0; x < nx; x++ {
+				if field[(ny-1)*nx+x] != want {
+					t.Fatalf("rank 2 south ghost modified: %v", field[(ny-1)*nx+x])
+				}
+			}
+		}
+		// Interior rows are untouched.
+		for y := 1; y < ny-1; y++ {
+			for x := 0; x < nx; x++ {
+				if field[y*nx+x] != float32(100*rank+y) {
+					t.Fatalf("rank %d interior [%d,%d] modified", rank, y, x)
+				}
+			}
+		}
+	}
+}
+
+// TestExchangeHalosMultipleFieldsAndSteps checks tag disambiguation
+// across fields and steps (wrong tags would cross-deliver messages).
+func TestExchangeHalosMultipleFieldsAndSteps(t *testing.T) {
+	const nx, ny = 4, 3
+	world, err := mpi.NewWorld(2, 4, mpi.EDRFabric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([][][]float32, 2)
+	err = world.Run(func(r *mpi.Rank) error {
+		a := make([]float32, nx*ny)
+		b := make([]float32, nx*ny)
+		for i := range a {
+			a[i] = float32(1000*r.Rank() + i)
+			b[i] = float32(-1000*r.Rank() - i)
+		}
+		st := &State{Nx: nx, Ny: ny, Halo: [][]float32{a, b}}
+		for step := 0; step < 3; step++ {
+			if err := exchangeHalos(r, st, step); err != nil {
+				return err
+			}
+		}
+		results[r.Rank()] = [][]float32{a, b}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0's south ghost of field a must come from rank 1's field a
+	// (row 1), not field b.
+	a0 := results[0][0]
+	if got, want := a0[(ny-1)*nx], float32(1000+nx); got != want {
+		t.Fatalf("field a cross-delivered: ghost = %v, want %v", got, want)
+	}
+	b0 := results[0][1]
+	if got, want := b0[(ny-1)*nx], float32(-1000-nx); got != want {
+		t.Fatalf("field b cross-delivered: ghost = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,96 @@
+package benchsuite
+
+import (
+	"testing"
+
+	"synergy/internal/features"
+)
+
+// TestGoldenFeatureVectors locks the Table-1 feature vectors of the
+// figure benchmarks: any change to these kernels' instruction mixes
+// shifts the paper-facing characterisations and must be deliberate.
+func TestGoldenFeatureVectors(t *testing.T) {
+	golden := map[string]features.Vector{
+		"vec_add": {FloatAdd: 1, GlAccess: 3},
+		"matmul": {
+			IntAdd: 128, IntMul: 1, IntDiv: 2,
+			FloatAdd: 64, FloatMul: 64, GlAccess: 129,
+		},
+		"median": {
+			IntAdd: 9, FloatAdd: 38, GlAccess: 10,
+		},
+		"black_scholes": {
+			FloatAdd: 8, FloatMul: 12, FloatDiv: 2, SF: 5, GlAccess: 5,
+		},
+		"lin_reg_coeff": {
+			FloatAdd: 4 * 128, FloatMul: 3 * 128, GlAccess: 3,
+		},
+		"mandelbrot": {
+			IntDiv: 2, FloatAdd: 2 + 48*8, FloatMul: 2 + 48*3, FloatDiv: 2, GlAccess: 1,
+		},
+	}
+	for name, want := range golden {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := features.MustExtract(b.Kernel)
+		if got != want {
+			t.Errorf("%s: features drifted:\n got %+v\nwant %+v", name, got, want)
+		}
+	}
+}
+
+// TestTrafficFactorsWithinBounds validates every benchmark's declared
+// cache behaviour.
+func TestTrafficFactorsWithinBounds(t *testing.T) {
+	for _, b := range All() {
+		tf := b.Kernel.TrafficFactor
+		if tf <= 0 || tf > 1 {
+			t.Errorf("%s: traffic factor %v outside (0, 1]", b.Name, tf)
+		}
+	}
+	// Stencils must declare substantial reuse; streaming kernels none.
+	reusing := map[string]bool{"sobel3": true, "sobel5": true, "sobel7": true, "median": true}
+	for name := range reusing {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Kernel.TrafficFactor > 0.5 {
+			t.Errorf("%s: stencil traffic factor %v suspiciously high", name, b.Kernel.TrafficFactor)
+		}
+	}
+	for _, name := range []string{"vec_add", "reduction", "arith"} {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Kernel.TrafficFactor != 1 {
+			t.Errorf("%s: streaming kernel declares reuse (%v)", name, b.Kernel.TrafficFactor)
+		}
+	}
+}
+
+// TestDisassemblyCoversSuite smoke-tests the disassembler over all 23
+// kernels (each must render without unnamed opcodes).
+func TestDisassemblyCoversSuite(t *testing.T) {
+	for _, b := range All() {
+		asm := b.Kernel.Disassemble()
+		if asm == "" {
+			t.Errorf("%s: empty disassembly", b.Name)
+		}
+		if i := indexOf(asm, "op("); i >= 0 {
+			t.Errorf("%s: unnamed opcode in disassembly", b.Name)
+		}
+	}
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,647 @@
+package benchsuite
+
+import (
+	"math"
+
+	"synergy/internal/kernelir"
+)
+
+// Compute-bound benchmarks: high arithmetic intensity per byte of DRAM
+// traffic, so their execution time tracks the core frequency closely and
+// their energy headroom is small (the lin_reg shape of Fig. 2a).
+
+// linRegCoeff trains per-item linear-regression coefficients with 128
+// SGD steps on one (x, y) sample — all register arithmetic.
+func linRegCoeff() *Benchmark {
+	const steps = 128
+	const lr = 0.05
+	b := kernelir.NewBuilder("lin_reg_coeff")
+	xB := b.BufferF32("x", kernelir.Read)
+	yB := b.BufferF32("y", kernelir.Read)
+	wB := b.BufferF32("wout", kernelir.Write)
+	b.TrafficFactor(1)
+	gid := b.GlobalID()
+	x := b.LoadF(xB, gid)
+	y := b.LoadF(yB, gid)
+	w := b.CopyF(b.ConstF(0.5))
+	bias := b.CopyF(b.ConstF(0))
+	lrC := b.ConstF(lr)
+	b.Repeat(steps, func() {
+		pred := b.AddF(b.MulF(w, x), bias)
+		err := b.SubF(pred, y)
+		g := b.MulF(lrC, err)
+		b.MoveF(w, b.SubF(w, b.MulF(g, x)))
+		b.MoveF(bias, b.SubF(bias, g))
+	})
+	b.StoreF(wB, gid, w)
+	k := b.MustBuild()
+
+	return &Benchmark{
+		Name:      "lin_reg_coeff",
+		Kernel:    k,
+		CharItems: 1 << 24,
+		NewInstance: func(n int) (*Instance, error) {
+			r := newPrng(301)
+			xv := make([]float32, n)
+			yv := make([]float32, n)
+			wv := make([]float32, n)
+			for i := range xv {
+				xv[i] = r.f32(0.5, 1.5)
+				yv[i] = float32(2*float64(xv[i]) + 1 + float64(r.f32(-0.05, 0.05)))
+			}
+			return &Instance{
+				Items: n,
+				Args:  kernelir.Args{F32: map[string][]float32{"x": xv, "y": yv, "wout": wv}},
+				Verify: func() error {
+					want := make([]float32, n)
+					for i := 0; i < n; i++ {
+						x, y := float64(xv[i]), float64(yv[i])
+						w, bias := 0.5, 0.0
+						for s := 0; s < steps; s++ {
+							g := lr * (w*x + bias - y)
+							w -= g * x
+							bias -= g
+						}
+						want[i] = float32(w)
+					}
+					return verifyF32("lin_reg_coeff", wv, want)
+				},
+			}, nil
+		},
+	}
+}
+
+// linRegError evaluates the squared error of a linear model over a
+// 16-sample chunk per work-item (streaming, memory-leaning).
+func linRegError() *Benchmark {
+	const chunk = 16
+	b := kernelir.NewBuilder("lin_reg_error")
+	xB := b.BufferF32("x", kernelir.Read)
+	yB := b.BufferF32("y", kernelir.Read)
+	eB := b.BufferF32("e", kernelir.Write)
+	w := b.ScalarF("w")
+	bias := b.ScalarF("b")
+	b.TrafficFactor(1)
+	gid := b.GlobalID()
+	one := b.ConstI(1)
+	idx := b.MulI(gid, b.ConstI(chunk))
+	acc := b.ConstF(0)
+	b.Repeat(chunk, func() {
+		x := b.LoadF(xB, idx)
+		y := b.LoadF(yB, idx)
+		err := b.SubF(b.AddF(b.MulF(w, x), bias), y)
+		b.MoveF(acc, b.AddF(acc, b.MulF(err, err)))
+		b.MoveI(idx, b.AddI(idx, one))
+	})
+	b.StoreF(eB, gid, acc)
+	k := b.MustBuild()
+
+	return &Benchmark{
+		Name:      "lin_reg_error",
+		Kernel:    k,
+		CharItems: 1 << 23,
+		NewInstance: func(n int) (*Instance, error) {
+			r := newPrng(302)
+			xv := make([]float32, n*chunk)
+			yv := make([]float32, n*chunk)
+			ev := make([]float32, n)
+			r.fill(xv, -1, 1)
+			r.fill(yv, -1, 1)
+			const wV, bV = 1.7, -0.3
+			return &Instance{
+				Items: n,
+				Args: kernelir.Args{
+					F32:     map[string][]float32{"x": xv, "y": yv, "e": ev},
+					ScalarF: map[string]float64{"w": wV, "b": bV},
+				},
+				Verify: func() error {
+					want := make([]float32, n)
+					for i := 0; i < n; i++ {
+						acc := 0.0
+						for j := 0; j < chunk; j++ {
+							err := wV*float64(xv[i*chunk+j]) + bV - float64(yv[i*chunk+j])
+							acc += err * err
+						}
+						want[i] = float32(acc)
+					}
+					return verifyF32("lin_reg_error", ev, want)
+				},
+			}, nil
+		},
+	}
+}
+
+// kmeans assigns 2-D points to the nearest of 8 centroids.
+func kmeans() *Benchmark {
+	const kClusters = 8
+	b := kernelir.NewBuilder("kmeans")
+	pB := b.BufferF32("points", kernelir.Read)
+	cB := b.BufferF32("centers", kernelir.Read)
+	aB := b.BufferI32("assign", kernelir.Write)
+	b.TrafficFactor(0.15)
+	gid := b.GlobalID()
+	two := b.ConstI(2)
+	base := b.MulI(gid, two)
+	px := b.LoadF(pB, base)
+	py := b.LoadF(pB, b.AddI(base, b.ConstI(1)))
+	best := b.CopyF(b.ConstF(1e30))
+	bestIdx := b.CopyI(b.ConstI(0))
+	for c := 0; c < kClusters; c++ {
+		cx := b.LoadF(cB, b.ConstI(int64(2*c)))
+		cy := b.LoadF(cB, b.ConstI(int64(2*c+1)))
+		dx := b.SubF(px, cx)
+		dy := b.SubF(py, cy)
+		d := b.AddF(b.MulF(dx, dx), b.MulF(dy, dy))
+		cond := b.CmpLTF(d, best)
+		b.MoveF(best, b.SelF(cond, d, best))
+		b.MoveI(bestIdx, b.SelI(cond, b.ConstI(int64(c)), bestIdx))
+	}
+	b.StoreI(aB, gid, bestIdx)
+	k := b.MustBuild()
+
+	return &Benchmark{
+		Name:      "kmeans",
+		Kernel:    k,
+		CharItems: 1 << 24,
+		NewInstance: func(n int) (*Instance, error) {
+			r := newPrng(303)
+			pv := make([]float32, 2*n)
+			cv := make([]float32, 2*kClusters)
+			av := make([]int32, n)
+			r.fill(pv, -5, 5)
+			r.fill(cv, -5, 5)
+			return &Instance{
+				Items: n,
+				Args: kernelir.Args{
+					F32: map[string][]float32{"points": pv, "centers": cv},
+					I32: map[string][]int32{"assign": av},
+				},
+				Verify: func() error {
+					want := make([]int32, n)
+					for i := 0; i < n; i++ {
+						px, py := float64(pv[2*i]), float64(pv[2*i+1])
+						best, bestIdx := 1e30, int32(0)
+						for c := 0; c < kClusters; c++ {
+							dx := px - float64(cv[2*c])
+							dy := py - float64(cv[2*c+1])
+							if d := dx*dx + dy*dy; d < best {
+								best, bestIdx = d, int32(c)
+							}
+						}
+						want[i] = bestIdx
+					}
+					return verifyI32("kmeans", av, want)
+				},
+			}, nil
+		},
+	}
+}
+
+// molDyn accumulates Lennard-Jones-style forces from 32 consecutive
+// neighbours per particle.
+func molDyn() *Benchmark {
+	const neighbors = 32
+	b := kernelir.NewBuilder("mol_dyn")
+	pB := b.BufferF32("pos", kernelir.Read)
+	fxB := b.BufferF32("fx", kernelir.Write)
+	fyB := b.BufferF32("fy", kernelir.Write)
+	b.TrafficFactor(0.3)
+	gid := b.GlobalID()
+	one := b.ConstI(1)
+	two := b.ConstI(2)
+	base := b.MulI(gid, two)
+	px := b.LoadF(pB, base)
+	py := b.LoadF(pB, b.AddI(base, one))
+	j := b.AddI(gid, one)
+	fx := b.CopyF(b.ConstF(0))
+	fy := b.CopyF(b.ConstF(0))
+	eps := b.ConstF(0.01)
+	half := b.ConstF(0.5)
+	b.Repeat(neighbors, func() {
+		jb := b.MulI(j, two)
+		qx := b.LoadF(pB, jb)
+		qy := b.LoadF(pB, b.AddI(jb, one))
+		dx := b.SubF(px, qx)
+		dy := b.SubF(py, qy)
+		r2 := b.AddF(b.AddF(b.MulF(dx, dx), b.MulF(dy, dy)), eps)
+		inv := b.DivF(b.ConstF(1), r2)
+		inv3 := b.MulF(b.MulF(inv, inv), inv)
+		f := b.MulF(inv3, b.SubF(inv3, half))
+		b.MoveF(fx, b.AddF(fx, b.MulF(f, dx)))
+		b.MoveF(fy, b.AddF(fy, b.MulF(f, dy)))
+		b.MoveI(j, b.AddI(j, one))
+	})
+	b.StoreF(fxB, gid, fx)
+	b.StoreF(fyB, gid, fy)
+	k := b.MustBuild()
+
+	return &Benchmark{
+		Name:      "mol_dyn",
+		Kernel:    k,
+		CharItems: 1 << 23,
+		NewInstance: func(n int) (*Instance, error) {
+			r := newPrng(304)
+			pv := make([]float32, 2*n)
+			fxv := make([]float32, n)
+			fyv := make([]float32, n)
+			r.fill(pv, -3, 3)
+			return &Instance{
+				Items: n,
+				Args: kernelir.Args{
+					F32: map[string][]float32{"pos": pv, "fx": fxv, "fy": fyv},
+				},
+				Verify: func() error {
+					wantX := make([]float32, n)
+					wantY := make([]float32, n)
+					for i := 0; i < n; i++ {
+						px, py := float64(pv[2*i]), float64(pv[2*i+1])
+						fx, fy := 0.0, 0.0
+						for d := 1; d <= neighbors; d++ {
+							jb := clamp(2*(i+d), 2*n)
+							jb2 := clamp(2*(i+d)+1, 2*n)
+							dx := px - float64(pv[jb])
+							dy := py - float64(pv[jb2])
+							r2 := dx*dx + dy*dy + 0.01
+							inv := 1 / r2
+							inv3 := inv * inv * inv
+							f := inv3 * (inv3 - 0.5)
+							fx += f * dx
+							fy += f * dy
+						}
+						wantX[i] = float32(fx)
+						wantY[i] = float32(fy)
+					}
+					if err := verifyF32("mol_dyn.fx", fxv, wantX); err != nil {
+						return err
+					}
+					return verifyF32("mol_dyn.fy", fyv, wantY)
+				},
+			}, nil
+		},
+	}
+}
+
+// nbody accumulates softened gravitational acceleration from the first
+// 64 bodies (a broadcast pattern every work-item shares).
+func nbody() *Benchmark {
+	const bodies = 64
+	b := kernelir.NewBuilder("nbody")
+	pB := b.BufferF32("pos", kernelir.Read)
+	axB := b.BufferF32("ax", kernelir.Write)
+	ayB := b.BufferF32("ay", kernelir.Write)
+	b.TrafficFactor(0.05)
+	gid := b.GlobalID()
+	one := b.ConstI(1)
+	two := b.ConstI(2)
+	base := b.MulI(gid, two)
+	px := b.LoadF(pB, base)
+	py := b.LoadF(pB, b.AddI(base, one))
+	j := b.CopyI(b.ConstI(0))
+	ax := b.CopyF(b.ConstF(0))
+	ay := b.CopyF(b.ConstF(0))
+	eps := b.ConstF(0.05)
+	b.Repeat(bodies, func() {
+		jb := b.MulI(j, two)
+		qx := b.LoadF(pB, jb)
+		qy := b.LoadF(pB, b.AddI(jb, one))
+		dx := b.SubF(qx, px)
+		dy := b.SubF(qy, py)
+		r2 := b.AddF(b.AddF(b.MulF(dx, dx), b.MulF(dy, dy)), eps)
+		r := b.SqrtF(r2)
+		inv3 := b.DivF(b.ConstF(1), b.MulF(r2, r))
+		b.MoveF(ax, b.AddF(ax, b.MulF(dx, inv3)))
+		b.MoveF(ay, b.AddF(ay, b.MulF(dy, inv3)))
+		b.MoveI(j, b.AddI(j, one))
+	})
+	b.StoreF(axB, gid, ax)
+	b.StoreF(ayB, gid, ay)
+	k := b.MustBuild()
+
+	return &Benchmark{
+		Name:      "nbody",
+		Kernel:    k,
+		CharItems: 1 << 23,
+		NewInstance: func(n int) (*Instance, error) {
+			if n < bodies {
+				n = bodies
+			}
+			r := newPrng(305)
+			pv := make([]float32, 2*n)
+			axv := make([]float32, n)
+			ayv := make([]float32, n)
+			r.fill(pv, -2, 2)
+			return &Instance{
+				Items: n,
+				Args: kernelir.Args{
+					F32: map[string][]float32{"pos": pv, "ax": axv, "ay": ayv},
+				},
+				Verify: func() error {
+					wantX := make([]float32, n)
+					wantY := make([]float32, n)
+					for i := 0; i < n; i++ {
+						px, py := float64(pv[2*i]), float64(pv[2*i+1])
+						ax, ay := 0.0, 0.0
+						for j := 0; j < bodies; j++ {
+							dx := float64(pv[2*j]) - px
+							dy := float64(pv[2*j+1]) - py
+							r2 := dx*dx + dy*dy + 0.05
+							r := math.Sqrt(r2)
+							inv3 := 1 / (r2 * r)
+							ax += dx * inv3
+							ay += dy * inv3
+						}
+						wantX[i] = float32(ax)
+						wantY[i] = float32(ay)
+					}
+					if err := verifyF32("nbody.ax", axv, wantX); err != nil {
+						return err
+					}
+					return verifyF32("nbody.ay", ayv, wantY)
+				},
+			}, nil
+		},
+	}
+}
+
+// blackScholes prices European call and put options (the Fig. 4/5
+// subject: special-function heavy with moderate memory traffic).
+func blackScholes() *Benchmark {
+	const (
+		rate  = 0.05
+		sigma = 0.2
+	)
+	c1 := rate + 0.5*sigma*sigma
+	invSqrt2 := 1 / math.Sqrt2
+
+	b := kernelir.NewBuilder("black_scholes")
+	sB := b.BufferF32("S", kernelir.Read)
+	kB := b.BufferF32("K", kernelir.Read)
+	tB := b.BufferF32("T", kernelir.Read)
+	callB := b.BufferF32("call", kernelir.Write)
+	putB := b.BufferF32("put", kernelir.Write)
+	b.TrafficFactor(1)
+	gid := b.GlobalID()
+	s := b.LoadF(sB, gid)
+	kk := b.LoadF(kB, gid)
+	t := b.LoadF(tB, gid)
+	sqT := b.SqrtF(t)
+	sigSqT := b.MulF(b.ConstF(sigma), sqT)
+	d1 := b.DivF(b.AddF(b.LogF(b.DivF(s, kk)), b.MulF(b.ConstF(c1), t)), sigSqT)
+	d2 := b.SubF(d1, sigSqT)
+	half := b.ConstF(0.5)
+	oneF := b.ConstF(1)
+	n1 := b.MulF(half, b.AddF(oneF, b.ErfF(b.MulF(d1, b.ConstF(invSqrt2)))))
+	n2 := b.MulF(half, b.AddF(oneF, b.ErfF(b.MulF(d2, b.ConstF(invSqrt2)))))
+	disc := b.ExpF(b.MulF(b.ConstF(-rate), t))
+	kd := b.MulF(kk, disc)
+	call := b.SubF(b.MulF(s, n1), b.MulF(kd, n2))
+	put := b.SubF(b.MulF(kd, b.SubF(oneF, n2)), b.MulF(s, b.SubF(oneF, n1)))
+	b.StoreF(callB, gid, call)
+	b.StoreF(putB, gid, put)
+	k := b.MustBuild()
+
+	return &Benchmark{
+		Name:      "black_scholes",
+		Kernel:    k,
+		CharItems: 1 << 24,
+		NewInstance: func(n int) (*Instance, error) {
+			r := newPrng(306)
+			sv := make([]float32, n)
+			kv := make([]float32, n)
+			tv := make([]float32, n)
+			cv := make([]float32, n)
+			pv := make([]float32, n)
+			r.fill(sv, 10, 100)
+			r.fill(kv, 10, 100)
+			r.fill(tv, 0.25, 2)
+			return &Instance{
+				Items: n,
+				Args: kernelir.Args{
+					F32: map[string][]float32{"S": sv, "K": kv, "T": tv, "call": cv, "put": pv},
+				},
+				Verify: func() error {
+					wantC := make([]float32, n)
+					wantP := make([]float32, n)
+					for i := 0; i < n; i++ {
+						s, kk, t := float64(sv[i]), float64(kv[i]), float64(tv[i])
+						sqT := math.Sqrt(t)
+						sigSqT := sigma * sqT
+						d1 := (math.Log(s/kk) + c1*t) / sigSqT
+						d2 := d1 - sigSqT
+						n1 := 0.5 * (1 + math.Erf(d1*invSqrt2))
+						n2 := 0.5 * (1 + math.Erf(d2*invSqrt2))
+						disc := math.Exp(-rate * t)
+						kd := kk * disc
+						wantC[i] = float32(s*n1 - kd*n2)
+						wantP[i] = float32(kd*(1-n2) - s*(1-n1))
+					}
+					if err := verifyF32("black_scholes.call", cv, wantC); err != nil {
+						return err
+					}
+					return verifyF32("black_scholes.put", pv, wantP)
+				},
+			}, nil
+		},
+	}
+}
+
+// mandelbrot iterates the clamped quadratic map for 48 steps per pixel.
+func mandelbrot() *Benchmark {
+	const iters = 48
+	b := kernelir.NewBuilder("mandelbrot")
+	out := b.BufferF32("out", kernelir.Write)
+	wReg := b.ScalarI("w")
+	fw := b.ScalarF("fw")
+	fh := b.ScalarF("fh")
+	b.TrafficFactor(1)
+	gid := b.GlobalID()
+	row := b.DivI(gid, wReg)
+	col := b.RemI(gid, wReg)
+	cx := b.AddF(b.ConstF(-2), b.MulF(b.ConstF(3), b.DivF(b.IntToFloat(col), fw)))
+	cy := b.AddF(b.ConstF(-1.5), b.MulF(b.ConstF(3), b.DivF(b.IntToFloat(row), fh)))
+	x := b.CopyF(b.ConstF(0))
+	y := b.CopyF(b.ConstF(0))
+	lo := b.ConstF(-2)
+	hi := b.ConstF(2)
+	b.Repeat(iters, func() {
+		xx := b.MulF(x, x)
+		yy := b.MulF(y, y)
+		xy := b.MulF(x, y)
+		nx := b.AddF(b.SubF(xx, yy), cx)
+		ny := b.AddF(b.AddF(xy, xy), cy)
+		b.MoveF(x, b.MaxF(lo, b.MinF(nx, hi)))
+		b.MoveF(y, b.MaxF(lo, b.MinF(ny, hi)))
+	})
+	b.StoreF(out, gid, x)
+	k := b.MustBuild()
+
+	return &Benchmark{
+		Name:      "mandelbrot",
+		Kernel:    k,
+		CharItems: 1 << 24,
+		NewInstance: func(n int) (*Instance, error) {
+			w := int(math.Sqrt(float64(n)))
+			if w < 4 {
+				w = 4
+			}
+			items := w * w
+			ov := make([]float32, items)
+			return &Instance{
+				Items: items,
+				Args: kernelir.Args{
+					F32:     map[string][]float32{"out": ov},
+					ScalarI: map[string]int64{"w": int64(w)},
+					ScalarF: map[string]float64{"fw": float64(w), "fh": float64(w)},
+				},
+				Verify: func() error {
+					want := make([]float32, items)
+					for g := 0; g < items; g++ {
+						row, col := g/w, g%w
+						cx := -2 + 3*(float64(col)/float64(w))
+						cy := -1.5 + 3*(float64(row)/float64(w))
+						x, y := 0.0, 0.0
+						for it := 0; it < iters; it++ {
+							xx, yy, xy := x*x, y*y, x*y
+							nx := xx - yy + cx
+							ny := xy + xy + cy
+							x = math.Max(-2, math.Min(nx, 2))
+							y = math.Max(-2, math.Min(ny, 2))
+						}
+						want[g] = float32(x)
+					}
+					return verifyF32("mandelbrot", ov, want)
+				},
+			}, nil
+		},
+	}
+}
+
+// correlation computes per-chunk Pearson correlation of two series.
+func correlation() *Benchmark {
+	const chunk = 32
+	b := kernelir.NewBuilder("correlation")
+	xB := b.BufferF32("x", kernelir.Read)
+	yB := b.BufferF32("y", kernelir.Read)
+	oB := b.BufferF32("out", kernelir.Write)
+	b.TrafficFactor(0.8)
+	gid := b.GlobalID()
+	one := b.ConstI(1)
+	idx := b.MulI(gid, b.ConstI(chunk))
+	sx := b.CopyF(b.ConstF(0))
+	sy := b.CopyF(b.ConstF(0))
+	sxx := b.CopyF(b.ConstF(0))
+	syy := b.CopyF(b.ConstF(0))
+	sxy := b.CopyF(b.ConstF(0))
+	b.Repeat(chunk, func() {
+		x := b.LoadF(xB, idx)
+		y := b.LoadF(yB, idx)
+		b.MoveF(sx, b.AddF(sx, x))
+		b.MoveF(sy, b.AddF(sy, y))
+		b.MoveF(sxx, b.AddF(sxx, b.MulF(x, x)))
+		b.MoveF(syy, b.AddF(syy, b.MulF(y, y)))
+		b.MoveF(sxy, b.AddF(sxy, b.MulF(x, y)))
+		b.MoveI(idx, b.AddI(idx, one))
+	})
+	nF := b.ConstF(chunk)
+	num := b.SubF(b.MulF(nF, sxy), b.MulF(sx, sy))
+	vx := b.SubF(b.MulF(nF, sxx), b.MulF(sx, sx))
+	vy := b.SubF(b.MulF(nF, syy), b.MulF(sy, sy))
+	den := b.AddF(b.MulF(b.SqrtF(vx), b.SqrtF(vy)), b.ConstF(1e-9))
+	b.StoreF(oB, gid, b.DivF(num, den))
+	k := b.MustBuild()
+
+	return &Benchmark{
+		Name:      "correlation",
+		Kernel:    k,
+		CharItems: 1 << 22,
+		NewInstance: func(n int) (*Instance, error) {
+			r := newPrng(307)
+			xv := make([]float32, n*chunk)
+			yv := make([]float32, n*chunk)
+			ov := make([]float32, n)
+			r.fill(xv, -1, 1)
+			for i := range yv {
+				yv[i] = float32(0.7*float64(xv[i]) + float64(r.f32(-0.3, 0.3)))
+			}
+			return &Instance{
+				Items: n,
+				Args:  kernelir.Args{F32: map[string][]float32{"x": xv, "y": yv, "out": ov}},
+				Verify: func() error {
+					want := make([]float32, n)
+					for i := 0; i < n; i++ {
+						var sx, sy, sxx, syy, sxy float64
+						for j := 0; j < chunk; j++ {
+							x := float64(xv[i*chunk+j])
+							y := float64(yv[i*chunk+j])
+							sx += x
+							sy += y
+							sxx += x * x
+							syy += y * y
+							sxy += x * y
+						}
+						num := chunk*sxy - sx*sy
+						vx := chunk*sxx - sx*sx
+						vy := chunk*syy - sy*sy
+						want[i] = float32(num / (math.Sqrt(vx)*math.Sqrt(vy) + 1e-9))
+					}
+					return verifyF32("correlation", ov, want)
+				},
+			}, nil
+		},
+	}
+}
+
+// arith is the pure ALU microbenchmark of the suite: long dependent
+// chains of mixed integer and float operations.
+func arith() *Benchmark {
+	const iters = 256
+	b := kernelir.NewBuilder("arith")
+	in := b.BufferF32("in", kernelir.Read)
+	out := b.BufferF32("out", kernelir.Write)
+	b.TrafficFactor(1)
+	gid := b.GlobalID()
+	x := b.LoadF(in, gid)
+	xr := b.CopyF(x)
+	iv := b.CopyI(gid)
+	fc := b.ConstF(1.0001)
+	fa := b.ConstF(0.0001)
+	ic1 := b.ConstI(12345)
+	ic3 := b.ConstI(3)
+	ic7 := b.ConstI(7)
+	b.Repeat(iters, func() {
+		b.MoveF(xr, b.AddF(b.MulF(xr, fc), fa))
+		b.MoveI(iv, b.AddI(b.MulI(b.XorI(iv, ic1), ic3), ic7))
+	})
+	mask := b.AndI(iv, b.ConstI(1023))
+	b.StoreF(out, gid, b.AddF(xr, b.MulF(b.IntToFloat(mask), b.ConstF(1e-6))))
+	k := b.MustBuild()
+
+	return &Benchmark{
+		Name:      "arith",
+		Kernel:    k,
+		CharItems: 1 << 24,
+		NewInstance: func(n int) (*Instance, error) {
+			r := newPrng(308)
+			iv := make([]float32, n)
+			ov := make([]float32, n)
+			r.fill(iv, 0, 1)
+			return &Instance{
+				Items: n,
+				Args:  kernelir.Args{F32: map[string][]float32{"in": iv, "out": ov}},
+				Verify: func() error {
+					want := make([]float32, n)
+					for g := 0; g < n; g++ {
+						x := float64(iv[g])
+						v := int64(g)
+						for it := 0; it < iters; it++ {
+							x = x*1.0001 + 0.0001
+							v = (v^12345)*3 + 7
+						}
+						want[g] = float32(x + float64(v&1023)*1e-6)
+					}
+					return verifyF32("arith", ov, want)
+				},
+			}, nil
+		},
+	}
+}

@@ -1,0 +1,266 @@
+package benchsuite
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"synergy/internal/kernelir"
+)
+
+// Stencil benchmarks. Tiled/cached stencils reach DRAM for only a small
+// fraction of their taps, so their traffic factors are low and their
+// character is set by the per-pixel arithmetic: sobel (with gradient
+// magnitude) is frequency-sensitive (the paper's Fig. 7b shows sobel3
+// speedups from 0.73 to 1.15 across the Pareto front), median and
+// gaussian blur lean memory-bound.
+
+// sobelCoeffs returns the extended-Sobel Gx coefficients for an s×s
+// stencil (Gy is the transpose).
+func sobelCoeffs(s int) [][]float64 {
+	c := s / 2
+	w := make([][]float64, s)
+	for i := range w {
+		w[i] = make([]float64, s)
+		for j := range w[i] {
+			di, dj := float64(i-c), float64(j-c)
+			if di == 0 && dj == 0 {
+				continue
+			}
+			w[i][j] = dj / (di*di + dj*dj)
+		}
+	}
+	return w
+}
+
+// sobel builds the s×s Sobel edge detector (s in {3, 5, 7}).
+func sobel(s int) *Benchmark {
+	name := fmt.Sprintf("sobel%d", s)
+	coef := sobelCoeffs(s)
+	c := s / 2
+
+	b := kernelir.NewBuilder(name)
+	img := b.BufferF32("img", kernelir.Read)
+	out := b.BufferF32("out", kernelir.Write)
+	wReg := b.ScalarI("w")
+	hReg := b.ScalarI("h")
+	// Tiled stencils reuse neighbours: DRAM traffic shrinks with the
+	// window (≈ 2 compulsory accesses out of s²+1).
+	b.TrafficFactor(2 / float64(s*s+1))
+	gid := b.GlobalID()
+	zero := b.ConstI(0)
+	wm1 := b.SubI(wReg, b.ConstI(1))
+	hm1 := b.SubI(hReg, b.ConstI(1))
+	row := b.DivI(gid, wReg)
+	col := b.RemI(gid, wReg)
+
+	// Clamped row/col offsets, hoisted per axis.
+	rows := make([]kernelir.IntReg, s)
+	cols := make([]kernelir.IntReg, s)
+	for d := 0; d < s; d++ {
+		off := b.ConstI(int64(d - c))
+		rows[d] = b.MulI(b.MaxI(zero, b.MinI(b.AddI(row, off), hm1)), wReg)
+		cols[d] = b.MaxI(zero, b.MinI(b.AddI(col, off), wm1))
+	}
+
+	gx := b.ConstF(0)
+	gy := b.ConstF(0)
+	for i := 0; i < s; i++ {
+		for j := 0; j < s; j++ {
+			cx, cy := coef[i][j], coef[j][i]
+			if cx == 0 && cy == 0 {
+				continue
+			}
+			p := b.LoadF(img, b.AddI(rows[i], cols[j]))
+			if cx != 0 {
+				b.MoveF(gx, b.AddF(gx, b.MulF(b.ConstF(cx), p)))
+			}
+			if cy != 0 {
+				b.MoveF(gy, b.AddF(gy, b.MulF(b.ConstF(cy), p)))
+			}
+		}
+	}
+	mag := b.SqrtF(b.AddF(b.MulF(gx, gx), b.MulF(gy, gy)))
+	b.StoreF(out, gid, b.MinF(mag, b.ConstF(1)))
+	k := b.MustBuild()
+
+	return &Benchmark{
+		Name:      name,
+		Kernel:    k,
+		CharItems: 1 << 24,
+		NewInstance: func(n int) (*Instance, error) {
+			w := int(math.Sqrt(float64(n)))
+			if w < s {
+				w = s
+			}
+			h := w
+			items := w * h
+			r := newPrng(uint64(200 + s))
+			iv := make([]float32, items)
+			ov := make([]float32, items)
+			r.fill(iv, 0, 1)
+			return &Instance{
+				Items: items,
+				Args: kernelir.Args{
+					F32:     map[string][]float32{"img": iv, "out": ov},
+					ScalarI: map[string]int64{"w": int64(w), "h": int64(h)},
+				},
+				Verify: func() error {
+					want := make([]float32, items)
+					for g := 0; g < items; g++ {
+						row, col := g/w, g%w
+						gx, gy := 0.0, 0.0
+						for i := 0; i < s; i++ {
+							for j := 0; j < s; j++ {
+								cx, cy := coef[i][j], coef[j][i]
+								if cx == 0 && cy == 0 {
+									continue
+								}
+								rr := clamp(row+i-c, h)
+								cc := clamp(col+j-c, w)
+								p := float64(iv[rr*w+cc])
+								gx += cx * p
+								gy += cy * p
+							}
+						}
+						want[g] = float32(math.Min(math.Sqrt(gx*gx+gy*gy), 1))
+					}
+					return verifyF32(name, ov, want)
+				},
+			}, nil
+		},
+	}
+}
+
+// paethNetwork is the classic 19-exchange median-of-9 network.
+var paethNetwork = [19][2]int{
+	{1, 2}, {4, 5}, {7, 8}, {0, 1}, {3, 4}, {6, 7}, {1, 2}, {4, 5},
+	{7, 8}, {0, 3}, {5, 8}, {4, 7}, {3, 6}, {1, 4}, {2, 5}, {4, 7},
+	{4, 2}, {6, 4}, {4, 2},
+}
+
+// median applies a 9-tap one-dimensional median filter (window clamped
+// at the signal edges).
+func median() *Benchmark {
+	b := kernelir.NewBuilder("median")
+	in := b.BufferF32("in", kernelir.Read)
+	out := b.BufferF32("out", kernelir.Write)
+	b.TrafficFactor(0.45)
+	gid := b.GlobalID()
+	var p [9]kernelir.FloatReg
+	for d := 0; d < 9; d++ {
+		idx := b.AddI(gid, b.ConstI(int64(d-4)))
+		p[d] = b.LoadF(in, idx) // interpreter clamps the index
+	}
+	for _, ce := range paethNetwork {
+		i, j := ce[0], ce[1]
+		lo := b.MinF(p[i], p[j])
+		hi := b.MaxF(p[i], p[j])
+		p[i], p[j] = lo, hi
+	}
+	b.StoreF(out, gid, p[4])
+	k := b.MustBuild()
+
+	return &Benchmark{
+		Name:      "median",
+		Kernel:    k,
+		CharItems: 1 << 25,
+		NewInstance: func(n int) (*Instance, error) {
+			r := newPrng(210)
+			iv := make([]float32, n)
+			ov := make([]float32, n)
+			r.fill(iv, 0, 1)
+			return &Instance{
+				Items: n,
+				Args:  kernelir.Args{F32: map[string][]float32{"in": iv, "out": ov}},
+				Verify: func() error {
+					want := make([]float32, n)
+					win := make([]float64, 9)
+					for g := 0; g < n; g++ {
+						for d := 0; d < 9; d++ {
+							win[d] = float64(iv[clamp(g+d-4, n)])
+						}
+						sorted := append([]float64(nil), win...)
+						sort.Float64s(sorted)
+						want[g] = float32(sorted[4])
+					}
+					return verifyF32("median", ov, want)
+				},
+			}, nil
+		},
+	}
+}
+
+// gaussianBlur applies the separable-equivalent 3×3 binomial kernel.
+func gaussianBlur() *Benchmark {
+	weights := [3][3]float64{{1, 2, 1}, {2, 4, 2}, {1, 2, 1}}
+
+	b := kernelir.NewBuilder("gaussian_blur")
+	img := b.BufferF32("img", kernelir.Read)
+	out := b.BufferF32("out", kernelir.Write)
+	wReg := b.ScalarI("w")
+	hReg := b.ScalarI("h")
+	b.TrafficFactor(0.35)
+	gid := b.GlobalID()
+	zero := b.ConstI(0)
+	wm1 := b.SubI(wReg, b.ConstI(1))
+	hm1 := b.SubI(hReg, b.ConstI(1))
+	row := b.DivI(gid, wReg)
+	col := b.RemI(gid, wReg)
+	rows := make([]kernelir.IntReg, 3)
+	cols := make([]kernelir.IntReg, 3)
+	for d := 0; d < 3; d++ {
+		off := b.ConstI(int64(d - 1))
+		rows[d] = b.MulI(b.MaxI(zero, b.MinI(b.AddI(row, off), hm1)), wReg)
+		cols[d] = b.MaxI(zero, b.MinI(b.AddI(col, off), wm1))
+	}
+	acc := b.ConstF(0)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			p := b.LoadF(img, b.AddI(rows[i], cols[j]))
+			b.MoveF(acc, b.AddF(acc, b.MulF(b.ConstF(weights[i][j]), p)))
+		}
+	}
+	b.StoreF(out, gid, b.MulF(acc, b.ConstF(1.0/16)))
+	k := b.MustBuild()
+
+	return &Benchmark{
+		Name:      "gaussian_blur",
+		Kernel:    k,
+		CharItems: 1 << 24,
+		NewInstance: func(n int) (*Instance, error) {
+			w := int(math.Sqrt(float64(n)))
+			if w < 3 {
+				w = 3
+			}
+			items := w * w
+			r := newPrng(211)
+			iv := make([]float32, items)
+			ov := make([]float32, items)
+			r.fill(iv, 0, 1)
+			return &Instance{
+				Items: items,
+				Args: kernelir.Args{
+					F32:     map[string][]float32{"img": iv, "out": ov},
+					ScalarI: map[string]int64{"w": int64(w), "h": int64(w)},
+				},
+				Verify: func() error {
+					want := make([]float32, items)
+					for g := 0; g < items; g++ {
+						row, col := g/w, g%w
+						acc := 0.0
+						for i := 0; i < 3; i++ {
+							for j := 0; j < 3; j++ {
+								rr := clamp(row+i-1, w)
+								cc := clamp(col+j-1, w)
+								acc += weights[i][j] * float64(iv[rr*w+cc])
+							}
+						}
+						want[g] = float32(acc / 16)
+					}
+					return verifyF32("gaussian_blur", ov, want)
+				},
+			}, nil
+		},
+	}
+}

@@ -1,0 +1,482 @@
+package benchsuite
+
+import (
+	"math"
+
+	"synergy/internal/kernelir"
+)
+
+// Streaming and BLAS-style benchmarks: bandwidth-dominated kernels whose
+// Pareto fronts are flat in speedup and deep in energy savings (the
+// matmul/median shape of Figs. 2b, 7a and 8a).
+
+func vecAdd() *Benchmark {
+	b := kernelir.NewBuilder("vec_add")
+	a := b.BufferF32("a", kernelir.Read)
+	bb := b.BufferF32("b", kernelir.Read)
+	c := b.BufferF32("c", kernelir.Write)
+	b.TrafficFactor(1)
+	gid := b.GlobalID()
+	b.StoreF(c, gid, b.AddF(b.LoadF(a, gid), b.LoadF(bb, gid)))
+	k := b.MustBuild()
+
+	return &Benchmark{
+		Name:      "vec_add",
+		Kernel:    k,
+		CharItems: 1 << 26,
+		NewInstance: func(n int) (*Instance, error) {
+			r := newPrng(101)
+			av := make([]float32, n)
+			bv := make([]float32, n)
+			cv := make([]float32, n)
+			r.fill(av, -1, 1)
+			r.fill(bv, -1, 1)
+			return &Instance{
+				Items: n,
+				Args:  kernelir.Args{F32: map[string][]float32{"a": av, "b": bv, "c": cv}},
+				Verify: func() error {
+					want := make([]float32, n)
+					for i := range want {
+						want[i] = float32(float64(av[i]) + float64(bv[i]))
+					}
+					return verifyF32("vec_add", cv, want)
+				},
+			}, nil
+		},
+	}
+}
+
+func scalarProd() *Benchmark {
+	const chunk = 8
+	b := kernelir.NewBuilder("scalar_prod")
+	a := b.BufferF32("a", kernelir.Read)
+	bb := b.BufferF32("b", kernelir.Read)
+	out := b.BufferF32("out", kernelir.Write)
+	b.TrafficFactor(1)
+	gid := b.GlobalID()
+	one := b.ConstI(1)
+	idx := b.MulI(gid, b.ConstI(chunk))
+	acc := b.ConstF(0)
+	b.Repeat(chunk, func() {
+		prod := b.MulF(b.LoadF(a, idx), b.LoadF(bb, idx))
+		b.MoveF(acc, b.AddF(acc, prod))
+		b.MoveI(idx, b.AddI(idx, one))
+	})
+	b.StoreF(out, gid, acc)
+	k := b.MustBuild()
+
+	return &Benchmark{
+		Name:      "scalar_prod",
+		Kernel:    k,
+		CharItems: 1 << 23,
+		NewInstance: func(n int) (*Instance, error) {
+			r := newPrng(102)
+			av := make([]float32, n*chunk)
+			bv := make([]float32, n*chunk)
+			ov := make([]float32, n)
+			r.fill(av, -1, 1)
+			r.fill(bv, -1, 1)
+			return &Instance{
+				Items: n,
+				Args:  kernelir.Args{F32: map[string][]float32{"a": av, "b": bv, "out": ov}},
+				Verify: func() error {
+					want := make([]float32, n)
+					for i := 0; i < n; i++ {
+						acc := 0.0
+						for j := 0; j < chunk; j++ {
+							acc += float64(av[i*chunk+j]) * float64(bv[i*chunk+j])
+						}
+						want[i] = float32(acc)
+					}
+					return verifyF32("scalar_prod", ov, want)
+				},
+			}, nil
+		},
+	}
+}
+
+// matMul is a naive N×64 · 64×N matrix multiplication: untiled, so the
+// strided B accesses keep it bandwidth-dominated (the paper's matmul
+// saves ~33% energy with ~5% performance loss on the V100, Fig. 7a).
+func matMul() *Benchmark {
+	const kdim = 64
+	b := kernelir.NewBuilder("matmul")
+	aB := b.BufferF32("A", kernelir.Read)
+	bB := b.BufferF32("B", kernelir.Read)
+	cB := b.BufferF32("C", kernelir.Write)
+	nReg := b.ScalarI("n")
+	b.TrafficFactor(0.6)
+	gid := b.GlobalID()
+	one := b.ConstI(1)
+	row := b.DivI(gid, nReg)
+	col := b.RemI(gid, nReg)
+	aIdx := b.MulI(row, b.ConstI(kdim))
+	bIdx := b.CopyI(col)
+	acc := b.ConstF(0)
+	b.Repeat(kdim, func() {
+		prod := b.MulF(b.LoadF(aB, aIdx), b.LoadF(bB, bIdx))
+		b.MoveF(acc, b.AddF(acc, prod))
+		b.MoveI(aIdx, b.AddI(aIdx, one))
+		b.MoveI(bIdx, b.AddI(bIdx, nReg))
+	})
+	b.StoreF(cB, gid, acc)
+	k := b.MustBuild()
+
+	return &Benchmark{
+		Name:      "matmul",
+		Kernel:    k,
+		CharItems: 1 << 24, // 4096 × 4096 output elements
+		NewInstance: func(n int) (*Instance, error) {
+			side := int(math.Sqrt(float64(n)))
+			if side < 4 {
+				side = 4
+			}
+			items := side * side
+			r := newPrng(103)
+			av := make([]float32, side*kdim)
+			bv := make([]float32, kdim*side)
+			cv := make([]float32, items)
+			r.fill(av, -1, 1)
+			r.fill(bv, -1, 1)
+			return &Instance{
+				Items: items,
+				Args: kernelir.Args{
+					F32:     map[string][]float32{"A": av, "B": bv, "C": cv},
+					ScalarI: map[string]int64{"n": int64(side)},
+				},
+				Verify: func() error {
+					want := make([]float32, items)
+					for g := 0; g < items; g++ {
+						row, col := g/side, g%side
+						acc := 0.0
+						for kk := 0; kk < kdim; kk++ {
+							acc += float64(av[row*kdim+kk]) * float64(bv[kk*side+col])
+						}
+						want[g] = float32(acc)
+					}
+					return verifyF32("matmul", cv, want)
+				},
+			}, nil
+		},
+	}
+}
+
+func reduction() *Benchmark {
+	const chunk = 16
+	b := kernelir.NewBuilder("reduction")
+	in := b.BufferF32("in", kernelir.Read)
+	out := b.BufferF32("out", kernelir.Write)
+	b.TrafficFactor(1)
+	gid := b.GlobalID()
+	one := b.ConstI(1)
+	idx := b.MulI(gid, b.ConstI(chunk))
+	acc := b.ConstF(0)
+	b.Repeat(chunk, func() {
+		b.MoveF(acc, b.AddF(acc, b.LoadF(in, idx)))
+		b.MoveI(idx, b.AddI(idx, one))
+	})
+	b.StoreF(out, gid, acc)
+	k := b.MustBuild()
+
+	return &Benchmark{
+		Name:      "reduction",
+		Kernel:    k,
+		CharItems: 1 << 23,
+		NewInstance: func(n int) (*Instance, error) {
+			r := newPrng(104)
+			iv := make([]float32, n*chunk)
+			ov := make([]float32, n)
+			r.fill(iv, 0, 1)
+			return &Instance{
+				Items: n,
+				Args:  kernelir.Args{F32: map[string][]float32{"in": iv, "out": ov}},
+				Verify: func() error {
+					want := make([]float32, n)
+					for i := 0; i < n; i++ {
+						acc := 0.0
+						for j := 0; j < chunk; j++ {
+							acc += float64(iv[i*chunk+j])
+						}
+						want[i] = float32(acc)
+					}
+					return verifyF32("reduction", ov, want)
+				},
+			}, nil
+		},
+	}
+}
+
+// rowDotKernel builds the shared shape of mvt/atax: out[i] =
+// scale · dot(A[i,·], x) over a fixed inner dimension.
+func rowDotKernel(name string, kdim int, scaled bool, traffic float64) *kernelir.Kernel {
+	b := kernelir.NewBuilder(name)
+	aB := b.BufferF32("A", kernelir.Read)
+	xB := b.BufferF32("x", kernelir.Read)
+	yB := b.BufferF32("y", kernelir.Write)
+	var alpha kernelir.FloatReg
+	if scaled {
+		alpha = b.ScalarF("alpha")
+	}
+	b.TrafficFactor(traffic)
+	gid := b.GlobalID()
+	one := b.ConstI(1)
+	aIdx := b.MulI(gid, b.ConstI(int64(kdim)))
+	xIdx := b.ConstI(0)
+	acc := b.ConstF(0)
+	b.Repeat(kdim, func() {
+		prod := b.MulF(b.LoadF(aB, aIdx), b.LoadF(xB, xIdx))
+		b.MoveF(acc, b.AddF(acc, prod))
+		b.MoveI(aIdx, b.AddI(aIdx, one))
+		b.MoveI(xIdx, b.AddI(xIdx, one))
+	})
+	if scaled {
+		b.StoreF(yB, gid, b.MulF(alpha, acc))
+	} else {
+		b.StoreF(yB, gid, acc)
+	}
+	return b.MustBuild()
+}
+
+func rowDotInstance(name string, kdim int, scaled bool, seed uint64, k *kernelir.Kernel) func(int) (*Instance, error) {
+	return func(n int) (*Instance, error) {
+		r := newPrng(seed)
+		av := make([]float32, n*kdim)
+		xv := make([]float32, kdim)
+		yv := make([]float32, n)
+		r.fill(av, -1, 1)
+		r.fill(xv, -1, 1)
+		const alpha = 1.5
+		args := kernelir.Args{F32: map[string][]float32{"A": av, "x": xv, "y": yv}}
+		if scaled {
+			args.ScalarF = map[string]float64{"alpha": alpha}
+		}
+		return &Instance{
+			Items: n,
+			Args:  args,
+			Verify: func() error {
+				want := make([]float32, n)
+				for i := 0; i < n; i++ {
+					acc := 0.0
+					for j := 0; j < kdim; j++ {
+						acc += float64(av[i*kdim+j]) * float64(xv[j])
+					}
+					if scaled {
+						acc *= alpha
+					}
+					want[i] = float32(acc)
+				}
+				return verifyF32(name, yv, want)
+			},
+		}, nil
+	}
+}
+
+func mvt() *Benchmark {
+	k := rowDotKernel("mvt", 128, false, 0.55)
+	return &Benchmark{
+		Name: "mvt", Kernel: k, CharItems: 1 << 21,
+		NewInstance: rowDotInstance("mvt", 128, false, 105, k),
+	}
+}
+
+func atax() *Benchmark {
+	k := rowDotKernel("atax", 96, true, 0.6)
+	return &Benchmark{
+		Name: "atax", Kernel: k, CharItems: 1 << 21,
+		NewInstance: rowDotInstance("atax", 96, true, 106, k),
+	}
+}
+
+// bicg computes s[j] = dot(A[·,j], r): column-major access, the worst
+// coalescing case, so nearly every access reaches DRAM.
+func bicg() *Benchmark {
+	const rows = 64
+	b := kernelir.NewBuilder("bicg")
+	aB := b.BufferF32("A", kernelir.Read)
+	rB := b.BufferF32("r", kernelir.Read)
+	sB := b.BufferF32("s", kernelir.Write)
+	nReg := b.ScalarI("n")
+	b.TrafficFactor(0.9)
+	gid := b.GlobalID()
+	one := b.ConstI(1)
+	aIdx := b.CopyI(gid)
+	rIdx := b.ConstI(0)
+	acc := b.ConstF(0)
+	b.Repeat(rows, func() {
+		prod := b.MulF(b.LoadF(aB, aIdx), b.LoadF(rB, rIdx))
+		b.MoveF(acc, b.AddF(acc, prod))
+		b.MoveI(aIdx, b.AddI(aIdx, nReg))
+		b.MoveI(rIdx, b.AddI(rIdx, one))
+	})
+	b.StoreF(sB, gid, acc)
+	k := b.MustBuild()
+
+	return &Benchmark{
+		Name:      "bicg",
+		Kernel:    k,
+		CharItems: 1 << 21,
+		NewInstance: func(n int) (*Instance, error) {
+			r := newPrng(107)
+			av := make([]float32, rows*n)
+			rv := make([]float32, rows)
+			sv := make([]float32, n)
+			r.fill(av, -1, 1)
+			r.fill(rv, -1, 1)
+			return &Instance{
+				Items: n,
+				Args: kernelir.Args{
+					F32:     map[string][]float32{"A": av, "r": rv, "s": sv},
+					ScalarI: map[string]int64{"n": int64(n)},
+				},
+				Verify: func() error {
+					want := make([]float32, n)
+					for j := 0; j < n; j++ {
+						acc := 0.0
+						for i := 0; i < rows; i++ {
+							acc += float64(av[i*n+j]) * float64(rv[i])
+						}
+						want[j] = float32(acc)
+					}
+					return verifyF32("bicg", sv, want)
+				},
+			}, nil
+		},
+	}
+}
+
+func gesummv() *Benchmark {
+	const kdim = 64
+	b := kernelir.NewBuilder("gesummv")
+	aB := b.BufferF32("A", kernelir.Read)
+	bB := b.BufferF32("B", kernelir.Read)
+	xB := b.BufferF32("x", kernelir.Read)
+	yB := b.BufferF32("y", kernelir.Write)
+	alpha := b.ScalarF("alpha")
+	beta := b.ScalarF("beta")
+	b.TrafficFactor(0.7)
+	gid := b.GlobalID()
+	one := b.ConstI(1)
+	rowIdx := b.MulI(gid, b.ConstI(kdim))
+	xIdx := b.ConstI(0)
+	accA := b.ConstF(0)
+	accB := b.ConstF(0)
+	b.Repeat(kdim, func() {
+		xv := b.LoadF(xB, xIdx)
+		b.MoveF(accA, b.AddF(accA, b.MulF(b.LoadF(aB, rowIdx), xv)))
+		b.MoveF(accB, b.AddF(accB, b.MulF(b.LoadF(bB, rowIdx), xv)))
+		b.MoveI(rowIdx, b.AddI(rowIdx, one))
+		b.MoveI(xIdx, b.AddI(xIdx, one))
+	})
+	b.StoreF(yB, gid, b.AddF(b.MulF(alpha, accA), b.MulF(beta, accB)))
+	k := b.MustBuild()
+
+	return &Benchmark{
+		Name:      "gesummv",
+		Kernel:    k,
+		CharItems: 1 << 21,
+		NewInstance: func(n int) (*Instance, error) {
+			r := newPrng(108)
+			av := make([]float32, n*kdim)
+			bv := make([]float32, n*kdim)
+			xv := make([]float32, kdim)
+			yv := make([]float32, n)
+			r.fill(av, -1, 1)
+			r.fill(bv, -1, 1)
+			r.fill(xv, -1, 1)
+			const alphaV, betaV = 1.5, 1.2
+			return &Instance{
+				Items: n,
+				Args: kernelir.Args{
+					F32:     map[string][]float32{"A": av, "B": bv, "x": xv, "y": yv},
+					ScalarF: map[string]float64{"alpha": alphaV, "beta": betaV},
+				},
+				Verify: func() error {
+					want := make([]float32, n)
+					for i := 0; i < n; i++ {
+						accA, accB := 0.0, 0.0
+						for j := 0; j < kdim; j++ {
+							accA += float64(av[i*kdim+j]) * float64(xv[j])
+							accB += float64(bv[i*kdim+j]) * float64(xv[j])
+						}
+						want[i] = float32(alphaV*accA + betaV*accB)
+					}
+					return verifyF32("gesummv", yv, want)
+				},
+			}, nil
+		},
+	}
+}
+
+func syr2k() *Benchmark {
+	const kdim = 32
+	b := kernelir.NewBuilder("syr2k")
+	aB := b.BufferF32("A", kernelir.Read)
+	bB := b.BufferF32("B", kernelir.Read)
+	cIn := b.BufferF32("Cin", kernelir.Read)
+	cOut := b.BufferF32("Cout", kernelir.Write)
+	nReg := b.ScalarI("n")
+	alpha := b.ScalarF("alpha")
+	beta := b.ScalarF("beta")
+	b.TrafficFactor(0.6)
+	gid := b.GlobalID()
+	one := b.ConstI(1)
+	row := b.DivI(gid, nReg)
+	col := b.RemI(gid, nReg)
+	kc := b.ConstI(kdim)
+	ai := b.MulI(row, kc)
+	bj := b.MulI(col, kc)
+	acc := b.ConstF(0)
+	b.Repeat(kdim, func() {
+		t1 := b.MulF(b.LoadF(aB, ai), b.LoadF(bB, bj))
+		t2 := b.MulF(b.LoadF(bB, ai), b.LoadF(aB, bj))
+		b.MoveF(acc, b.AddF(acc, b.AddF(t1, t2)))
+		b.MoveI(ai, b.AddI(ai, one))
+		b.MoveI(bj, b.AddI(bj, one))
+	})
+	b.StoreF(cOut, gid, b.AddF(b.MulF(beta, b.LoadF(cIn, gid)), b.MulF(alpha, acc)))
+	k := b.MustBuild()
+
+	return &Benchmark{
+		Name:      "syr2k",
+		Kernel:    k,
+		CharItems: 1 << 22,
+		NewInstance: func(n int) (*Instance, error) {
+			side := int(math.Sqrt(float64(n)))
+			if side < 4 {
+				side = 4
+			}
+			items := side * side
+			r := newPrng(109)
+			av := make([]float32, side*kdim)
+			bv := make([]float32, side*kdim)
+			cin := make([]float32, items)
+			cout := make([]float32, items)
+			r.fill(av, -1, 1)
+			r.fill(bv, -1, 1)
+			r.fill(cin, -1, 1)
+			const alphaV, betaV = 0.5, 2.0
+			return &Instance{
+				Items: items,
+				Args: kernelir.Args{
+					F32:     map[string][]float32{"A": av, "B": bv, "Cin": cin, "Cout": cout},
+					ScalarI: map[string]int64{"n": int64(side)},
+					ScalarF: map[string]float64{"alpha": alphaV, "beta": betaV},
+				},
+				Verify: func() error {
+					want := make([]float32, items)
+					for g := 0; g < items; g++ {
+						i, j := g/side, g%side
+						acc := 0.0
+						for kk := 0; kk < kdim; kk++ {
+							t1 := float64(av[i*kdim+kk]) * float64(bv[j*kdim+kk])
+							t2 := float64(bv[i*kdim+kk]) * float64(av[j*kdim+kk])
+							acc += t1 + t2
+						}
+						want[g] = float32(betaV*float64(cin[g]) + alphaV*acc)
+					}
+					return verifyF32("syr2k", cout, want)
+				},
+			}, nil
+		},
+	}
+}

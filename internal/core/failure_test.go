@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"synergy/internal/hw"
+	"synergy/internal/power"
+	"synergy/internal/sycl"
+)
+
+// flakyManager injects vendor-library failures: every nth SetCoreFreq
+// call fails (drivers under load do this; the runtime must surface it
+// through the event rather than wedge the queue).
+type flakyManager struct {
+	power.Manager
+	n     int
+	calls int
+}
+
+var errFlaky = errors.New("nvml: GPU lost (simulated transient)")
+
+func (f *flakyManager) SetCoreFreq(mhz int) error {
+	f.calls++
+	if f.n > 0 && f.calls%f.n == 0 {
+		return errFlaky
+	}
+	return f.Manager.SetCoreFreq(mhz)
+}
+
+func TestFlakyClockSetsSurfaceThroughEvents(t *testing.T) {
+	dev := sycl.NewDevice(hw.V100())
+	base, err := power.NewPrivilegedManager(dev.HW())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyManager{Manager: base, n: 3}
+	q := NewQueue(dev, flaky)
+	k := streamKernel(t)
+	spec := dev.HW().Spec()
+
+	var failures, successes int
+	for i := 0; i < 12; i++ {
+		args := streamArgs(256)
+		// Alternate frequencies so every submission performs a set.
+		f := spec.CoreFreqsMHz[10+(i%2)*50]
+		ev, err := q.SubmitWithFreq(0, f, func(h *sycl.Handler) {
+			h.ParallelFor(256, k, args)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ev.Wait(); err != nil {
+			if !errors.Is(err, errFlaky) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			failures++
+		} else {
+			successes++
+		}
+	}
+	if failures == 0 {
+		t.Fatal("injected failures never surfaced")
+	}
+	if successes == 0 {
+		t.Fatal("queue wedged after a transient failure")
+	}
+	// The queue remains usable afterwards.
+	args := streamArgs(256)
+	ev, err := q.Submit(func(h *sycl.Handler) { h.ParallelFor(256, k, args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Wait(); err != nil {
+		t.Fatalf("queue unusable after transient failures: %v", err)
+	}
+}
+
+func TestFailedPreActionDoesNotRunKernel(t *testing.T) {
+	dev := sycl.NewDevice(hw.V100())
+	base, err := power.NewPrivilegedManager(dev.HW())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyManager{Manager: base, n: 1} // every set fails
+	q := NewQueue(dev, flaky)
+	k := streamKernel(t)
+	args := streamArgs(256)
+	before := dev.HW().KernelCount()
+	ev, err := q.SubmitWithFreq(0, dev.HW().Spec().MinCoreMHz(), func(h *sycl.Handler) {
+		h.ParallelFor(256, k, args)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Wait(); err == nil {
+		t.Fatal("failed clock set did not fail the submission")
+	}
+	if got := dev.HW().KernelCount(); got != before {
+		t.Fatalf("kernel executed despite failed pre-action (%d -> %d)", before, got)
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"synergy/internal/hw"
+	"synergy/internal/sycl"
+)
+
+// KernelStats aggregates the fine-grained profile of one kernel across
+// its launches on a queue.
+type KernelStats struct {
+	Name     string
+	Launches int
+	TimeSec  float64
+	EnergyJ  float64
+	// FreqLaunches counts launches per core frequency (shows what the
+	// per-kernel plans actually did).
+	FreqLaunches map[int]int
+}
+
+// AvgPowerW is the launch-weighted average power.
+func (s KernelStats) AvgPowerW() float64 {
+	if s.TimeSec == 0 {
+		return 0
+	}
+	return s.EnergyJ / s.TimeSec
+}
+
+// profiler collects completed kernel records.
+type profiler struct {
+	mu    sync.Mutex
+	on    bool
+	stats map[string]*KernelStats
+	wg    sync.WaitGroup
+}
+
+func (p *profiler) add(rec hw.KernelRecord) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stats == nil {
+		p.stats = map[string]*KernelStats{}
+	}
+	s, ok := p.stats[rec.Name]
+	if !ok {
+		s = &KernelStats{Name: rec.Name, FreqLaunches: map[int]int{}}
+		p.stats[rec.Name] = s
+	}
+	s.Launches++
+	s.TimeSec += rec.End - rec.Start
+	s.EnergyJ += rec.EnergyJ
+	s.FreqLaunches[rec.CoreMHz]++
+}
+
+// EnableProfiling turns on per-kernel statistics collection for all
+// subsequent submissions.
+func (q *Queue) EnableProfiling() {
+	q.prof.mu.Lock()
+	q.prof.on = true
+	q.prof.mu.Unlock()
+}
+
+// observe registers a completed event with the profiler (no-op unless
+// profiling is enabled).
+func (q *Queue) observe(ev *sycl.Event) {
+	q.prof.mu.Lock()
+	on := q.prof.on
+	q.prof.mu.Unlock()
+	if !on {
+		return
+	}
+	q.prof.wg.Add(1)
+	go func() {
+		defer q.prof.wg.Done()
+		rec, err := ev.Profiling()
+		if err == nil {
+			q.prof.add(rec)
+		}
+	}()
+}
+
+// Profile waits for all submitted work and returns the per-kernel
+// statistics, sorted by descending energy.
+func (q *Queue) Profile() []KernelStats {
+	q.q.Wait()
+	q.prof.wg.Wait()
+	q.prof.mu.Lock()
+	defer q.prof.mu.Unlock()
+	out := make([]KernelStats, 0, len(q.prof.stats))
+	for _, s := range q.prof.stats {
+		cp := *s
+		cp.FreqLaunches = make(map[int]int, len(s.FreqLaunches))
+		for f, n := range s.FreqLaunches {
+			cp.FreqLaunches[f] = n
+		}
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EnergyJ > out[j].EnergyJ })
+	return out
+}
+
+// RenderProfile formats kernel statistics as a text table.
+func RenderProfile(stats []KernelStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %8s %12s %12s %10s %s\n",
+		"kernel", "launches", "time(s)", "energy(J)", "avg(W)", "frequencies")
+	for _, s := range stats {
+		var freqs []int
+		for f := range s.FreqLaunches {
+			freqs = append(freqs, f)
+		}
+		sort.Ints(freqs)
+		var fs []string
+		for _, f := range freqs {
+			fs = append(fs, fmt.Sprintf("%d:%d", f, s.FreqLaunches[f]))
+		}
+		fmt.Fprintf(&b, "%-20s %8d %12.5f %12.4f %10.1f %s\n",
+			s.Name, s.Launches, s.TimeSec, s.EnergyJ, s.AvgPowerW(), strings.Join(fs, " "))
+	}
+	return b.String()
+}

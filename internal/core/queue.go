@@ -1,0 +1,188 @@
+// Package core implements the SYnergy programming interface (§4): the
+// synergy queue that extends the SYCL queue with energy capabilities —
+// per-kernel and per-device energy profiling, frequency scaling at queue
+// construction, per-submission frequency overrides, and target-annotated
+// kernel submission (MIN_EDP, MIN_ED2P, ES_x, PL_x) backed by the
+// trained energy models.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"synergy/internal/kernelir"
+	"synergy/internal/metrics"
+	"synergy/internal/power"
+	"synergy/internal/sycl"
+)
+
+// FrequencyAdvisor predicts the core frequency that optimises a target
+// for a kernel — the prediction phase of §6.2. internal/model provides
+// the machine-learning implementation; tests may plug in stubs.
+type FrequencyAdvisor interface {
+	AdviseCoreFreq(k *kernelir.Kernel, items int, target metrics.Target) (int, error)
+}
+
+// Queue is the synergy::queue equivalent: a SYCL queue plus energy
+// capabilities, built on the vendor-neutral power.Manager.
+type Queue struct {
+	q  *sycl.Queue
+	pm power.Manager
+
+	mu      sync.Mutex
+	pinned  int // core MHz pinned at construction (0 = none)
+	advisor FrequencyAdvisor
+	prof    profiler
+}
+
+// NewQueue builds a conventional queue: kernels run at the device's
+// current (default) clocks.
+func NewQueue(dev *sycl.Device, pm power.Manager) *Queue {
+	return &Queue{q: sycl.NewQueue(dev), pm: pm}
+}
+
+// NewQueueWithFreq builds a queue with a fixed frequency configuration
+// (Listing 2): every kernel submitted without an override runs at the
+// given memory and core frequency. Since HBM devices cannot scale the
+// memory clock, memMHz must match the device's fixed memory frequency
+// (or be 0 to keep it).
+func NewQueueWithFreq(dev *sycl.Device, pm power.Manager, memMHz, coreMHz int) (*Queue, error) {
+	if memMHz != 0 && memMHz != pm.MemFreqMHz() {
+		return nil, fmt.Errorf("core: memory frequency %d MHz not available (device runs HBM at %d MHz)",
+			memMHz, pm.MemFreqMHz())
+	}
+	if !supported(pm, coreMHz) {
+		return nil, fmt.Errorf("core: core frequency %d MHz not supported by %s", coreMHz, pm.DeviceName())
+	}
+	return &Queue{q: sycl.NewQueue(dev), pm: pm, pinned: coreMHz}, nil
+}
+
+func supported(pm power.Manager, coreMHz int) bool {
+	for _, f := range pm.SupportedCoreFreqs() {
+		if f == coreMHz {
+			return true
+		}
+	}
+	return false
+}
+
+// SetAdvisor installs the model-backed frequency advisor used by
+// target-annotated submissions.
+func (q *Queue) SetAdvisor(a FrequencyAdvisor) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.advisor = a
+}
+
+// Device returns the underlying SYCL device.
+func (q *Queue) Device() *sycl.Device { return q.q.Device() }
+
+// PowerManager returns the vendor binding in use.
+func (q *Queue) PowerManager() power.Manager { return q.pm }
+
+// Submit enqueues a command group at the queue's frequency configuration
+// (the pinned frequency, or the device default when unpinned).
+func (q *Queue) Submit(cg sycl.CommandGroup) (*sycl.Event, error) {
+	q.mu.Lock()
+	pinned := q.pinned
+	q.mu.Unlock()
+	if pinned == 0 {
+		ev, err := q.q.Submit(cg)
+		if err == nil {
+			q.observe(ev)
+		}
+		return ev, err
+	}
+	return q.submitAt(pinned, cg)
+}
+
+// SubmitWithFreq enqueues a command group with a per-kernel frequency
+// override (Listing 4). The frequency is set on the device just before
+// the kernel starts.
+func (q *Queue) SubmitWithFreq(memMHz, coreMHz int, cg sycl.CommandGroup) (*sycl.Event, error) {
+	if memMHz != 0 && memMHz != q.pm.MemFreqMHz() {
+		return nil, fmt.Errorf("core: memory frequency %d MHz not available", memMHz)
+	}
+	if !supported(q.pm, coreMHz) {
+		return nil, fmt.Errorf("core: core frequency %d MHz not supported by %s", coreMHz, q.pm.DeviceName())
+	}
+	return q.submitAt(coreMHz, cg)
+}
+
+// SubmitWithTarget enqueues a command group annotated with an energy
+// target (Listing 3): the advisor predicts the optimal frequency for
+// this kernel and target, and the kernel runs there.
+func (q *Queue) SubmitWithTarget(target metrics.Target, cg sycl.CommandGroup) (*sycl.Event, error) {
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	q.mu.Lock()
+	advisor := q.advisor
+	q.mu.Unlock()
+	if advisor == nil {
+		return nil, errors.New("core: no frequency advisor installed (train models first, see internal/model)")
+	}
+	k, items, err := sycl.Probe(cg)
+	if err != nil {
+		return nil, err
+	}
+	freq, err := advisor.AdviseCoreFreq(k, items, target)
+	if err != nil {
+		return nil, fmt.Errorf("core: advising %s for kernel %q: %w", target, k.Name, err)
+	}
+	if !supported(q.pm, freq) {
+		return nil, fmt.Errorf("core: advisor returned unsupported frequency %d MHz", freq)
+	}
+	return q.submitAt(freq, cg)
+}
+
+// submitAt submits with a pre-kernel clock change: the set happens on
+// the device thread in submission order, costing the vendor library's
+// clock-set overhead (§4.4).
+func (q *Queue) submitAt(coreMHz int, cg sycl.CommandGroup) (*sycl.Event, error) {
+	ev, err := q.q.SubmitPre(func() error {
+		if q.pm.CurrentCoreFreq() == coreMHz {
+			return nil
+		}
+		return q.pm.SetCoreFreq(coreMHz)
+	}, cg)
+	if err == nil {
+		q.observe(ev)
+	}
+	return ev, err
+}
+
+// Wait blocks until all submitted work completes.
+func (q *Queue) Wait() { q.q.Wait() }
+
+// SetFunctionalCap bounds per-launch interpreted work-items (see
+// sycl.Queue.SetFunctionalCap); the energy/time model is unaffected.
+func (q *Queue) SetFunctionalCap(n int) { q.q.SetFunctionalCap(n) }
+
+// KernelEnergyConsumption returns the fine-grained energy of one kernel
+// (§4.2): the energy an asynchronous polling thread accumulates between
+// the kernel's start and end events. Accuracy is limited by the vendor
+// sampling period — kernels much shorter than ~15 ms (NVML) profile
+// poorly, as the paper notes in §4.4.
+func (q *Queue) KernelEnergyConsumption(ev *sycl.Event) (float64, error) {
+	rec, err := ev.Profiling()
+	if err != nil {
+		return 0, err
+	}
+	return q.pm.SampledEnergy(rec.Start, rec.End), nil
+}
+
+// DeviceEnergyConsumption returns the coarse-grained energy (§4.2): the
+// whole-device energy, idle periods included, accumulated in the window
+// that opened when the queue was constructed.
+func (q *Queue) DeviceEnergyConsumption() float64 {
+	return q.pm.SampledEnergy(q.q.ConstructedAt(), q.pm.DeviceNow())
+}
+
+// ResetFrequency restores the driver-default clocks (used by tools and
+// by the scheduler epilogue path when running single-node).
+func (q *Queue) ResetFrequency() error {
+	q.q.Wait()
+	return q.pm.ResetCoreFreq()
+}

@@ -1,0 +1,229 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"synergy/internal/kernelir"
+)
+
+func buildSaxpy(t *testing.T) *kernelir.Kernel {
+	t.Helper()
+	b := kernelir.NewBuilder("saxpy")
+	x := b.BufferF32("x", kernelir.Read)
+	y := b.BufferF32("y", kernelir.Read)
+	z := b.BufferF32("z", kernelir.Write)
+	a := b.ScalarF("a")
+	gid := b.GlobalID()
+	xv := b.LoadF(x, gid)
+	yv := b.LoadF(y, gid)
+	prod := b.MulF(a, xv)
+	sum := b.AddF(prod, yv)
+	b.StoreF(z, gid, sum)
+	return b.MustBuild()
+}
+
+func TestSaxpyFeatureCounts(t *testing.T) {
+	v := MustExtract(buildSaxpy(t))
+	want := Vector{FloatAdd: 1, FloatMul: 1, GlAccess: 3}
+	if v != want {
+		t.Fatalf("saxpy features = %+v, want %+v", v, want)
+	}
+}
+
+func TestRepeatMultipliesCounts(t *testing.T) {
+	b := kernelir.NewBuilder("rep")
+	out := b.BufferF32("out", kernelir.Write)
+	gid := b.GlobalID()
+	acc := b.ConstF(0)
+	one := b.ConstF(1)
+	b.Repeat(10, func() {
+		s := b.AddF(acc, one)
+		b.MoveF(acc, s)
+	})
+	b.StoreF(out, gid, acc)
+	v := MustExtract(b.MustBuild())
+	if v.FloatAdd != 10 {
+		t.Fatalf("float_add = %v, want 10 (repeat-weighted)", v.FloatAdd)
+	}
+	if v.GlAccess != 1 {
+		t.Fatalf("gl_access = %v, want 1 (store outside loop)", v.GlAccess)
+	}
+}
+
+func TestNestedRepeatMultipliesCounts(t *testing.T) {
+	b := kernelir.NewBuilder("nested")
+	out := b.BufferF32("out", kernelir.Write)
+	gid := b.GlobalID()
+	acc := b.ConstF(0)
+	one := b.ConstF(1)
+	b.Repeat(3, func() {
+		s0 := b.MulF(acc, one) // 3x
+		b.MoveF(acc, s0)
+		b.Repeat(5, func() {
+			s := b.AddF(acc, one) // 15x
+			b.MoveF(acc, s)
+		})
+	})
+	b.StoreF(out, gid, acc)
+	v := MustExtract(b.MustBuild())
+	if v.FloatMul != 3 {
+		t.Fatalf("float_mul = %v, want 3", v.FloatMul)
+	}
+	if v.FloatAdd != 15 {
+		t.Fatalf("float_add = %v, want 15", v.FloatAdd)
+	}
+}
+
+func TestAllFeatureClassesCounted(t *testing.T) {
+	b := kernelir.NewBuilder("all")
+	fbuf := b.BufferF32("f", kernelir.ReadWrite)
+	ibuf := b.BufferI32("i", kernelir.ReadWrite)
+	b.Local(4)
+	gid := b.GlobalID()
+	c2 := b.ConstI(2)
+	// int_add, int_mul, int_div, int_bw
+	s := b.AddI(gid, c2)
+	m := b.MulI(s, c2)
+	d := b.DivI(m, c2)
+	w := b.XorI(d, c2)
+	// float classes
+	fv := b.LoadF(fbuf, gid) // gl_access
+	fa := b.AddF(fv, fv)
+	fm := b.MulF(fa, fv)
+	fd := b.DivF(fm, fa)
+	sf := b.SqrtF(fd)
+	// local
+	zero := b.ConstI(0)
+	b.StoreLocal(zero, sf)
+	lv := b.LoadLocal(zero)
+	b.StoreF(fbuf, gid, lv) // gl_access
+	b.StoreI(ibuf, gid, w)  // gl_access
+	v := MustExtract(b.MustBuild())
+	want := Vector{
+		IntAdd: 1, IntMul: 1, IntDiv: 1, IntBw: 1,
+		FloatAdd: 1, FloatMul: 1, FloatDiv: 1, SF: 1,
+		GlAccess: 3, LocAccess: 2,
+	}
+	if v != want {
+		t.Fatalf("features = %+v, want %+v", v, want)
+	}
+}
+
+func TestVectorSliceOrderMatchesNames(t *testing.T) {
+	v := Vector{IntAdd: 1, IntMul: 2, IntDiv: 3, IntBw: 4, FloatAdd: 5,
+		FloatMul: 6, FloatDiv: 7, SF: 8, GlAccess: 9, LocAccess: 10}
+	s := v.Slice()
+	if len(s) != len(Names) {
+		t.Fatalf("slice length %d != names length %d", len(s), len(Names))
+	}
+	for i, x := range s {
+		if x != float64(i+1) {
+			t.Fatalf("slice[%d] = %v, want %d", i, x, i+1)
+		}
+	}
+}
+
+func TestVectorAddScaleProperties(t *testing.T) {
+	f := func(a, b [10]float64, s float64) bool {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return true
+		}
+		va := fromSlice(a[:])
+		vb := fromSlice(b[:])
+		sum := va.Add(vb)
+		for i, x := range sum.Slice() {
+			if x != a[i]+b[i] {
+				return false
+			}
+		}
+		sc := va.Scale(s)
+		for i, x := range sc.Slice() {
+			if x != a[i]*s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fromSlice(s []float64) Vector {
+	return Vector{
+		IntAdd: s[0], IntMul: s[1], IntDiv: s[2], IntBw: s[3],
+		FloatAdd: s[4], FloatMul: s[5], FloatDiv: s[6], SF: s[7],
+		GlAccess: s[8], LocAccess: s[9],
+	}
+}
+
+func TestWorkloadMapping(t *testing.T) {
+	v := Vector{IntAdd: 2, IntMul: 3, IntBw: 1, IntDiv: 1, FloatAdd: 4,
+		FloatMul: 5, FloatDiv: 2, SF: 1, GlAccess: 6, LocAccess: 8}
+	w := Workload("k", v, 100)
+	if w.Items != 100 || w.Name != "k" {
+		t.Fatalf("bad identity fields: %+v", w)
+	}
+	if w.IntOps != 6 {
+		t.Errorf("IntOps = %v, want 6 (add+mul+bw)", w.IntOps)
+	}
+	if w.FloatOps != 9 {
+		t.Errorf("FloatOps = %v, want 9", w.FloatOps)
+	}
+	if w.DivOps != 3 {
+		t.Errorf("DivOps = %v, want 3", w.DivOps)
+	}
+	if w.SFOps != 1 {
+		t.Errorf("SFOps = %v, want 1", w.SFOps)
+	}
+	if w.GlobalBytes != 24 {
+		t.Errorf("GlobalBytes = %v, want 24", w.GlobalBytes)
+	}
+	if w.LocalBytes != 32 {
+		t.Errorf("LocalBytes = %v, want 32", w.LocalBytes)
+	}
+}
+
+func TestKernelWorkload(t *testing.T) {
+	w, err := KernelWorkload(buildSaxpy(t), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.GlobalBytes != 12 {
+		t.Fatalf("saxpy GlobalBytes = %v, want 12 (3 accesses x 4 bytes)", w.GlobalBytes)
+	}
+	if w.FloatOps != 2 {
+		t.Fatalf("saxpy FloatOps = %v, want 2", w.FloatOps)
+	}
+}
+
+func TestVectorTotalAndString(t *testing.T) {
+	v := Vector{IntAdd: 1, FloatMul: 2}
+	if v.Total() != 3 {
+		t.Fatalf("Total = %v, want 3", v.Total())
+	}
+	if s := v.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// Extraction ignores free ops (moves, constants, conversions).
+func TestFreeOpsNotCounted(t *testing.T) {
+	b := kernelir.NewBuilder("free")
+	out := b.BufferF32("out", kernelir.Write)
+	gid := b.GlobalID()
+	c := b.ConstF(3)
+	d := b.ConstF(4)
+	b.MoveF(c, d)
+	i := b.FloatToInt(c)
+	f := b.IntToFloat(i)
+	b.MoveF(c, f)
+	b.StoreF(out, gid, c)
+	v := MustExtract(b.MustBuild())
+	want := Vector{GlAccess: 1}
+	if v != want {
+		t.Fatalf("features = %+v, want only the store counted", v)
+	}
+}

@@ -1,0 +1,160 @@
+// Package governor implements an online DVFS controller: a model-free,
+// compiler-free baseline that hill-climbs each kernel's frequency from
+// run-time feedback. Dynamic tuning like this is the classic alternative
+// to SYnergy's static per-kernel prediction (cf. Sourouri et al. in the
+// paper's related work): it needs no training phase, but pays an
+// exploration cost — it runs kernels at suboptimal frequencies until it
+// converges, and must re-explore whenever behaviour shifts.
+package governor
+
+import (
+	"fmt"
+	"sync"
+
+	"synergy/internal/hw"
+	"synergy/internal/metrics"
+)
+
+// Governor tunes one frequency per kernel name by coordinate descent on
+// the frequency table, scoring each launch with the configured target's
+// objective.
+type Governor struct {
+	spec   *hw.Spec
+	target metrics.Target
+	// step is the initial index step on the frequency table.
+	step int
+
+	mu    sync.Mutex
+	state map[string]*kernelState
+}
+
+type kernelState struct {
+	idx      int     // current frequency-table index
+	dir      int     // current search direction (+1 / -1)
+	step     int     // current index step
+	best     float64 // best score seen
+	bestIdx  int
+	lastIdx  int
+	launches int
+	settled  bool
+}
+
+// New creates a governor for the device, optimising the given target's
+// objective (energy for ES-family, time for PL/MAX_PERF, products for
+// EDP/ED2P).
+func New(spec *hw.Spec, target metrics.Target) (*Governor, error) {
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	step := len(spec.CoreFreqsMHz) / 8
+	if step < 1 {
+		step = 1
+	}
+	return &Governor{
+		spec:   spec,
+		target: target,
+		step:   step,
+		state:  map[string]*kernelState{},
+	}, nil
+}
+
+// Decide returns the frequency to use for the next launch of the kernel.
+func (g *Governor) Decide(kernel string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st, ok := g.state[kernel]
+	if !ok {
+		// Start from the baseline configuration.
+		st = &kernelState{
+			idx:  g.indexOf(g.spec.BaselineCoreMHz()),
+			dir:  -1, // energy optima lie below the default
+			step: g.step,
+			best: -1,
+		}
+		st.bestIdx = st.idx
+		g.state[kernel] = st
+	}
+	st.lastIdx = st.idx
+	return g.spec.CoreFreqsMHz[st.idx]
+}
+
+func (g *Governor) indexOf(mhz int) int {
+	for i, f := range g.spec.CoreFreqsMHz {
+		if f == mhz {
+			return i
+		}
+	}
+	return len(g.spec.CoreFreqsMHz) - 1
+}
+
+// Observe feeds back one completed launch at the frequency last returned
+// by Decide. The governor scores it and moves its search state.
+func (g *Governor) Observe(kernel string, timeSec, energyJ float64) error {
+	if timeSec <= 0 || energyJ <= 0 {
+		return fmt.Errorf("governor: non-positive measurement for %q", kernel)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st, ok := g.state[kernel]
+	if !ok {
+		return fmt.Errorf("governor: Observe(%q) without a prior Decide", kernel)
+	}
+	st.launches++
+	score := metrics.ObjectiveValue(g.target, metrics.Point{TimeSec: timeSec, EnergyJ: energyJ})
+
+	if st.best < 0 || score < st.best {
+		// Improved: remember and keep moving in the same direction.
+		st.best = score
+		st.bestIdx = st.lastIdx
+	} else if !st.settled {
+		// Worse: return to the best point, reverse, and halve the step.
+		st.idx = st.bestIdx
+		st.dir = -st.dir
+		st.step /= 2
+		if st.step == 0 {
+			st.settled = true
+			return nil
+		}
+	}
+	if st.settled {
+		st.idx = st.bestIdx
+		return nil
+	}
+	next := st.idx + st.dir*st.step
+	if next < 0 {
+		next = 0
+	}
+	if next >= len(g.spec.CoreFreqsMHz) {
+		next = len(g.spec.CoreFreqsMHz) - 1
+	}
+	if next == st.idx {
+		// Pinned against a table edge: reverse and shrink instead.
+		st.dir = -st.dir
+		st.step /= 2
+		if st.step == 0 {
+			st.settled = true
+		}
+		return nil
+	}
+	st.idx = next
+	return nil
+}
+
+// Settled reports whether the kernel's search has converged.
+func (g *Governor) Settled(kernel string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st, ok := g.state[kernel]
+	return ok && st.settled
+}
+
+// Launches returns the number of observed launches for the kernel.
+func (g *Governor) Launches(kernel string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st, ok := g.state[kernel]
+	if !ok {
+		return 0
+	}
+	return st.launches
+}

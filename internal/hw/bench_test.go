@@ -1,0 +1,60 @@
+package hw
+
+import "testing"
+
+// Performance of the hot simulator paths: model evaluation dominates
+// frequency sweeps (196 evaluations per kernel on the V100), and energy
+// integration dominates profiling queries.
+
+func BenchmarkEvaluate(b *testing.B) {
+	spec := V100()
+	w := Workload{Name: "bench", Items: 1 << 22, FloatOps: 120, GlobalBytes: 24}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Evaluate(w, spec.DefaultCoreMHz); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullFrequencySweep(b *testing.B) {
+	spec := V100()
+	w := Workload{Name: "bench", Items: 1 << 22, FloatOps: 120, GlobalBytes: 24}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Sweep(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnergyBetween(b *testing.B) {
+	d := NewDevice(V100())
+	w := Workload{Name: "bench", Items: 1 << 20, FloatOps: 60, GlobalBytes: 16}
+	for i := 0; i < 1000; i++ {
+		if _, err := d.ExecuteKernel(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	end := d.Now()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.EnergyBetween(0, end)
+	}
+}
+
+func BenchmarkSampledEnergyBetween(b *testing.B) {
+	d := NewDevice(V100())
+	w := Workload{Name: "bench", Items: 1 << 24, FloatOps: 60, GlobalBytes: 64}
+	for i := 0; i < 50; i++ {
+		if _, err := d.ExecuteKernel(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	end := d.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.SampledEnergyBetween(0, end, 0.015)
+	}
+}

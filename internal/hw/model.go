@@ -1,0 +1,206 @@
+package hw
+
+import (
+	"fmt"
+	"math"
+)
+
+// Workload is the device-level description of one kernel launch: how much
+// work each work-item performs, broken down by resource. The compiler
+// pass (internal/features) produces these numbers from the kernel IR, so
+// the simulated ground truth is a (noisy, non-linear) function of the
+// same static features the machine-learning models observe.
+type Workload struct {
+	// Name identifies the kernel (used to seed deterministic noise).
+	Name string
+	// Items is the number of work-items launched.
+	Items int64
+	// IntOps counts simple integer operations per work-item
+	// (add/sub/mul/bitwise).
+	IntOps float64
+	// FloatOps counts simple floating-point operations per work-item
+	// (add/sub/mul).
+	FloatOps float64
+	// DivOps counts divisions per work-item (integer and float); these
+	// occupy the pipeline for many cycles.
+	DivOps float64
+	// SFOps counts special-function operations (sqrt, exp, log, sin...).
+	SFOps float64
+	// GlobalBytes counts DRAM traffic per work-item, in bytes.
+	GlobalBytes float64
+	// LocalBytes counts on-chip scratch/shared-memory traffic per
+	// work-item, in bytes.
+	LocalBytes float64
+}
+
+// TotalOps returns the weighted per-item operation count used by the
+// compute-throughput model. Divisions and special functions are weighted
+// by their pipeline occupancy.
+func (w Workload) TotalOps() float64 {
+	return w.IntOps + w.FloatOps + divWeight*w.DivOps + sfWeight*w.SFOps + localWeight*w.LocalBytes/4
+}
+
+// Validate reports an error for physically meaningless workloads.
+func (w Workload) Validate() error {
+	if w.Items <= 0 {
+		return fmt.Errorf("hw: workload %q has non-positive item count %d", w.Name, w.Items)
+	}
+	for _, v := range []float64{w.IntOps, w.FloatOps, w.DivOps, w.SFOps, w.GlobalBytes, w.LocalBytes} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("hw: workload %q has invalid per-item cost", w.Name)
+		}
+	}
+	if w.TotalOps() == 0 && w.GlobalBytes == 0 {
+		return fmt.Errorf("hw: workload %q performs no work", w.Name)
+	}
+	return nil
+}
+
+// Pipeline weights: a division occupies the ALU for ~dozens of cycles and
+// a special function runs on the (narrower) SFU. Local accesses cost a
+// fraction of an op per 4-byte word.
+const (
+	divWeight   = 14.0
+	sfWeight    = 7.0
+	localWeight = 0.55
+	// smoothMaxP controls overlap between compute and memory phases:
+	// t = (t_c^p + t_m^p)^(1/p) approaches max(t_c, t_m) as p grows.
+	smoothMaxP = 4.0
+	// ipcEff derates the ideal ops/cycle/lane throughput for issue
+	// limits and divergence.
+	ipcEff = 0.72
+)
+
+// Measurement is the outcome of evaluating a workload at a frequency.
+type Measurement struct {
+	// TimeSec is the kernel execution time (launch overhead included).
+	TimeSec float64
+	// PowerW is the average board power while the kernel is resident.
+	PowerW float64
+	// EnergyJ = PowerW * TimeSec.
+	EnergyJ float64
+	// ComputeUtil and MemUtil are the model's internal utilisations
+	// (exposed for tests and characterisation tooling).
+	ComputeUtil, MemUtil float64
+	// Throttled reports whether the TDP clamp engaged.
+	Throttled bool
+}
+
+// Voltage returns the interpolated core voltage at coreMHz: linear in
+// frequency, clamped below at the regulator's voltage floor.
+func (s *Spec) Voltage(coreMHz int) float64 {
+	fmin, fmax := float64(s.MinCoreMHz()), float64(s.MaxCoreMHz())
+	f := float64(coreMHz)
+	if floor := s.VFloorFrac * fmax; f < floor {
+		f = floor
+	}
+	x := (f - fmin) / (fmax - fmin)
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	return s.VMinVolts + (s.VMaxVolts-s.VMinVolts)*x
+}
+
+// effectiveBandwidth returns the DRAM bandwidth reachable at the given
+// core frequency. Below the knee the core cannot keep enough requests in
+// flight and bandwidth degrades sub-linearly.
+func (s *Spec) effectiveBandwidth(coreMHz int) float64 {
+	knee := s.BWKneeFrac * float64(s.MaxCoreMHz())
+	f := float64(coreMHz)
+	if f >= knee {
+		return s.MemBWBytes
+	}
+	return s.MemBWBytes * math.Pow(f/knee, 0.82)
+}
+
+// Evaluate runs the analytic model: execution time and average power for
+// workload w at core frequency coreMHz. It is a pure function (plus the
+// deterministic per-(kernel,frequency) noise), so it can serve both the
+// virtual device and offline ground-truth computation in tests.
+func (s *Spec) Evaluate(w Workload, coreMHz int) (Measurement, error) {
+	if err := w.Validate(); err != nil {
+		return Measurement{}, err
+	}
+	if !s.SupportsCoreFreq(coreMHz) {
+		return Measurement{}, fmt.Errorf("hw: %s does not support core frequency %d MHz", s.Name, coreMHz)
+	}
+
+	fHz := float64(coreMHz) * 1e6
+	opsPerSec := float64(s.SMs) * float64(s.LanesPerSM) * fHz * ipcEff
+	items := float64(w.Items)
+
+	tc := items * w.TotalOps() / opsPerSec
+	tm := items * w.GlobalBytes / s.effectiveBandwidth(coreMHz)
+
+	// Smooth-max roofline: phases overlap, but the longer one dominates.
+	var t float64
+	switch {
+	case tc == 0:
+		t = tm
+	case tm == 0:
+		t = tc
+	default:
+		t = math.Pow(math.Pow(tc, smoothMaxP)+math.Pow(tm, smoothMaxP), 1/smoothMaxP)
+	}
+	uc, um := 0.0, 0.0
+	if t > 0 {
+		uc = tc / t
+		um = tm / t
+	}
+	t += s.LaunchOverheadSec
+
+	v := s.Voltage(coreMHz)
+	fGHz := float64(coreMHz) / 1000
+	activity := s.BaseActivity + (1-s.BaseActivity)*uc
+	pCore := s.CoreDynCoeff * fGHz * v * v * activity
+	bwUtil := 0.0
+	if t > 0 {
+		bwUtil = items * w.GlobalBytes / t / s.MemBWBytes
+		if bwUtil > 1 {
+			bwUtil = 1
+		}
+	}
+	pMem := s.MemDynCoeff * bwUtil
+	pLeak := s.LeakCoeff * v * v
+	p := s.IdlePowerW + pCore + pMem + pLeak
+
+	// Deterministic measurement noise (~±1.2% time, ±1.5% power).
+	nt, np := noisePair(w.Name, coreMHz, w.Items)
+	t *= 1 + 0.012*nt
+	p *= 1 + 0.015*np
+
+	throttled := false
+	if p > s.TDPWatts {
+		// Hardware power capping: the board throttles so the average
+		// power equals the TDP; work completes proportionally slower.
+		t *= p / s.TDPWatts
+		p = s.TDPWatts
+		throttled = true
+	}
+
+	return Measurement{
+		TimeSec:     t,
+		PowerW:      p,
+		EnergyJ:     p * t,
+		ComputeUtil: uc,
+		MemUtil:     um,
+		Throttled:   throttled,
+	}, nil
+}
+
+// Sweep evaluates the workload at every supported core frequency and
+// returns the measurements in frequency-table order.
+func (s *Spec) Sweep(w Workload) ([]Measurement, error) {
+	out := make([]Measurement, len(s.CoreFreqsMHz))
+	for i, f := range s.CoreFreqsMHz {
+		m, err := s.Evaluate(w, f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}

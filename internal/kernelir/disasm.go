@@ -1,0 +1,91 @@
+package kernelir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders the kernel as readable pseudo-assembly: the
+// parameter list, local declaration and one line per instruction with
+// Repeat blocks indented. Useful for debugging kernels and for
+// inspecting what the feature-extraction pass sees.
+func (k *Kernel) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s(", k.Name)
+	for i, p := range k.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if p.IsBuffer {
+			fmt.Fprintf(&b, "%s %s[%s]", p.Access, p.Type, p.Name)
+		} else {
+			fmt.Fprintf(&b, "%s %s", p.Type, p.Name)
+		}
+	}
+	b.WriteString(")")
+	if k.TrafficFactor > 0 && k.TrafficFactor != 1 {
+		fmt.Fprintf(&b, " traffic=%.2f", k.TrafficFactor)
+	}
+	b.WriteString(" {\n")
+	if k.LocalF32 > 0 {
+		fmt.Fprintf(&b, "  local f32[%d]\n", k.LocalF32)
+	}
+	depth := 1
+	indent := func() string { return strings.Repeat("  ", depth) }
+	for _, in := range k.Body {
+		c := class(in.Op)
+		switch in.Op {
+		case OpRepeatBegin:
+			fmt.Fprintf(&b, "%srepeat %d {\n", indent(), int(in.Imm))
+			depth++
+			continue
+		case OpRepeatEnd:
+			depth--
+			fmt.Fprintf(&b, "%s}\n", indent())
+			continue
+		}
+		b.WriteString(indent())
+		if c.hasDst {
+			fmt.Fprintf(&b, "%s%d = ", filePrefix(c.dstFile), in.Dst)
+		}
+		b.WriteString(in.Op.String())
+		switch in.Op {
+		case OpConstI:
+			fmt.Fprintf(&b, " %d", int64(in.Imm))
+		case OpConstF:
+			fmt.Fprintf(&b, " %g", in.Imm)
+		case OpParamI, OpParamF:
+			fmt.Fprintf(&b, " %s", k.Params[in.Buf].Name)
+		case OpLoadGF, OpLoadGI:
+			fmt.Fprintf(&b, " %s[i%d]", k.Params[in.Buf].Name, in.A)
+		case OpStoreGF:
+			fmt.Fprintf(&b, " %s[i%d], f%d", k.Params[in.Buf].Name, in.A, in.B)
+		case OpStoreGI:
+			fmt.Fprintf(&b, " %s[i%d], i%d", k.Params[in.Buf].Name, in.A, in.B)
+		case OpLoadLF:
+			fmt.Fprintf(&b, " local[i%d]", in.A)
+		case OpStoreLF:
+			fmt.Fprintf(&b, " local[i%d], f%d", in.A, in.B)
+		default:
+			if c.hasA {
+				fmt.Fprintf(&b, " %s%d", filePrefix(c.aFile), in.A)
+			}
+			if c.hasB {
+				fmt.Fprintf(&b, ", %s%d", filePrefix(c.bFile), in.B)
+			}
+			if c.hasC {
+				fmt.Fprintf(&b, ", %s%d", filePrefix(c.cFile), in.C)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func filePrefix(t ScalarType) string {
+	if t == I32 {
+		return "i"
+	}
+	return "f"
+}

@@ -1,0 +1,51 @@
+package kernelir_test
+
+import (
+	"fmt"
+
+	"synergy/internal/kernelir"
+)
+
+// ExampleBuilder writes a small kernel with the fluent builder, runs it
+// through the interpreter and prints the result.
+func ExampleBuilder() {
+	b := kernelir.NewBuilder("axpy")
+	x := b.BufferF32("x", kernelir.Read)
+	y := b.BufferF32("y", kernelir.ReadWrite)
+	a := b.ScalarF("a")
+	gid := b.GlobalID()
+	b.StoreF(y, gid, b.AddF(b.MulF(a, b.LoadF(x, gid)), b.LoadF(y, gid)))
+	kernel := b.MustBuild()
+
+	xs := []float32{1, 2, 3, 4}
+	ys := []float32{10, 10, 10, 10}
+	err := kernelir.Execute(kernel, kernelir.Args{
+		F32:     map[string][]float32{"x": xs, "y": ys},
+		ScalarF: map[string]float64{"a": 2},
+	}, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ys)
+	// Output: [12 14 16 18]
+}
+
+// ExampleKernel_Disassemble inspects a kernel as pseudo-assembly — the
+// program the feature-extraction pass analyses.
+func ExampleKernel_Disassemble() {
+	b := kernelir.NewBuilder("double")
+	in := b.BufferF32("in", kernelir.Read)
+	out := b.BufferF32("out", kernelir.Write)
+	gid := b.GlobalID()
+	two := b.ConstF(2)
+	b.StoreF(out, gid, b.MulF(two, b.LoadF(in, gid)))
+	fmt.Print(b.MustBuild().Disassemble())
+	// Output:
+	// kernel double(read f32[in], write f32[out]) {
+	//   i0 = gid
+	//   f0 = const.f 2
+	//   f1 = ld.g.f in[i0]
+	//   f2 = mul.f f0, f1
+	//   st.g.f out[i0], f2
+	// }
+}

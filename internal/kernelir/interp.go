@@ -1,0 +1,336 @@
+package kernelir
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Args binds kernel parameters (by name) for execution.
+type Args struct {
+	F32     map[string][]float32
+	I32     map[string][]int32
+	ScalarI map[string]int64
+	ScalarF map[string]float64
+}
+
+// boundArgs holds positionally-resolved parameter bindings.
+type boundArgs struct {
+	bufF [][]float32
+	bufI [][]int32
+	scaI []int64
+	scaF []float64
+}
+
+func bind(k *Kernel, a Args) (*boundArgs, error) {
+	n := len(k.Params)
+	b := &boundArgs{
+		bufF: make([][]float32, n),
+		bufI: make([][]int32, n),
+		scaI: make([]int64, n),
+		scaF: make([]float64, n),
+	}
+	for i, p := range k.Params {
+		switch {
+		case p.IsBuffer && p.Type == F32:
+			buf, ok := a.F32[p.Name]
+			if !ok {
+				return nil, fmt.Errorf("kernelir: %s: missing f32 buffer %q", k.Name, p.Name)
+			}
+			if len(buf) == 0 {
+				return nil, fmt.Errorf("kernelir: %s: empty buffer %q", k.Name, p.Name)
+			}
+			b.bufF[i] = buf
+		case p.IsBuffer && p.Type == I32:
+			buf, ok := a.I32[p.Name]
+			if !ok {
+				return nil, fmt.Errorf("kernelir: %s: missing i32 buffer %q", k.Name, p.Name)
+			}
+			if len(buf) == 0 {
+				return nil, fmt.Errorf("kernelir: %s: empty buffer %q", k.Name, p.Name)
+			}
+			b.bufI[i] = buf
+		case p.Type == I32:
+			v, ok := a.ScalarI[p.Name]
+			if !ok {
+				return nil, fmt.Errorf("kernelir: %s: missing int scalar %q", k.Name, p.Name)
+			}
+			b.scaI[i] = v
+		default:
+			v, ok := a.ScalarF[p.Name]
+			if !ok {
+				return nil, fmt.Errorf("kernelir: %s: missing float scalar %q", k.Name, p.Name)
+			}
+			b.scaF[i] = v
+		}
+	}
+	return b, nil
+}
+
+// repeat bookkeeping precomputed per kernel: matching end for each begin.
+func matchRepeats(body []Instr) ([]int, error) {
+	match := make([]int, len(body))
+	var stack []int
+	for pc, in := range body {
+		switch in.Op {
+		case OpRepeatBegin:
+			stack = append(stack, pc)
+		case OpRepeatEnd:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("kernelir: unmatched repeat end at %d", pc)
+			}
+			begin := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			match[begin] = pc
+			match[pc] = begin
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("kernelir: unclosed repeat block")
+	}
+	return match, nil
+}
+
+func clampIdx(i int64, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= int64(n) {
+		return n - 1
+	}
+	return int(i)
+}
+
+// Execute runs the kernel for work-items [0, items), in parallel across
+// the host CPUs. Work-items must write disjoint locations (as in the
+// benchmark suite); the interpreter does not arbitrate data races.
+// GlobalIDX equals the linear id and GlobalIDY is zero (1-D launch).
+func Execute(k *Kernel, a Args, items int) error {
+	return ExecuteGrid(k, a, items, 0)
+}
+
+// ExecuteGrid runs the kernel over a 2-D range: items work-items with
+// row width nx, so GlobalIDX = id %% nx and GlobalIDY = id / nx. A width
+// of zero (or >= items) degenerates to the 1-D semantics.
+func ExecuteGrid(k *Kernel, a Args, items, nx int) error {
+	if err := k.Validate(); err != nil {
+		return err
+	}
+	if items <= 0 {
+		return fmt.Errorf("kernelir: %s: non-positive item count %d", k.Name, items)
+	}
+	env, err := bind(k, a)
+	if err != nil {
+		return err
+	}
+	match, err := matchRepeats(k.Body)
+	if err != nil {
+		return err
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > items {
+		workers = items
+	}
+	chunk := (items + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > items {
+			hi = items
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			ints := make([]int64, k.NumIntRegs)
+			floats := make([]float64, k.NumFloatRegs)
+			var local []float64
+			if k.LocalF32 > 0 {
+				local = make([]float64, k.LocalF32)
+			}
+			for gid := lo; gid < hi; gid++ {
+				runItem(k, env, match, int64(gid), int64(nx), ints, floats, local)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return nil
+}
+
+// runItem interprets the kernel body for one work-item.
+func runItem(k *Kernel, env *boundArgs, match []int, gid, nx int64, ints []int64, floats, local []float64) {
+	body := k.Body
+	// Remaining trip counts for active repeat blocks, indexed by the pc
+	// of the begin instruction.
+	var trips map[int]int64
+	for pc := 0; pc < len(body); pc++ {
+		in := &body[pc]
+		switch in.Op {
+		case OpConstI:
+			ints[in.Dst] = int64(in.Imm)
+		case OpConstF:
+			floats[in.Dst] = in.Imm
+		case OpMoveI:
+			ints[in.Dst] = ints[in.A]
+		case OpMoveF:
+			floats[in.Dst] = floats[in.A]
+		case OpGlobalID:
+			ints[in.Dst] = gid
+		case OpGlobalIDX:
+			if nx > 0 {
+				ints[in.Dst] = gid % nx
+			} else {
+				ints[in.Dst] = gid
+			}
+		case OpGlobalIDY:
+			if nx > 0 {
+				ints[in.Dst] = gid / nx
+			} else {
+				ints[in.Dst] = 0
+			}
+		case OpParamI:
+			ints[in.Dst] = env.scaI[in.Buf]
+		case OpParamF:
+			floats[in.Dst] = env.scaF[in.Buf]
+		case OpCvtIF:
+			floats[in.Dst] = float64(ints[in.A])
+		case OpCvtFI:
+			ints[in.Dst] = int64(floats[in.A])
+		case OpAddI:
+			ints[in.Dst] = ints[in.A] + ints[in.B]
+		case OpSubI:
+			ints[in.Dst] = ints[in.A] - ints[in.B]
+		case OpMulI:
+			ints[in.Dst] = ints[in.A] * ints[in.B]
+		case OpDivI:
+			if ints[in.B] == 0 {
+				ints[in.Dst] = 0
+			} else {
+				ints[in.Dst] = ints[in.A] / ints[in.B]
+			}
+		case OpRemI:
+			if ints[in.B] == 0 {
+				ints[in.Dst] = 0
+			} else {
+				ints[in.Dst] = ints[in.A] % ints[in.B]
+			}
+		case OpMinI:
+			ints[in.Dst] = min64(ints[in.A], ints[in.B])
+		case OpMaxI:
+			ints[in.Dst] = max64(ints[in.A], ints[in.B])
+		case OpCmpLTI:
+			ints[in.Dst] = b2i(ints[in.A] < ints[in.B])
+		case OpCmpEQI:
+			ints[in.Dst] = b2i(ints[in.A] == ints[in.B])
+		case OpSelI:
+			if ints[in.C] != 0 {
+				ints[in.Dst] = ints[in.A]
+			} else {
+				ints[in.Dst] = ints[in.B]
+			}
+		case OpAndI:
+			ints[in.Dst] = ints[in.A] & ints[in.B]
+		case OpOrI:
+			ints[in.Dst] = ints[in.A] | ints[in.B]
+		case OpXorI:
+			ints[in.Dst] = ints[in.A] ^ ints[in.B]
+		case OpShlI:
+			ints[in.Dst] = ints[in.A] << (uint64(ints[in.B]) & 63)
+		case OpShrI:
+			ints[in.Dst] = ints[in.A] >> (uint64(ints[in.B]) & 63)
+		case OpAddF:
+			floats[in.Dst] = floats[in.A] + floats[in.B]
+		case OpSubF:
+			floats[in.Dst] = floats[in.A] - floats[in.B]
+		case OpMulF:
+			floats[in.Dst] = floats[in.A] * floats[in.B]
+		case OpDivF:
+			floats[in.Dst] = floats[in.A] / floats[in.B]
+		case OpMinF:
+			floats[in.Dst] = math.Min(floats[in.A], floats[in.B])
+		case OpMaxF:
+			floats[in.Dst] = math.Max(floats[in.A], floats[in.B])
+		case OpAbsF:
+			floats[in.Dst] = math.Abs(floats[in.A])
+		case OpNegF:
+			floats[in.Dst] = -floats[in.A]
+		case OpCmpLTF:
+			ints[in.Dst] = b2i(floats[in.A] < floats[in.B])
+		case OpSelF:
+			if ints[in.C] != 0 {
+				floats[in.Dst] = floats[in.A]
+			} else {
+				floats[in.Dst] = floats[in.B]
+			}
+		case OpSqrtF:
+			floats[in.Dst] = math.Sqrt(floats[in.A])
+		case OpExpF:
+			floats[in.Dst] = math.Exp(floats[in.A])
+		case OpLogF:
+			floats[in.Dst] = math.Log(floats[in.A])
+		case OpSinF:
+			floats[in.Dst] = math.Sin(floats[in.A])
+		case OpCosF:
+			floats[in.Dst] = math.Cos(floats[in.A])
+		case OpPowF:
+			floats[in.Dst] = math.Pow(floats[in.A], floats[in.B])
+		case OpErfF:
+			floats[in.Dst] = math.Erf(floats[in.A])
+		case OpLoadGF:
+			buf := env.bufF[in.Buf]
+			floats[in.Dst] = float64(buf[clampIdx(ints[in.A], len(buf))])
+		case OpStoreGF:
+			buf := env.bufF[in.Buf]
+			buf[clampIdx(ints[in.A], len(buf))] = float32(floats[in.B])
+		case OpLoadGI:
+			buf := env.bufI[in.Buf]
+			ints[in.Dst] = int64(buf[clampIdx(ints[in.A], len(buf))])
+		case OpStoreGI:
+			buf := env.bufI[in.Buf]
+			buf[clampIdx(ints[in.A], len(buf))] = int32(ints[in.B])
+		case OpLoadLF:
+			floats[in.Dst] = local[clampIdx(ints[in.A], len(local))]
+		case OpStoreLF:
+			local[clampIdx(ints[in.A], len(local))] = floats[in.B]
+		case OpRepeatBegin:
+			if trips == nil {
+				trips = make(map[int]int64, 4)
+			}
+			trips[pc] = int64(in.Imm)
+		case OpRepeatEnd:
+			begin := match[pc]
+			trips[begin]--
+			if trips[begin] > 0 {
+				pc = begin // loop back (pc++ lands on first body instr)
+			}
+		default:
+			panic(fmt.Sprintf("kernelir: unhandled opcode %v", in.Op))
+		}
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

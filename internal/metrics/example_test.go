@@ -1,0 +1,65 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"synergy/internal/metrics"
+)
+
+// ExampleSweep_Select shows target selection over a small DVFS sweep:
+// EDP picks an interior point, ES_50 trades half the available savings.
+func ExampleSweep_Select() {
+	points := []metrics.Point{
+		{FreqMHz: 600, TimeSec: 2.0, EnergyJ: 160},
+		{FreqMHz: 800, TimeSec: 1.5, EnergyJ: 150},
+		{FreqMHz: 1000, TimeSec: 1.2, EnergyJ: 156},
+		{FreqMHz: 1200, TimeSec: 1.0, EnergyJ: 180}, // default
+		{FreqMHz: 1400, TimeSec: 0.95, EnergyJ: 210},
+	}
+	sweep, err := metrics.NewSweep(points, 1200)
+	if err != nil {
+		panic(err)
+	}
+	for _, target := range []metrics.Target{metrics.MinEDP, metrics.ES(50), metrics.PL(25)} {
+		p, err := sweep.Select(target)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s -> %d MHz\n", target, p.FreqMHz)
+	}
+	// Output:
+	// MIN_EDP -> 1200 MHz
+	// ES_50 -> 1000 MHz
+	// PL_25 -> 1200 MHz
+}
+
+// ExampleParseTarget parses the paper's target notation.
+func ExampleParseTarget() {
+	t, err := metrics.ParseTarget("ES_25")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(t.Kind == metrics.KindES, t.X)
+	// Output: true 25
+}
+
+// ExampleSweep_ParetoFront extracts the non-dominated configurations.
+func ExampleSweep_ParetoFront() {
+	points := []metrics.Point{
+		{FreqMHz: 600, TimeSec: 2.0, EnergyJ: 100},
+		{FreqMHz: 800, TimeSec: 1.5, EnergyJ: 120},
+		{FreqMHz: 1000, TimeSec: 1.4, EnergyJ: 119}, // dominates the 800 MHz point
+		{FreqMHz: 1200, TimeSec: 1.0, EnergyJ: 180},
+	}
+	sweep, err := metrics.NewSweep(points, 1200)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range sweep.ParetoFront() {
+		fmt.Println(p.FreqMHz)
+	}
+	// Output:
+	// 1200
+	// 1000
+	// 600
+}

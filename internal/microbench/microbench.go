@@ -1,0 +1,207 @@
+// Package microbench generates the synthetic training kernels of §6.1:
+// instead of training on existing benchmarks, SYnergy builds its energy
+// models from a set of micro-benchmarks that span the static-feature
+// space — pure integer/float/division/special-function chains, pure
+// streaming kernels, and mixes at graded arithmetic intensities.
+package microbench
+
+import (
+	"fmt"
+
+	"synergy/internal/kernelir"
+)
+
+// Config describes one micro-benchmark: per-work-item operation counts
+// by feature class, global loads/stores, local accesses and the DRAM
+// traffic factor.
+type Config struct {
+	Name     string
+	IntAdd   int
+	IntMul   int
+	IntDiv   int
+	IntBw    int
+	FloatAdd int
+	FloatMul int
+	FloatDiv int
+	SF       int
+	Loads    int
+	Stores   int
+	Local    int
+	Traffic  float64
+}
+
+// Build emits a kernel realising the configuration. The op chains are
+// dependent (they feed accumulators that reach the output), so nothing
+// is dead code, and all values stay finite.
+func Build(c Config) (*kernelir.Kernel, error) {
+	if c.Loads < 1 || c.Stores < 1 {
+		return nil, fmt.Errorf("microbench: %s: need at least one load and one store", c.Name)
+	}
+	b := kernelir.NewBuilder(c.Name)
+	in := b.BufferF32("in", kernelir.Read)
+	out := b.BufferF32("out", kernelir.Write)
+	if c.Traffic > 0 {
+		b.TrafficFactor(c.Traffic)
+	}
+	if c.Local > 0 {
+		b.Local(4)
+	}
+	gid := b.GlobalID()
+	one := b.ConstI(1)
+
+	// Loads: walk the input from gid.
+	idx := b.CopyI(gid)
+	facc := b.CopyF(b.ConstF(1))
+	for i := 0; i < c.Loads; i++ {
+		facc = b.AddF(facc, b.LoadF(in, idx))
+		if i != c.Loads-1 {
+			b.MoveI(idx, b.AddI(idx, one))
+		}
+	}
+
+	iacc := b.CopyI(gid)
+	fc1 := b.ConstF(1.0001)
+	fc2 := b.ConstF(0.0001)
+	ic3 := b.ConstI(3)
+	icBig := b.ConstI(1 << 20)
+
+	for i := 0; i < c.IntAdd; i++ {
+		iacc = b.AddI(iacc, ic3)
+	}
+	for i := 0; i < c.IntMul; i++ {
+		iacc = b.MulI(iacc, ic3)
+	}
+	for i := 0; i < c.IntDiv; i++ {
+		iacc = b.DivI(b.AddI(iacc, icBig), ic3)
+	}
+	for i := 0; i < c.IntBw; i++ {
+		iacc = b.XorI(iacc, icBig)
+	}
+	for i := 0; i < c.FloatAdd; i++ {
+		facc = b.AddF(facc, fc2)
+	}
+	for i := 0; i < c.FloatMul; i++ {
+		facc = b.MulF(facc, fc1)
+	}
+	for i := 0; i < c.FloatDiv; i++ {
+		facc = b.DivF(facc, fc1)
+	}
+	for i := 0; i < c.SF; i++ {
+		// sqrt keeps values in [1, ∞) stable: facc starts >= 1.
+		facc = b.SqrtF(facc)
+	}
+	zero := b.ConstI(0)
+	for i := 0; i < c.Local; i++ {
+		if i%2 == 0 {
+			b.StoreLocal(zero, facc)
+		} else {
+			facc = b.LoadLocal(zero)
+		}
+	}
+
+	// Fold the integer accumulator into the result so it is live.
+	mixed := b.AddF(facc, b.MulF(b.IntToFloat(b.AndI(iacc, b.ConstI(1023))), b.ConstF(1e-7)))
+	sIdx := b.CopyI(gid)
+	for i := 0; i < c.Stores; i++ {
+		b.StoreF(out, sIdx, mixed)
+		if i != c.Stores-1 {
+			b.MoveI(sIdx, b.AddI(sIdx, one))
+		}
+	}
+	return b.Build()
+}
+
+// MustBuild panics on configuration errors (configs are static data).
+func MustBuild(c Config) *kernelir.Kernel {
+	k, err := Build(c)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// DefaultSet returns the training suite: ~50 configurations covering
+// each feature class at three intensities, streaming kernels at three
+// traffic levels, an intensity × traffic mix grid, and local-memory
+// variants.
+func DefaultSet() []Config {
+	var out []Config
+	add := func(c Config) { out = append(out, c) }
+
+	// Single-class compute chains at three intensities.
+	classes := []struct {
+		tag string
+		set func(c *Config, n int)
+	}{
+		{"int_add", func(c *Config, n int) { c.IntAdd = n }},
+		{"int_mul", func(c *Config, n int) { c.IntMul = n }},
+		{"int_div", func(c *Config, n int) { c.IntDiv = n }},
+		{"int_bw", func(c *Config, n int) { c.IntBw = n }},
+		{"float_add", func(c *Config, n int) { c.FloatAdd = n }},
+		{"float_mul", func(c *Config, n int) { c.FloatMul = n }},
+		{"float_div", func(c *Config, n int) { c.FloatDiv = n }},
+		{"sf", func(c *Config, n int) { c.SF = n }},
+	}
+	for _, cl := range classes {
+		for _, n := range []int{16, 64, 256} {
+			c := Config{Name: fmt.Sprintf("mb_%s_%d", cl.tag, n), Loads: 1, Stores: 1, Traffic: 1}
+			cl.set(&c, n)
+			add(c)
+		}
+	}
+
+	// Pure streaming at three load counts and two traffic levels.
+	for _, loads := range []int{4, 16, 48} {
+		for _, tf := range []float64{1, 0.25} {
+			add(Config{
+				Name:  fmt.Sprintf("mb_stream_%d_t%02.0f", loads, tf*100),
+				Loads: loads, Stores: 1, FloatAdd: 2, Traffic: tf,
+			})
+		}
+	}
+
+	// Intensity × memory mix grid.
+	for _, flops := range []int{8, 32, 128} {
+		for _, loads := range []int{2, 8, 24} {
+			add(Config{
+				Name:     fmt.Sprintf("mb_mix_f%d_l%d", flops, loads),
+				FloatAdd: flops / 2, FloatMul: flops / 2,
+				IntAdd: flops / 4,
+				Loads:  loads, Stores: 1, Traffic: 1,
+			})
+		}
+	}
+
+	// Local-memory traffic.
+	add(Config{Name: "mb_local_16", Loads: 2, Stores: 1, Local: 16, FloatAdd: 8, Traffic: 1})
+	add(Config{Name: "mb_local_64", Loads: 2, Stores: 1, Local: 64, FloatAdd: 8, Traffic: 1})
+
+	// Stencil-like shapes: many nominal accesses, strong reuse (the
+	// sobel/median pattern).
+	for _, taps := range []int{9, 25} {
+		add(Config{
+			Name:  fmt.Sprintf("mb_stencil_%d", taps),
+			Loads: taps, Stores: 1, FloatAdd: 2 * taps, IntAdd: taps,
+			Traffic: 2 / float64(taps+1),
+		})
+	}
+
+	// Division/SF with memory pressure (cross terms).
+	add(Config{Name: "mb_div_mem", IntDiv: 24, Loads: 16, Stores: 1, Traffic: 1})
+	add(Config{Name: "mb_sf_mem", SF: 24, Loads: 16, Stores: 1, Traffic: 1})
+
+	return out
+}
+
+// Kernels builds every configuration in the set.
+func Kernels(cfgs []Config) ([]*kernelir.Kernel, error) {
+	out := make([]*kernelir.Kernel, len(cfgs))
+	for i, c := range cfgs {
+		k, err := Build(c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = k
+	}
+	return out, nil
+}

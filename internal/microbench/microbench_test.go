@@ -1,0 +1,83 @@
+package microbench
+
+import (
+	"testing"
+
+	"synergy/internal/features"
+	"synergy/internal/kernelir"
+)
+
+func TestDefaultSetBuildsAndValidates(t *testing.T) {
+	cfgs := DefaultSet()
+	if len(cfgs) < 40 {
+		t.Fatalf("default set has %d configs, want a broad training suite (>=40)", len(cfgs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cfgs {
+		if seen[c.Name] {
+			t.Fatalf("duplicate micro-benchmark %q", c.Name)
+		}
+		seen[c.Name] = true
+		k, err := Build(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if err := k.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestConfiguredOpsAppearInFeatures(t *testing.T) {
+	k := MustBuild(Config{Name: "t", IntDiv: 32, SF: 16, Loads: 4, Stores: 2, Traffic: 1})
+	v := features.MustExtract(k)
+	if v.IntDiv < 32 {
+		t.Errorf("int_div = %v, want >= 32", v.IntDiv)
+	}
+	if v.SF < 16 {
+		t.Errorf("sf = %v, want >= 16", v.SF)
+	}
+	if v.GlAccess != 6 {
+		t.Errorf("gl_access = %v, want 6 (4 loads + 2 stores)", v.GlAccess)
+	}
+}
+
+func TestFeatureSpaceSpansAllClasses(t *testing.T) {
+	var total features.Vector
+	for _, c := range DefaultSet() {
+		total = total.Add(features.MustExtract(MustBuild(c)))
+	}
+	for i, v := range total.Slice() {
+		if v == 0 {
+			t.Errorf("feature %s never exercised by the training set", features.Names[i])
+		}
+	}
+}
+
+func TestMicroBenchmarksExecuteFinite(t *testing.T) {
+	for _, c := range DefaultSet() {
+		k := MustBuild(c)
+		n := 256
+		in := make([]float32, n+64)
+		out := make([]float32, n+64)
+		for i := range in {
+			in[i] = 0.5
+		}
+		args := kernelir.Args{F32: map[string][]float32{"in": in, "out": out}}
+		if err := kernelir.Execute(k, args, n); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		for i := 0; i < n; i++ {
+			v := out[i]
+			if v != v || v > 1e30 || v < -1e30 { // NaN or blown up
+				t.Fatalf("%s: out[%d] = %v not finite/stable", c.Name, i, v)
+			}
+		}
+	}
+}
+
+func TestBuildRejectsMissingMemoryOps(t *testing.T) {
+	if _, err := Build(Config{Name: "bad", FloatAdd: 8}); err == nil {
+		t.Fatal("config without loads/stores accepted")
+	}
+}

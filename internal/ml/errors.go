@@ -1,0 +1,68 @@
+package ml
+
+import (
+	"errors"
+	"math"
+)
+
+// APE returns the absolute percentage error |pred − actual| / |actual|.
+// When actual is zero, the error is 0 for an exact prediction and +Inf
+// otherwise.
+func APE(actual, pred float64) float64 {
+	if actual == 0 {
+		if pred == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(pred-actual) / math.Abs(actual)
+}
+
+// MAPE returns the mean absolute percentage error over paired slices.
+func MAPE(actual, pred []float64) (float64, error) {
+	if len(actual) == 0 || len(actual) != len(pred) {
+		return 0, errors.New("ml: MAPE needs equal-length non-empty slices")
+	}
+	s := 0.0
+	for i := range actual {
+		s += APE(actual[i], pred[i])
+	}
+	return s / float64(len(actual)), nil
+}
+
+// RMSE returns the root mean squared error over paired slices.
+func RMSE(actual, pred []float64) (float64, error) {
+	if len(actual) == 0 || len(actual) != len(pred) {
+		return 0, errors.New("ml: RMSE needs equal-length non-empty slices")
+	}
+	s := 0.0
+	for i := range actual {
+		d := pred[i] - actual[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(actual))), nil
+}
+
+// R2 returns the coefficient of determination.
+func R2(actual, pred []float64) (float64, error) {
+	if len(actual) == 0 || len(actual) != len(pred) {
+		return 0, errors.New("ml: R2 needs equal-length non-empty slices")
+	}
+	mean := 0.0
+	for _, v := range actual {
+		mean += v
+	}
+	mean /= float64(len(actual))
+	ssTot, ssRes := 0.0, 0.0
+	for i := range actual {
+		ssTot += (actual[i] - mean) * (actual[i] - mean)
+		ssRes += (actual[i] - pred[i]) * (actual[i] - pred[i])
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 1 - ssRes/ssTot, nil
+}

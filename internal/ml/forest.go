@@ -1,0 +1,196 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Forest is a random-forest regressor: bootstrap-aggregated CART trees
+// with per-split feature subsampling. Deterministic for a fixed Seed.
+type Forest struct {
+	// Trees is the ensemble size (default 100).
+	Trees int
+	// MaxDepth bounds tree depth (default 16).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 2).
+	MinLeaf int
+	// MaxFeatures is the number of features considered per split
+	// (default ⌈d/3⌉, the regression heuristic).
+	MaxFeatures int
+	// Seed drives all randomness (bootstrap and feature subsampling).
+	Seed int64
+
+	trees []*treeNode
+}
+
+type treeNode struct {
+	feature  int
+	thresh   float64
+	value    float64 // leaf prediction
+	lo, hi   *treeNode
+	leafFlag bool
+}
+
+// Name implements Regressor.
+func (f *Forest) Name() string { return "RandomForest" }
+
+// Fit implements Regressor.
+func (f *Forest) Fit(x [][]float64, y []float64) error {
+	if err := checkXY(x, y); err != nil {
+		return err
+	}
+	nTrees := f.Trees
+	if nTrees <= 0 {
+		nTrees = 100
+	}
+	maxDepth := f.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 16
+	}
+	minLeaf := f.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 2
+	}
+	d := len(x[0])
+	maxFeat := f.MaxFeatures
+	if maxFeat <= 0 {
+		maxFeat = (d + 2) / 3
+	}
+	if maxFeat > d {
+		maxFeat = d
+	}
+
+	rng := rand.New(rand.NewSource(f.Seed + 0x5deece66d))
+	n := len(x)
+	f.trees = make([]*treeNode, nTrees)
+	for t := 0; t < nTrees; t++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		b := &treeBuilder{
+			x: x, y: y,
+			minLeaf: minLeaf, maxFeat: maxFeat, d: d,
+			rng: rand.New(rand.NewSource(rng.Int63())),
+		}
+		f.trees[t] = b.build(idx, maxDepth)
+	}
+	return nil
+}
+
+type treeBuilder struct {
+	x       [][]float64
+	y       []float64
+	minLeaf int
+	maxFeat int
+	d       int
+	rng     *rand.Rand
+}
+
+func (b *treeBuilder) build(idx []int, depth int) *treeNode {
+	mean := 0.0
+	for _, i := range idx {
+		mean += b.y[i]
+	}
+	mean /= float64(len(idx))
+	if depth == 0 || len(idx) < 2*b.minLeaf || constantTargets(b.y, idx) {
+		return &treeNode{leafFlag: true, value: mean}
+	}
+
+	bestFeat, bestThresh, bestScore := -1, 0.0, math.Inf(1)
+	feats := b.sampleFeatures()
+	sorted := make([]int, len(idx))
+	for _, feat := range feats {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, c int) bool { return b.x[sorted[a]][feat] < b.x[sorted[c]][feat] })
+		// Prefix sums for O(n) split scan.
+		sumL, sqL := 0.0, 0.0
+		sumT, sqT := 0.0, 0.0
+		for _, i := range sorted {
+			sumT += b.y[i]
+			sqT += b.y[i] * b.y[i]
+		}
+		for k := 0; k < len(sorted)-1; k++ {
+			yi := b.y[sorted[k]]
+			sumL += yi
+			sqL += yi * yi
+			// Can't split between equal feature values.
+			if b.x[sorted[k]][feat] == b.x[sorted[k+1]][feat] {
+				continue
+			}
+			nl := float64(k + 1)
+			nr := float64(len(sorted) - k - 1)
+			if int(nl) < b.minLeaf || int(nr) < b.minLeaf {
+				continue
+			}
+			sseL := sqL - sumL*sumL/nl
+			sumR := sumT - sumL
+			sseR := (sqT - sqL) - sumR*sumR/nr
+			if score := sseL + sseR; score < bestScore {
+				bestScore = score
+				bestFeat = feat
+				bestThresh = (b.x[sorted[k]][feat] + b.x[sorted[k+1]][feat]) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &treeNode{leafFlag: true, value: mean}
+	}
+
+	var loIdx, hiIdx []int
+	for _, i := range idx {
+		if b.x[i][bestFeat] <= bestThresh {
+			loIdx = append(loIdx, i)
+		} else {
+			hiIdx = append(hiIdx, i)
+		}
+	}
+	if len(loIdx) == 0 || len(hiIdx) == 0 {
+		return &treeNode{leafFlag: true, value: mean}
+	}
+	return &treeNode{
+		feature: bestFeat,
+		thresh:  bestThresh,
+		lo:      b.build(loIdx, depth-1),
+		hi:      b.build(hiIdx, depth-1),
+	}
+}
+
+func (b *treeBuilder) sampleFeatures() []int {
+	perm := b.rng.Perm(b.d)
+	return perm[:b.maxFeat]
+}
+
+func constantTargets(y []float64, idx []int) bool {
+	first := y[idx[0]]
+	for _, i := range idx[1:] {
+		if y[i] != first {
+			return false
+		}
+	}
+	return true
+}
+
+// Predict implements Regressor.
+func (f *Forest) Predict(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, t := range f.trees {
+		s += t.predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+func (n *treeNode) predict(x []float64) float64 {
+	for !n.leafFlag {
+		if x[n.feature] <= n.thresh {
+			n = n.lo
+		} else {
+			n = n.hi
+		}
+	}
+	return n.value
+}

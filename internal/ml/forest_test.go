@@ -1,0 +1,125 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthNonlinear generates y = sin(3 x0) + x1² with x in [-1, 1]².
+func synthNonlinear(n int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = []float64{2*rng.Float64() - 1, 2*rng.Float64() - 1}
+		y[i] = math.Sin(3*x[i][0]) + x[i][1]*x[i][1]
+	}
+	return x, y
+}
+
+func TestForestBeatsLinearOnNonlinearData(t *testing.T) {
+	xTr, yTr := synthNonlinear(800, 10)
+	xTe, yTe := synthNonlinear(200, 11)
+
+	lin := &Linear{}
+	if err := lin.Fit(xTr, yTr); err != nil {
+		t.Fatal(err)
+	}
+	rf := &Forest{Trees: 60, Seed: 42}
+	if err := rf.Fit(xTr, yTr); err != nil {
+		t.Fatal(err)
+	}
+	linErr, _ := RMSE(yTe, PredictAll(lin, xTe))
+	rfErr, _ := RMSE(yTe, PredictAll(rf, xTe))
+	if rfErr >= linErr {
+		t.Fatalf("forest RMSE %v not better than linear %v on nonlinear data", rfErr, linErr)
+	}
+	if rfErr > 0.15 {
+		t.Fatalf("forest RMSE %v too high", rfErr)
+	}
+}
+
+func TestForestPredictionsWithinTrainingRange(t *testing.T) {
+	// Trees average training targets, so predictions cannot leave the
+	// observed target range — a useful invariant for frequency search.
+	x, y := synthNonlinear(500, 12)
+	rf := &Forest{Trees: 40, Seed: 1}
+	if err := rf.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range y {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 200; i++ {
+		p := rf.Predict([]float64{4*rng.Float64() - 2, 4*rng.Float64() - 2})
+		if p < lo-1e-9 || p > hi+1e-9 {
+			t.Fatalf("prediction %v outside training range [%v, %v]", p, lo, hi)
+		}
+	}
+}
+
+func TestForestDeterministicForFixedSeed(t *testing.T) {
+	x, y := synthNonlinear(300, 14)
+	fit := func() *Forest {
+		rf := &Forest{Trees: 20, Seed: 99}
+		if err := rf.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		return rf
+	}
+	a, b := fit(), fit()
+	for i := 0; i < 50; i++ {
+		p := []float64{float64(i)/25 - 1, float64(i%7)/3.5 - 1}
+		if a.Predict(p) != b.Predict(p) {
+			t.Fatal("forest not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestForestFitsConstantTarget(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}, {5}}
+	y := []float64{7, 7, 7, 7, 7}
+	rf := &Forest{Trees: 5, Seed: 0}
+	if err := rf.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if p := rf.Predict([]float64{2.5}); p != 7 {
+		t.Fatalf("constant-target prediction %v, want 7", p)
+	}
+}
+
+func TestForestRejectsBadInput(t *testing.T) {
+	rf := &Forest{}
+	if err := rf.Fit(nil, nil); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}
+
+func TestForestInterpolatesStepFunction(t *testing.T) {
+	// A step function is the canonical tree-friendly shape.
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		v := float64(i) / 100
+		x = append(x, []float64{v})
+		if v < 1 {
+			y = append(y, 0)
+		} else {
+			y = append(y, 10)
+		}
+	}
+	rf := &Forest{Trees: 30, Seed: 3}
+	if err := rf.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if p := rf.Predict([]float64{0.5}); math.Abs(p) > 0.5 {
+		t.Errorf("predict(0.5) = %v, want ~0", p)
+	}
+	if p := rf.Predict([]float64{1.5}); math.Abs(p-10) > 0.5 {
+		t.Errorf("predict(1.5) = %v, want ~10", p)
+	}
+}

@@ -1,0 +1,80 @@
+package ml
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// Split is one train/test partition, as row indices.
+type Split struct {
+	Train, Test []int
+}
+
+// KFold partitions n samples into k shuffled folds (deterministic for a
+// given seed).
+func KFold(n, k int, seed int64) ([]Split, error) {
+	if k < 2 || k > n {
+		return nil, errors.New("ml: k must be in [2, n]")
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	folds := make([][]int, k)
+	for i, p := range perm {
+		folds[i%k] = append(folds[i%k], p)
+	}
+	splits := make([]Split, k)
+	for f := 0; f < k; f++ {
+		var train []int
+		for g := 0; g < k; g++ {
+			if g != f {
+				train = append(train, folds[g]...)
+			}
+		}
+		splits[f] = Split{Train: train, Test: folds[f]}
+	}
+	return splits, nil
+}
+
+// LeaveOneGroupOut yields one split per distinct group label: the test
+// set is that group, the training set everything else. This is the
+// evaluation protocol of §8.3 (train on the other benchmarks, predict
+// the held-out one).
+func LeaveOneGroupOut(groups []string) ([]Split, []string, error) {
+	if len(groups) == 0 {
+		return nil, nil, errors.New("ml: no groups")
+	}
+	var order []string
+	seen := map[string]bool{}
+	for _, g := range groups {
+		if !seen[g] {
+			seen[g] = true
+			order = append(order, g)
+		}
+	}
+	if len(order) < 2 {
+		return nil, nil, errors.New("ml: need at least two groups")
+	}
+	splits := make([]Split, 0, len(order))
+	for _, g := range order {
+		var s Split
+		for i, gi := range groups {
+			if gi == g {
+				s.Test = append(s.Test, i)
+			} else {
+				s.Train = append(s.Train, i)
+			}
+		}
+		splits = append(splits, s)
+	}
+	return splits, order, nil
+}
+
+// Rows gathers the given rows of x and y.
+func Rows(x [][]float64, y []float64, idx []int) ([][]float64, []float64) {
+	xs := make([][]float64, len(idx))
+	ys := make([]float64, len(idx))
+	for i, r := range idx {
+		xs[i] = x[r]
+		ys[i] = y[r]
+	}
+	return xs, ys
+}

@@ -1,0 +1,166 @@
+package ml
+
+import "math"
+
+// Linear is ordinary least-squares linear regression, solved through the
+// normal equations with a tiny ridge term for numerical stability.
+type Linear struct {
+	// Ridge is an optional L2 penalty on the coefficients (not the
+	// intercept). Zero means plain OLS (a 1e-9 jitter is still applied
+	// to keep near-collinear systems solvable).
+	Ridge float64
+
+	Intercept float64
+	Coef      []float64
+}
+
+// Name implements Regressor.
+func (m *Linear) Name() string { return "Linear" }
+
+// Fit implements Regressor.
+func (m *Linear) Fit(x [][]float64, y []float64) error {
+	if err := checkXY(x, y); err != nil {
+		return err
+	}
+	ridge := m.Ridge
+	if ridge <= 0 {
+		ridge = 1e-9
+	}
+	ata, aty := normalEquations(x, y, ridge)
+	sol, err := solveLinear(ata, aty)
+	if err != nil {
+		return err
+	}
+	m.Intercept = sol[0]
+	m.Coef = sol[1:]
+	return nil
+}
+
+// Predict implements Regressor.
+func (m *Linear) Predict(x []float64) float64 {
+	return m.Intercept + dot(m.Coef, x)
+}
+
+// Lasso is least-absolute-shrinkage linear regression solved by cyclic
+// coordinate descent on standardized features.
+type Lasso struct {
+	// Alpha is the L1 penalty weight, relative to the target's standard
+	// deviation (so the penalty is invariant to the scale of y).
+	Alpha float64
+	// MaxIter bounds coordinate-descent sweeps (default 1000).
+	MaxIter int
+	// Tol is the convergence threshold on the max coefficient change
+	// per sweep (default 1e-7, in standardized units).
+	Tol float64
+
+	Intercept float64
+	Coef      []float64
+}
+
+// Name implements Regressor.
+func (m *Lasso) Name() string { return "Lasso" }
+
+// Fit implements Regressor.
+func (m *Lasso) Fit(x [][]float64, y []float64) error {
+	if err := checkXY(x, y); err != nil {
+		return err
+	}
+	maxIter := m.MaxIter
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	tol := m.Tol
+	if tol <= 0 {
+		tol = 1e-7
+	}
+	n := len(x)
+	d := len(x[0])
+
+	scaler, err := FitScaler(x)
+	if err != nil {
+		return err
+	}
+	xs := scaler.TransformAll(x)
+	yMean := 0.0
+	for _, v := range y {
+		yMean += v
+	}
+	yMean /= float64(n)
+	yc := make([]float64, n)
+	yVar := 0.0
+	for i, v := range y {
+		yc[i] = v - yMean
+		yVar += yc[i] * yc[i]
+	}
+	yStd := math.Sqrt(yVar / float64(n))
+	if yStd == 0 {
+		yStd = 1
+	}
+
+	// Column views and per-column squared norms (= n after scaling,
+	// except constant columns).
+	colSq := make([]float64, d)
+	for j := 0; j < d; j++ {
+		for i := 0; i < n; i++ {
+			colSq[j] += xs[i][j] * xs[i][j]
+		}
+	}
+	beta := make([]float64, d)
+	resid := make([]float64, n)
+	copy(resid, yc)
+	lambda := m.Alpha * yStd * float64(n)
+
+	for iter := 0; iter < maxIter; iter++ {
+		maxDelta := 0.0
+		for j := 0; j < d; j++ {
+			if colSq[j] == 0 {
+				continue
+			}
+			// rho = x_jᵀ(resid + x_j·beta_j)
+			rho := 0.0
+			for i := 0; i < n; i++ {
+				rho += xs[i][j] * resid[i]
+			}
+			rho += colSq[j] * beta[j]
+			nb := softThreshold(rho, lambda) / colSq[j]
+			if nb != beta[j] {
+				delta := nb - beta[j]
+				for i := 0; i < n; i++ {
+					resid[i] -= delta * xs[i][j]
+				}
+				if ad := math.Abs(delta); ad > maxDelta {
+					maxDelta = ad
+				}
+				beta[j] = nb
+			}
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+
+	// Back-transform to original units.
+	m.Coef = make([]float64, d)
+	m.Intercept = yMean
+	for j := 0; j < d; j++ {
+		m.Coef[j] = beta[j] / scaler.Scale[j]
+		m.Intercept -= m.Coef[j] * scaler.Mean[j]
+	}
+	return nil
+}
+
+func softThreshold(v, lambda float64) float64 {
+	switch {
+	case v > lambda:
+		return v - lambda
+	case v < -lambda:
+		return v + lambda
+	default:
+		return 0
+	}
+}
+
+// Predict implements Regressor.
+func (m *Lasso) Predict(x []float64) float64 {
+	return m.Intercept + dot(m.Coef, x)
+}

@@ -1,0 +1,165 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthLinear generates y = 3 + 2x0 - x1 + 0.5x2 (+ optional noise).
+func synthLinear(n int, noise float64, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		y[i] = 3 + 2*x[i][0] - x[i][1] + 0.5*x[i][2] + noise*rng.NormFloat64()
+	}
+	return x, y
+}
+
+func TestLinearRecoversExactCoefficients(t *testing.T) {
+	x, y := synthLinear(200, 0, 1)
+	m := &Linear{}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	wantCoef := []float64{2, -1, 0.5}
+	if math.Abs(m.Intercept-3) > 1e-6 {
+		t.Errorf("intercept = %v, want 3", m.Intercept)
+	}
+	for j, w := range wantCoef {
+		if math.Abs(m.Coef[j]-w) > 1e-6 {
+			t.Errorf("coef[%d] = %v, want %v", j, m.Coef[j], w)
+		}
+	}
+}
+
+func TestLinearResidualOrthogonality(t *testing.T) {
+	// OLS residuals are orthogonal to every feature column (and sum to
+	// ~0 thanks to the intercept).
+	x, y := synthLinear(300, 0.5, 2)
+	m := &Linear{}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	d := len(x[0])
+	sums := make([]float64, d+1)
+	for i := range x {
+		r := y[i] - m.Predict(x[i])
+		sums[0] += r
+		for j := 0; j < d; j++ {
+			sums[j+1] += r * x[i][j]
+		}
+	}
+	for j, s := range sums {
+		if math.Abs(s) > 1e-5*float64(len(x)) {
+			t.Errorf("residual moment %d = %v, want ~0", j, s)
+		}
+	}
+}
+
+func TestLinearRejectsBadInput(t *testing.T) {
+	m := &Linear{}
+	if err := m.Fit(nil, nil); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if err := m.Fit([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := m.Fit([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if err := m.Fit([][]float64{{math.NaN()}}, []float64{1}); err == nil {
+		t.Error("NaN feature accepted")
+	}
+}
+
+func TestLassoShrinksIrrelevantFeatures(t *testing.T) {
+	// y depends on x0 only; x1, x2 are noise features. A moderate alpha
+	// must zero the irrelevant coefficients while keeping x0.
+	rng := rand.New(rand.NewSource(3))
+	n := 300
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		y[i] = 5 * x[i][0]
+	}
+	m := &Lasso{Alpha: 0.2}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]) < 3 {
+		t.Errorf("relevant coef shrunk too far: %v", m.Coef[0])
+	}
+	if m.Coef[1] != 0 || m.Coef[2] != 0 {
+		t.Errorf("irrelevant coefs not zeroed: %v, %v", m.Coef[1], m.Coef[2])
+	}
+}
+
+func TestLassoApproachesOLSAsAlphaVanishes(t *testing.T) {
+	x, y := synthLinear(200, 0, 4)
+	ols := &Linear{}
+	if err := ols.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	lasso := &Lasso{Alpha: 1e-8, MaxIter: 5000}
+	if err := lasso.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for j := range ols.Coef {
+		if math.Abs(lasso.Coef[j]-ols.Coef[j]) > 1e-3 {
+			t.Errorf("coef[%d]: lasso %v vs ols %v", j, lasso.Coef[j], ols.Coef[j])
+		}
+	}
+}
+
+func TestLassoShrinkageMonotoneInAlpha(t *testing.T) {
+	x, y := synthLinear(200, 0.2, 5)
+	norm := func(alpha float64) float64 {
+		m := &Lasso{Alpha: alpha}
+		if err := m.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		s := 0.0
+		for _, c := range m.Coef {
+			s += math.Abs(c)
+		}
+		return s
+	}
+	prev := norm(0.001)
+	for _, a := range []float64{0.01, 0.1, 1, 10} {
+		cur := norm(a)
+		if cur > prev*(1+1e-9) {
+			t.Errorf("L1 norm grew from alpha=%v: %v -> %v", a, prev, cur)
+		}
+		prev = cur
+	}
+	if prev > 1e-9 {
+		t.Errorf("huge alpha did not zero all coefficients (norm %v)", prev)
+	}
+}
+
+func TestSolveLinearAgainstKnownSystem(t *testing.T) {
+	a := [][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}}
+	b := []float64{8, -11, -3}
+	x, err := solveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	b := []float64{1, 2}
+	if _, err := solveLinear(a, b); err == nil {
+		t.Fatal("singular system solved")
+	}
+}

@@ -1,0 +1,166 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Model persistence: trained regressors serialise to a JSON envelope
+// {"algo": ..., "data": ...} so a deployment can train once per device
+// (the §3.2 installation step) and ship the models with the binary.
+
+// envelope wraps any serialised model with its algorithm tag.
+type envelope struct {
+	Algo string          `json:"algo"`
+	Data json.RawMessage `json:"data"`
+}
+
+type linearState struct {
+	Ridge     float64   `json:"ridge,omitempty"`
+	Intercept float64   `json:"intercept"`
+	Coef      []float64 `json:"coef"`
+}
+
+type lassoState struct {
+	Alpha     float64   `json:"alpha"`
+	Intercept float64   `json:"intercept"`
+	Coef      []float64 `json:"coef"`
+}
+
+type nodeState struct {
+	Feature int        `json:"f"`
+	Thresh  float64    `json:"t"`
+	Value   float64    `json:"v"`
+	Leaf    bool       `json:"leaf"`
+	Lo      *nodeState `json:"lo,omitempty"`
+	Hi      *nodeState `json:"hi,omitempty"`
+}
+
+type forestState struct {
+	Trees []*nodeState `json:"trees"`
+}
+
+type svrState struct {
+	Gamma   float64     `json:"gamma"`
+	YMean   float64     `json:"ymean"`
+	Mean    []float64   `json:"mean"`
+	Scale   []float64   `json:"scale"`
+	Beta    []float64   `json:"beta"`
+	Support [][]float64 `json:"support"`
+}
+
+func nodeToState(n *treeNode) *nodeState {
+	if n == nil {
+		return nil
+	}
+	return &nodeState{
+		Feature: n.feature, Thresh: n.thresh, Value: n.value,
+		Leaf: n.leafFlag, Lo: nodeToState(n.lo), Hi: nodeToState(n.hi),
+	}
+}
+
+func stateToNode(s *nodeState) (*treeNode, error) {
+	if s == nil {
+		return nil, nil
+	}
+	n := &treeNode{feature: s.Feature, thresh: s.Thresh, value: s.Value, leafFlag: s.Leaf}
+	if !s.Leaf {
+		if s.Lo == nil || s.Hi == nil {
+			return nil, fmt.Errorf("ml: interior tree node missing children")
+		}
+		var err error
+		if n.lo, err = stateToNode(s.Lo); err != nil {
+			return nil, err
+		}
+		if n.hi, err = stateToNode(s.Hi); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// SaveModel writes a trained regressor to w.
+func SaveModel(w io.Writer, m Regressor) error {
+	var data any
+	switch r := m.(type) {
+	case *Linear:
+		data = linearState{Ridge: r.Ridge, Intercept: r.Intercept, Coef: r.Coef}
+	case *Lasso:
+		data = lassoState{Alpha: r.Alpha, Intercept: r.Intercept, Coef: r.Coef}
+	case *Forest:
+		st := forestState{Trees: make([]*nodeState, len(r.trees))}
+		for i, tr := range r.trees {
+			st.Trees[i] = nodeToState(tr)
+		}
+		data = st
+	case *SVR:
+		if r.scaler == nil {
+			return fmt.Errorf("ml: cannot save unfitted SVR")
+		}
+		data = svrState{
+			Gamma: r.gamma, YMean: r.yMean,
+			Mean: r.scaler.Mean, Scale: r.scaler.Scale,
+			Beta: r.beta, Support: r.support,
+		}
+	default:
+		return fmt.Errorf("ml: cannot save model type %T", m)
+	}
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(envelope{Algo: m.Name(), Data: raw})
+}
+
+// LoadModel reads a regressor previously written by SaveModel.
+func LoadModel(r io.Reader) (Regressor, error) {
+	var env envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("ml: decoding model envelope: %w", err)
+	}
+	switch env.Algo {
+	case "Linear":
+		var st linearState
+		if err := json.Unmarshal(env.Data, &st); err != nil {
+			return nil, err
+		}
+		return &Linear{Ridge: st.Ridge, Intercept: st.Intercept, Coef: st.Coef}, nil
+	case "Lasso":
+		var st lassoState
+		if err := json.Unmarshal(env.Data, &st); err != nil {
+			return nil, err
+		}
+		return &Lasso{Alpha: st.Alpha, Intercept: st.Intercept, Coef: st.Coef}, nil
+	case "RandomForest":
+		var st forestState
+		if err := json.Unmarshal(env.Data, &st); err != nil {
+			return nil, err
+		}
+		f := &Forest{trees: make([]*treeNode, len(st.Trees))}
+		for i, ts := range st.Trees {
+			n, err := stateToNode(ts)
+			if err != nil {
+				return nil, err
+			}
+			if n == nil {
+				return nil, fmt.Errorf("ml: forest contains empty tree")
+			}
+			f.trees[i] = n
+		}
+		return f, nil
+	case "SVR_RBF":
+		var st svrState
+		if err := json.Unmarshal(env.Data, &st); err != nil {
+			return nil, err
+		}
+		return &SVR{
+			gamma: st.Gamma, yMean: st.YMean,
+			scaler:  &StandardScaler{Mean: st.Mean, Scale: st.Scale},
+			beta:    st.Beta,
+			support: st.Support,
+		}, nil
+	default:
+		return nil, fmt.Errorf("ml: unknown model algorithm %q", env.Algo)
+	}
+}

@@ -1,0 +1,85 @@
+package ml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// roundTrip saves and reloads a model, checking predictions match
+// exactly on a probe grid.
+func roundTrip(t *testing.T, m Regressor, dims int) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, m); err != nil {
+		t.Fatalf("%s: save: %v", m.Name(), err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatalf("%s: load: %v", m.Name(), err)
+	}
+	if loaded.Name() != m.Name() {
+		t.Fatalf("round trip changed algo: %s -> %s", m.Name(), loaded.Name())
+	}
+	probe := make([]float64, dims)
+	for i := 0; i < 50; i++ {
+		for j := range probe {
+			probe[j] = float64(i*7+j*3)/25 - 1
+		}
+		if got, want := loaded.Predict(probe), m.Predict(probe); got != want {
+			t.Fatalf("%s: prediction changed after round trip: %v vs %v", m.Name(), got, want)
+		}
+	}
+}
+
+func TestSaveLoadAllModelTypes(t *testing.T) {
+	x, y := synthNonlinear(300, 77)
+	for _, m := range []Regressor{
+		&Linear{},
+		&Lasso{Alpha: 0.01},
+		&Forest{Trees: 15, Seed: 5},
+		&SVR{C: 10, Epsilon: 0.05, Gamma: 1},
+	} {
+		if err := m.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		roundTrip(t, m, 2)
+	}
+}
+
+func TestSaveUnfittedSVRFails(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, &SVR{}); err == nil {
+		t.Fatal("unfitted SVR saved")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadModel(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadModel(strings.NewReader(`{"algo":"GBM","data":{}}`)); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := LoadModel(strings.NewReader(`{"algo":"RandomForest","data":{"trees":[null]}}`)); err == nil {
+		t.Error("forest with empty tree accepted")
+	}
+	// Interior node with missing children.
+	if _, err := LoadModel(strings.NewReader(
+		`{"algo":"RandomForest","data":{"trees":[{"f":0,"t":1,"leaf":false}]}}`)); err == nil {
+		t.Error("malformed tree accepted")
+	}
+}
+
+func TestSaveRejectsUnknownType(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, fakeModel{}); err == nil {
+		t.Fatal("unknown model type saved")
+	}
+}
+
+type fakeModel struct{}
+
+func (fakeModel) Name() string                     { return "fake" }
+func (fakeModel) Fit([][]float64, []float64) error { return nil }
+func (fakeModel) Predict([]float64) float64        { return 0 }

@@ -1,0 +1,22 @@
+package ml
+
+// Regressor is the common interface of all models: fit on a design
+// matrix (rows = samples) and predict single samples.
+type Regressor interface {
+	// Name identifies the algorithm ("Linear", "Lasso", "RandomForest",
+	// "SVR_RBF").
+	Name() string
+	// Fit trains the model. Implementations must not retain x or y.
+	Fit(x [][]float64, y []float64) error
+	// Predict returns the estimate for one feature vector.
+	Predict(x []float64) float64
+}
+
+// PredictAll applies the model to every row.
+func PredictAll(m Regressor, x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, r := range x {
+		out[i] = m.Predict(r)
+	}
+	return out
+}

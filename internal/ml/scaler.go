@@ -1,0 +1,73 @@
+package ml
+
+import (
+	"errors"
+	"math"
+)
+
+// StandardScaler shifts each feature to zero mean and unit variance.
+// Constant features are left centred with scale 1 (they carry no
+// information but must not produce NaNs).
+type StandardScaler struct {
+	Mean  []float64
+	Scale []float64
+}
+
+// FitScaler computes per-feature statistics from x.
+func FitScaler(x [][]float64) (*StandardScaler, error) {
+	if len(x) == 0 || len(x[0]) == 0 {
+		return nil, errors.New("ml: cannot fit scaler on empty data")
+	}
+	d := len(x[0])
+	mean := make([]float64, d)
+	for _, r := range x {
+		for j, v := range r {
+			mean[j] += v
+		}
+	}
+	n := float64(len(x))
+	for j := range mean {
+		mean[j] /= n
+	}
+	scale := make([]float64, d)
+	for _, r := range x {
+		for j, v := range r {
+			dv := v - mean[j]
+			scale[j] += dv * dv
+		}
+	}
+	for j := range scale {
+		scale[j] = math.Sqrt(scale[j] / n)
+		if scale[j] < 1e-12 {
+			scale[j] = 1
+		}
+	}
+	return &StandardScaler{Mean: mean, Scale: scale}, nil
+}
+
+// Transform returns a scaled copy of one sample.
+func (s *StandardScaler) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Scale[j]
+	}
+	return out
+}
+
+// TransformAll returns a scaled copy of the whole matrix.
+func (s *StandardScaler) TransformAll(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, r := range x {
+		out[i] = s.Transform(r)
+	}
+	return out
+}
+
+// Inverse undoes Transform for one sample.
+func (s *StandardScaler) Inverse(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = v*s.Scale[j] + s.Mean[j]
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package ml
+
+import "math"
+
+// SVR is ε-insensitive support-vector regression with an RBF kernel,
+// trained by exact cyclic coordinate descent on the (bias-absorbed)
+// dual: minimise ½βᵀKβ − βᵀy + ε‖β‖₁ subject to |β_i| ≤ C, where
+// K_ij = exp(−γ‖x_i − x_j‖²). Features are standardized internally and
+// the target is centred, which absorbs the bias term.
+type SVR struct {
+	// C is the box constraint (default 10).
+	C float64
+	// Epsilon is the insensitive-tube half width, in target units
+	// after centring (default 0.01 × std(y)).
+	Epsilon float64
+	// Gamma is the RBF width (default 1/d, on standardized features).
+	Gamma float64
+	// MaxIter bounds coordinate sweeps (default 500).
+	MaxIter int
+	// Tol is the convergence threshold on max |Δβ| (default 1e-6).
+	Tol float64
+
+	scaler  *StandardScaler
+	support [][]float64 // standardized training samples
+	beta    []float64
+	yMean   float64
+	gamma   float64
+}
+
+// Name implements Regressor.
+func (m *SVR) Name() string { return "SVR_RBF" }
+
+// Fit implements Regressor.
+func (m *SVR) Fit(x [][]float64, y []float64) error {
+	if err := checkXY(x, y); err != nil {
+		return err
+	}
+	n := len(x)
+	d := len(x[0])
+	c := m.C
+	if c <= 0 {
+		c = 10
+	}
+	maxIter := m.MaxIter
+	if maxIter <= 0 {
+		maxIter = 500
+	}
+	tol := m.Tol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	m.gamma = m.Gamma
+	if m.gamma <= 0 {
+		m.gamma = 1 / float64(d)
+	}
+
+	scaler, err := FitScaler(x)
+	if err != nil {
+		return err
+	}
+	m.scaler = scaler
+	xs := scaler.TransformAll(x)
+
+	m.yMean = 0
+	for _, v := range y {
+		m.yMean += v
+	}
+	m.yMean /= float64(n)
+	yc := make([]float64, n)
+	yStd := 0.0
+	for i, v := range y {
+		yc[i] = v - m.yMean
+		yStd += yc[i] * yc[i]
+	}
+	yStd = math.Sqrt(yStd / float64(n))
+	eps := m.Epsilon
+	if eps <= 0 {
+		eps = 0.01 * yStd
+	}
+
+	// Gram matrix (n is moderate in this system: thousands at most).
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		k[i][i] = 1
+		for j := i + 1; j < n; j++ {
+			v := math.Exp(-m.gamma * sqDist(xs[i], xs[j]))
+			k[i][j] = v
+			k[j][i] = v
+		}
+	}
+
+	beta := make([]float64, n)
+	// g_i = (Kβ)_i, maintained incrementally.
+	g := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		maxDelta := 0.0
+		for i := 0; i < n; i++ {
+			// Coordinate-exact minimisation:
+			// argmin_b ½K_ii b² + (g_i − K_ii β_i − y_i) b + ε|b|.
+			rho := yc[i] - (g[i] - k[i][i]*beta[i])
+			nb := softThreshold(rho, eps) / k[i][i]
+			if nb > c {
+				nb = c
+			} else if nb < -c {
+				nb = -c
+			}
+			if nb != beta[i] {
+				delta := nb - beta[i]
+				for j := 0; j < n; j++ {
+					g[j] += delta * k[i][j]
+				}
+				beta[i] = nb
+				if ad := math.Abs(delta); ad > maxDelta {
+					maxDelta = ad
+				}
+			}
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+
+	// Keep only support vectors (β ≠ 0).
+	for i := 0; i < n; i++ {
+		if beta[i] != 0 {
+			m.support = append(m.support, xs[i])
+			m.beta = append(m.beta, beta[i])
+		}
+	}
+	return nil
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Predict implements Regressor.
+func (m *SVR) Predict(x []float64) float64 {
+	if m.scaler == nil {
+		return 0
+	}
+	xs := m.scaler.Transform(x)
+	s := m.yMean
+	for i, sv := range m.support {
+		s += m.beta[i] * math.Exp(-m.gamma*sqDist(xs, sv))
+	}
+	return s
+}
+
+// NumSupport returns the number of support vectors (for tests/tooling).
+func (m *SVR) NumSupport() int { return len(m.support) }

@@ -1,0 +1,106 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSVRFitsSmoothNonlinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	n := 300
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = []float64{4*rng.Float64() - 2}
+		y[i] = math.Sin(2 * x[i][0])
+	}
+	m := &SVR{C: 50, Epsilon: 0.01, Gamma: 2}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for v := -1.8; v <= 1.8; v += 0.1 {
+		p := m.Predict([]float64{v})
+		if e := math.Abs(p - math.Sin(2*v)); e > worst {
+			worst = e
+		}
+	}
+	if worst > 0.1 {
+		t.Fatalf("SVR worst-case error %v on sin(2x)", worst)
+	}
+	if m.NumSupport() == 0 {
+		t.Fatal("no support vectors retained")
+	}
+}
+
+func TestSVREpsilonTubeSparsity(t *testing.T) {
+	// With a wide tube, most training points fall inside it and few
+	// support vectors remain.
+	rng := rand.New(rand.NewSource(21))
+	n := 200
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = []float64{rng.NormFloat64()}
+		y[i] = 0.1 * x[i][0]
+	}
+	narrow := &SVR{C: 10, Epsilon: 1e-4, Gamma: 1}
+	wide := &SVR{C: 10, Epsilon: 0.2, Gamma: 1}
+	if err := narrow.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := wide.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if wide.NumSupport() >= narrow.NumSupport() {
+		t.Fatalf("wide tube kept %d support vectors, narrow %d; expected fewer",
+			wide.NumSupport(), narrow.NumSupport())
+	}
+}
+
+func TestSVRRespectsBoxConstraint(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	n := 100
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = []float64{rng.NormFloat64()}
+		y[i] = 100 * rng.NormFloat64() // unlearnable noise
+	}
+	m := &SVR{C: 0.5, Epsilon: 0.01, Gamma: 1}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range m.beta {
+		if math.Abs(b) > 0.5+1e-9 {
+			t.Fatalf("dual coefficient %v violates |β| <= C", b)
+		}
+	}
+}
+
+func TestSVRPredictBeforeFit(t *testing.T) {
+	m := &SVR{}
+	if p := m.Predict([]float64{1}); p != 0 {
+		t.Fatalf("unfitted SVR predicted %v, want 0", p)
+	}
+}
+
+func TestSVRRejectsBadInput(t *testing.T) {
+	m := &SVR{}
+	if err := m.Fit([][]float64{}, []float64{}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}
+
+func TestSVRConstantTarget(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{5, 5, 5, 5}
+	m := &SVR{}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Predict([]float64{1.5}); math.Abs(p-5) > 1e-6 {
+		t.Fatalf("constant-target prediction %v, want 5", p)
+	}
+}

@@ -1,0 +1,309 @@
+// Package model implements SYnergy's modelling methodology (§6): the
+// training phase builds four single-target regressors — execution time,
+// energy, EDP and ED2P — over (static feature vector, frequency) inputs
+// gathered by sweeping micro-benchmarks across the device's frequency
+// table; the prediction phase extracts the features of a new kernel,
+// predicts all four metrics at every supported frequency and searches
+// the predicted curves for the configuration that optimises the
+// user-selected energy target.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"synergy/internal/features"
+	"synergy/internal/hw"
+	"synergy/internal/kernelir"
+	"synergy/internal/metrics"
+	"synergy/internal/ml"
+)
+
+// Sample is one training observation: a kernel's static features, a
+// frequency, and the measured per-item metrics (normalised per work-item
+// so launches of different sizes are comparable).
+type Sample struct {
+	Kernel   string
+	Features features.Vector
+	FreqMHz  int
+	// TimeNs and EnergyNanoJ are per-work-item time and energy.
+	TimeNs, EnergyNanoJ float64
+}
+
+// EDP returns the per-item energy-delay product.
+func (s Sample) EDP() float64 { return s.EnergyNanoJ * s.TimeNs }
+
+// ED2P returns the per-item energy-delay-squared product.
+func (s Sample) ED2P() float64 { return s.EnergyNanoJ * s.TimeNs * s.TimeNs }
+
+// TrainingSet is the table T = (k⃗, f, e, t, edp, ed2p) of §6.1.
+type TrainingSet struct {
+	Device  string
+	Samples []Sample
+}
+
+// trainingItems is the launch size used when measuring micro-benchmarks.
+const trainingItems = 1 << 22
+
+// CollectTraining sweeps every kernel over the device's frequency table
+// (subsampled by freqStride >= 1) and records per-item time and energy.
+// This is the measurement campaign of §6.1 step ② — on the simulator it
+// queries the device model directly.
+func CollectTraining(spec *hw.Spec, kernels []*kernelir.Kernel, freqStride int) (*TrainingSet, error) {
+	if freqStride < 1 {
+		freqStride = 1
+	}
+	ts := &TrainingSet{Device: spec.Name}
+	for _, k := range kernels {
+		v, err := features.Extract(k)
+		if err != nil {
+			return nil, err
+		}
+		w := features.Workload(k.Name, v, trainingItems)
+		if k.TrafficFactor > 0 {
+			w.GlobalBytes *= k.TrafficFactor
+		}
+		for i := 0; i < len(spec.CoreFreqsMHz); i += freqStride {
+			f := spec.CoreFreqsMHz[i]
+			m, err := spec.Evaluate(w, f)
+			if err != nil {
+				return nil, err
+			}
+			ts.Samples = append(ts.Samples, Sample{
+				Kernel:      k.Name,
+				Features:    v,
+				FreqMHz:     f,
+				TimeNs:      m.TimeSec / float64(trainingItems) * 1e9,
+				EnergyNanoJ: m.EnergyJ / float64(trainingItems) * 1e9,
+			})
+		}
+	}
+	if len(ts.Samples) == 0 {
+		return nil, fmt.Errorf("model: empty training set")
+	}
+	return ts, nil
+}
+
+// Algorithm names accepted by NewRegressor.
+const (
+	AlgoLinear = "Linear"
+	AlgoLasso  = "Lasso"
+	AlgoForest = "RandomForest"
+	AlgoSVR    = "SVR_RBF"
+)
+
+// TimeAlgos and EnergyAlgos list which algorithms the paper trains for
+// the performance model and for the energy/EDP/ED2P models (§8.3).
+var (
+	TimeAlgos   = []string{AlgoLinear, AlgoLasso, AlgoForest}
+	EnergyAlgos = []string{AlgoLinear, AlgoForest, AlgoSVR}
+)
+
+// NewRegressor instantiates a fresh regressor by algorithm name.
+func NewRegressor(algo string) (ml.Regressor, error) {
+	switch algo {
+	case AlgoLinear:
+		return &ml.Linear{}, nil
+	case AlgoLasso:
+		return &ml.Lasso{Alpha: 0.001}, nil
+	case AlgoForest:
+		return &ml.Forest{Trees: 80, Seed: 7}, nil
+	case AlgoSVR:
+		return &ml.SVR{C: 100, Gamma: 0.5}, nil
+	default:
+		return nil, fmt.Errorf("model: unknown algorithm %q", algo)
+	}
+}
+
+// kernelScale is the per-work-item instruction count used to normalise
+// targets: the models learn per-instruction time/energy as a function of
+// the instruction *mix* and the frequency, which puts every kernel on a
+// comparable magnitude. Target selection (argmin, ES/PL intervals) is
+// invariant to this per-kernel positive rescaling.
+func kernelScale(v features.Vector) float64 {
+	s := v.Total()
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// featuresRow builds the model input: the ten Table-1 features as mix
+// fractions, the core frequency in GHz, its reciprocal, and the
+// per-fraction /f interaction terms. The interactions encode the
+// roofline structure (compute time ~mix/f, memory time ~mix), which is
+// what lets the linear model be the strongest performance predictor
+// (Table 2) while the energy targets — nonlinear in f through V(f)² —
+// favour the forest.
+func featuresRow(v features.Vector, freqMHz int) []float64 {
+	ks := v.Slice()
+	scale := kernelScale(v)
+	fGHz := float64(freqMHz) / 1000
+	row := make([]float64, 0, 2*len(ks)+2)
+	for _, k := range ks {
+		row = append(row, k/scale)
+	}
+	row = append(row, fGHz, 1/fGHz)
+	for _, k := range ks {
+		row = append(row, k/scale/fGHz)
+	}
+	return row
+}
+
+// Models bundles the four single-target models of §6.1 step ③.
+type Models struct {
+	Spec   *hw.Spec
+	Algo   string
+	Time   ml.Regressor
+	Energy ml.Regressor
+	EDP    ml.Regressor
+	ED2P   ml.Regressor
+}
+
+// Train fits the four models with the given algorithm on the set.
+func Train(spec *hw.Spec, ts *TrainingSet, algo string) (*Models, error) {
+	x := make([][]float64, len(ts.Samples))
+	yT := make([]float64, len(ts.Samples))
+	yE := make([]float64, len(ts.Samples))
+	yEDP := make([]float64, len(ts.Samples))
+	yED2P := make([]float64, len(ts.Samples))
+	for i, s := range ts.Samples {
+		x[i] = featuresRow(s.Features, s.FreqMHz)
+		sc := kernelScale(s.Features)
+		yT[i] = s.TimeNs / sc
+		yE[i] = s.EnergyNanoJ / sc
+		yEDP[i] = s.EDP() / (sc * sc)
+		// ED2P spans orders of magnitude across kernels even after
+		// per-instruction normalisation (the t² factor), so it is
+		// fitted in log space: relative errors become uniform and the
+		// frequency argmin — invariant under the monotone transform —
+		// is located far more reliably.
+		yED2P[i] = math.Log(s.ED2P() / (sc * sc * sc))
+	}
+	m := &Models{Spec: spec, Algo: algo}
+	for _, tgt := range []struct {
+		y   []float64
+		dst *ml.Regressor
+	}{
+		{yT, &m.Time}, {yE, &m.Energy}, {yEDP, &m.EDP}, {yED2P, &m.ED2P},
+	} {
+		r, err := NewRegressor(algo)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Fit(x, tgt.y); err != nil {
+			return nil, fmt.Errorf("model: fitting %s: %w", algo, err)
+		}
+		*tgt.dst = r
+	}
+	return m, nil
+}
+
+// PredictedPoint carries the four metric predictions at one frequency.
+type PredictedPoint struct {
+	FreqMHz                int
+	TimeNs, EnergyNanoJ    float64
+	EDPPred, ED2PPredicted float64
+}
+
+// PredictCurve evaluates the four models at every supported frequency
+// for the kernel's feature vector (§6.2 steps ④–⑤).
+func (m *Models) PredictCurve(v features.Vector) []PredictedPoint {
+	out := make([]PredictedPoint, len(m.Spec.CoreFreqsMHz))
+	sc := kernelScale(v)
+	for i, f := range m.Spec.CoreFreqsMHz {
+		row := featuresRow(v, f)
+		out[i] = PredictedPoint{
+			FreqMHz:       f,
+			TimeNs:        m.Time.Predict(row) * sc,
+			EnergyNanoJ:   m.Energy.Predict(row) * sc,
+			EDPPred:       m.EDP.Predict(row) * sc * sc,
+			ED2PPredicted: math.Exp(m.ED2P.Predict(row)) * sc * sc * sc,
+		}
+	}
+	return out
+}
+
+// SearchFrequency runs the frequency search of §6.2 step ⑥: it scans the
+// predicted curves and applies the target definition. MIN_EDP and
+// MIN_ED2P use their dedicated models; the remaining targets operate on
+// the predicted time/energy curves through the metrics definitions.
+func (m *Models) SearchFrequency(v features.Vector, target metrics.Target) (int, error) {
+	if err := target.Validate(); err != nil {
+		return 0, err
+	}
+	curve := m.PredictCurve(v)
+	switch target.Kind {
+	case metrics.KindMinEDP:
+		return argminFreq(curve, func(p PredictedPoint) float64 { return p.EDPPred }), nil
+	case metrics.KindMinED2P:
+		return argminFreq(curve, func(p PredictedPoint) float64 { return p.ED2PPredicted }), nil
+	}
+	pts := make([]metrics.Point, len(curve))
+	for i, p := range curve {
+		t := p.TimeNs
+		e := p.EnergyNanoJ
+		// Predicted values can go slightly non-positive at the edges of
+		// the training distribution; clamp for the sweep invariants.
+		if t <= 0 {
+			t = 1e-9
+		}
+		if e <= 0 {
+			e = 1e-9
+		}
+		pts[i] = metrics.Point{FreqMHz: p.FreqMHz, TimeSec: t, EnergyJ: e}
+	}
+	sweep, err := metrics.NewSweep(pts, m.Spec.BaselineCoreMHz())
+	if err != nil {
+		return 0, err
+	}
+	sel, err := sweep.Select(target)
+	if err != nil {
+		return 0, err
+	}
+	return sel.FreqMHz, nil
+}
+
+func argminFreq(curve []PredictedPoint, f func(PredictedPoint) float64) int {
+	best := curve[0].FreqMHz
+	bestV := f(curve[0])
+	for _, p := range curve[1:] {
+		if v := f(p); v < bestV {
+			best, bestV = p.FreqMHz, v
+		}
+	}
+	return best
+}
+
+// Advisor adapts Models to the core.FrequencyAdvisor interface used by
+// target-annotated queue submissions. Feature extraction happens here —
+// in the real system it is the compiler pass output compiled into the
+// binary.
+type Advisor struct {
+	Models *Models
+}
+
+// AdviseCoreFreq implements core.FrequencyAdvisor.
+func (a *Advisor) AdviseCoreFreq(k *kernelir.Kernel, items int, target metrics.Target) (int, error) {
+	v, err := features.Extract(k)
+	if err != nil {
+		return 0, err
+	}
+	return a.Models.SearchFrequency(v, target)
+}
+
+// DefaultAdvisor trains the paper's per-device deployment in one call:
+// micro-benchmark training set, best-in-class algorithms (Random Forest
+// — the Table-2 winner for the energy-family targets — for all four
+// models by default).
+func DefaultAdvisor(spec *hw.Spec, kernels []*kernelir.Kernel, freqStride int) (*Advisor, error) {
+	ts, err := CollectTraining(spec, kernels, freqStride)
+	if err != nil {
+		return nil, err
+	}
+	m, err := Train(spec, ts, AlgoForest)
+	if err != nil {
+		return nil, err
+	}
+	return &Advisor{Models: m}, nil
+}

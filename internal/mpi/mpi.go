@@ -1,0 +1,335 @@
+// Package mpi simulates the message-passing substrate of the multi-node
+// evaluation (§8.4): ranks run as goroutines inside one process,
+// point-to-point messages and collectives move real data, and a network
+// model (per-message latency plus size/bandwidth, InfiniBand-EDR-like)
+// advances each rank's virtual clock. Ranks synchronise their virtual
+// clocks at communication points, which is how weak-scaling curves pick
+// up communication overhead.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// NetworkModel describes the interconnect cost model.
+type NetworkModel struct {
+	// LatencySec is the per-message latency (one hop; DragonFly+ keeps
+	// this nearly diameter-independent).
+	LatencySec float64
+	// BandwidthBytes is the per-link bandwidth in bytes/second.
+	BandwidthBytes float64
+	// SameNodeFactor discounts intra-node transfers (NVLink/shared
+	// memory): cost is multiplied by this factor when both ranks sit on
+	// the same node.
+	SameNodeFactor float64
+}
+
+// EDRFabric models a Mellanox InfiniBand EDR DragonFly+ network (the
+// Marconi-100 interconnect).
+func EDRFabric() NetworkModel {
+	return NetworkModel{
+		LatencySec:     1.5e-6,
+		BandwidthBytes: 12.5e9, // 100 Gb/s
+		SameNodeFactor: 0.25,
+	}
+}
+
+// transferTime returns the virtual cost of moving n bytes.
+func (nm NetworkModel) transferTime(bytes int, sameNode bool) float64 {
+	t := nm.LatencySec + float64(bytes)/nm.BandwidthBytes
+	if sameNode {
+		t *= nm.SameNodeFactor
+	}
+	return t
+}
+
+// World is one simulated MPI job: a fixed set of ranks with mailboxes
+// and a reusable clock-synchronising barrier.
+type World struct {
+	size         int
+	net          NetworkModel
+	ranksPerNode int
+
+	mu    sync.Mutex
+	boxes map[mailKey]chan message
+
+	barMu         sync.Mutex
+	barCond       *sync.Cond
+	barCount      int
+	barGen        int
+	barMax        float64
+	barReleaseMax float64
+
+	reduceMu     sync.Mutex
+	reduceAcc    []float64
+	reduceResult []float64
+
+	bcastMu   sync.Mutex
+	bcastNext []float32 // staged by the root before the barrier
+	bcastData []float32 // published inside the barrier
+}
+
+type mailKey struct {
+	from, to, tag int
+}
+
+type message struct {
+	data   []float32
+	sentAt float64 // sender's virtual time when the send completed
+}
+
+// NewWorld creates a world with size ranks, ranksPerNode ranks packed
+// per node (for intra/inter-node cost distinction).
+func NewWorld(size, ranksPerNode int, net NetworkModel) (*World, error) {
+	if size <= 0 {
+		return nil, errors.New("mpi: world size must be positive")
+	}
+	if ranksPerNode <= 0 {
+		return nil, errors.New("mpi: ranks per node must be positive")
+	}
+	w := &World{
+		size:         size,
+		net:          net,
+		ranksPerNode: ranksPerNode,
+		boxes:        map[mailKey]chan message{},
+	}
+	w.barCond = sync.NewCond(&w.barMu)
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run executes body on every rank concurrently and returns the first
+// error (all ranks are joined before returning).
+func (w *World) Run(body func(r *Rank) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for i := 0; i < w.size; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = body(&Rank{world: w, rank: rank})
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *World) box(from, to, tag int) chan message {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	k := mailKey{from, to, tag}
+	b, ok := w.boxes[k]
+	if !ok {
+		b = make(chan message, 64)
+		w.boxes[k] = b
+	}
+	return b
+}
+
+func (w *World) sameNode(a, b int) bool {
+	return a/w.ranksPerNode == b/w.ranksPerNode
+}
+
+// Rank is the per-goroutine communicator handle. Each rank owns a
+// virtual clock which the caller advances for local (compute) time and
+// which communication operations advance and synchronise.
+type Rank struct {
+	world *World
+	rank  int
+	now   float64
+}
+
+// Rank returns this rank's index.
+func (r *Rank) Rank() int { return r.rank }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.world.size }
+
+// Node returns the node index this rank is packed onto.
+func (r *Rank) Node() int { return r.rank / r.world.ranksPerNode }
+
+// Now returns this rank's virtual time.
+func (r *Rank) Now() float64 { return r.now }
+
+// AdvanceTo moves the rank's clock forward to t (no-op if in the past).
+func (r *Rank) AdvanceTo(t float64) {
+	if t > r.now {
+		r.now = t
+	}
+}
+
+// Advance moves the rank's clock forward by dt seconds of local work.
+func (r *Rank) Advance(dt float64) {
+	if dt < 0 {
+		panic("mpi: negative advance")
+	}
+	r.now += dt
+}
+
+// Send delivers data to the destination rank under a tag. The send is
+// buffered: it returns after the local injection cost.
+func (r *Rank) Send(to, tag int, data []float32) error {
+	if to < 0 || to >= r.world.size {
+		return fmt.Errorf("mpi: rank %d: send to invalid rank %d", r.rank, to)
+	}
+	if to == r.rank {
+		return fmt.Errorf("mpi: rank %d: self-send not supported", r.rank)
+	}
+	buf := make([]float32, len(data))
+	copy(buf, data)
+	r.now += r.world.net.transferTime(4*len(data), r.world.sameNode(r.rank, to))
+	r.world.box(r.rank, to, tag) <- message{data: buf, sentAt: r.now}
+	return nil
+}
+
+// Recv blocks until a message with the tag arrives from the source rank,
+// copies it into data (lengths must match), and synchronises the virtual
+// clock: the message cannot be consumed before its send completed.
+func (r *Rank) Recv(from, tag int, data []float32) error {
+	if from < 0 || from >= r.world.size {
+		return fmt.Errorf("mpi: rank %d: recv from invalid rank %d", r.rank, from)
+	}
+	msg := <-r.world.box(from, r.rank, tag)
+	if len(msg.data) != len(data) {
+		return fmt.Errorf("mpi: rank %d: recv size %d, message has %d", r.rank, len(data), len(msg.data))
+	}
+	copy(data, msg.data)
+	r.AdvanceTo(msg.sentAt)
+	return nil
+}
+
+// SendRecv exchanges equal-size buffers with a partner (the halo
+// exchange primitive).
+func (r *Rank) SendRecv(partner, tag int, send, recv []float32) error {
+	if err := r.Send(partner, tag, send); err != nil {
+		return err
+	}
+	return r.Recv(partner, tag, recv)
+}
+
+// Barrier synchronises all ranks' clocks to the maximum plus one fabric
+// latency, and returns the released time.
+func (r *Rank) Barrier() float64 {
+	return r.world.rendezvous(r, nil, nil)
+}
+
+// AllreduceSum sums the slice element-wise across all ranks; every rank
+// receives the result in place. Clocks synchronise to the maximum plus
+// the cost of a log2(P)-deep reduction tree.
+func (r *Rank) AllreduceSum(data []float64) {
+	w := r.world
+	w.reduceMu.Lock()
+	if w.reduceAcc == nil {
+		w.reduceAcc = make([]float64, len(data))
+	}
+	if len(w.reduceAcc) != len(data) {
+		w.reduceMu.Unlock()
+		panic("mpi: mismatched allreduce lengths")
+	}
+	for i, v := range data {
+		w.reduceAcc[i] += v
+	}
+	w.reduceMu.Unlock()
+
+	w.rendezvous(r, func() {
+		w.reduceMu.Lock()
+		w.reduceResult = w.reduceAcc
+		w.reduceAcc = nil
+		w.reduceMu.Unlock()
+	}, func() {
+		w.reduceMu.Lock()
+		copy(data, w.reduceResult)
+		w.reduceMu.Unlock()
+	})
+
+	depth := 0
+	for p := 1; p < w.size; p *= 2 {
+		depth++
+	}
+	r.Advance(float64(depth) * w.net.transferTime(8*len(data), false))
+}
+
+// rendezvous implements the reusable full-world barrier with
+// virtual-clock max-synchronisation. last runs (under the barrier lock)
+// when the final rank arrives; after runs on every rank once released.
+func (w *World) rendezvous(r *Rank, last, after func()) float64 {
+	w.barMu.Lock()
+	w.barCount++
+	if r.now > w.barMax {
+		w.barMax = r.now
+	}
+	if w.barCount == w.size {
+		if last != nil {
+			last()
+		}
+		w.barCount = 0
+		w.barGen++
+		w.barReleaseMax = w.barMax
+		w.barMax = 0
+		w.barCond.Broadcast()
+	} else {
+		gen := w.barGen
+		for w.barGen == gen {
+			w.barCond.Wait()
+		}
+	}
+	release := w.barReleaseMax
+	w.barMu.Unlock()
+	r.AdvanceTo(release + w.net.LatencySec)
+	if after != nil {
+		after()
+	}
+	return r.now
+}
+
+// Bcast distributes root's data to every rank in place; clocks
+// synchronise to the maximum plus a log2(P)-deep tree cost.
+func (r *Rank) Bcast(root int, data []float32) error {
+	if root < 0 || root >= r.world.size {
+		return fmt.Errorf("mpi: rank %d: bcast from invalid root %d", r.rank, root)
+	}
+	w := r.world
+	if r.rank == root {
+		w.bcastMu.Lock()
+		buf := make([]float32, len(data))
+		copy(buf, data)
+		w.bcastNext = buf
+		w.bcastMu.Unlock()
+	}
+	mismatch := false
+	w.rendezvous(r, func() {
+		// Publish under the barrier: every rank of the previous round
+		// has already copied, and no rank of the next round can have
+		// staged yet.
+		w.bcastMu.Lock()
+		w.bcastData = w.bcastNext
+		w.bcastNext = nil
+		w.bcastMu.Unlock()
+	}, func() {
+		w.bcastMu.Lock()
+		if len(w.bcastData) != len(data) {
+			mismatch = true
+		} else if r.rank != root {
+			copy(data, w.bcastData)
+		}
+		w.bcastMu.Unlock()
+	})
+	if mismatch {
+		return fmt.Errorf("mpi: rank %d: bcast size mismatch", r.rank)
+	}
+	depth := 0
+	for p := 1; p < w.size; p *= 2 {
+		depth++
+	}
+	r.Advance(float64(depth) * w.net.transferTime(4*len(data), false))
+	return nil
+}

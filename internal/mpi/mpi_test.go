@@ -1,0 +1,299 @@
+package mpi
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0, 4, EDRFabric()); err == nil {
+		t.Error("zero-size world accepted")
+	}
+	if _, err := NewWorld(4, 0, EDRFabric()); err == nil {
+		t.Error("zero ranks-per-node accepted")
+	}
+}
+
+func TestSendRecvMovesData(t *testing.T) {
+	w, err := NewWorld(2, 4, EDRFabric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(r *Rank) error {
+		if r.Rank() == 0 {
+			return r.Send(1, 7, []float32{1, 2, 3})
+		}
+		buf := make([]float32, 3)
+		if err := r.Recv(0, 7, buf); err != nil {
+			return err
+		}
+		if buf[0] != 1 || buf[1] != 2 || buf[2] != 3 {
+			t.Errorf("received %v", buf)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvSynchronisesClock(t *testing.T) {
+	w, err := NewWorld(2, 4, EDRFabric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(r *Rank) error {
+		if r.Rank() == 0 {
+			r.Advance(1.0) // slow sender
+			return r.Send(1, 0, []float32{42})
+		}
+		buf := make([]float32, 1)
+		if err := r.Recv(0, 0, buf); err != nil {
+			return err
+		}
+		if r.Now() < 1.0 {
+			t.Errorf("receiver clock %v, must be >= sender's 1.0", r.Now())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	w, _ := NewWorld(2, 4, EDRFabric())
+	err := w.Run(func(r *Rank) error {
+		if r.Rank() == 0 {
+			if err := r.Send(5, 0, nil); err == nil {
+				t.Error("send to invalid rank accepted")
+			}
+			if err := r.Send(0, 0, nil); err == nil {
+				t.Error("self-send accepted")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvSizeMismatch(t *testing.T) {
+	w, _ := NewWorld(2, 4, EDRFabric())
+	err := w.Run(func(r *Rank) error {
+		if r.Rank() == 0 {
+			return r.Send(1, 0, []float32{1, 2})
+		}
+		buf := make([]float32, 3)
+		if err := r.Recv(0, 0, buf); err == nil {
+			t.Error("size mismatch accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronisesToSlowest(t *testing.T) {
+	w, _ := NewWorld(8, 4, EDRFabric())
+	err := w.Run(func(r *Rank) error {
+		r.Advance(float64(r.Rank()) * 0.1) // rank 7 is slowest: 0.7
+		after := r.Barrier()
+		if after < 0.7 {
+			t.Errorf("rank %d released at %v, want >= 0.7", r.Rank(), after)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	w, _ := NewWorld(4, 4, EDRFabric())
+	err := w.Run(func(r *Rank) error {
+		for i := 0; i < 20; i++ {
+			r.Advance(0.001 * float64(r.Rank()+1))
+			r.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	w, _ := NewWorld(6, 4, EDRFabric())
+	var checks int32
+	err := w.Run(func(r *Rank) error {
+		data := []float64{float64(r.Rank()), 1}
+		r.AllreduceSum(data)
+		// sum of 0..5 = 15; sum of ones = 6
+		if data[0] != 15 || data[1] != 6 {
+			t.Errorf("rank %d: allreduce = %v", r.Rank(), data)
+		}
+		atomic.AddInt32(&checks, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checks != 6 {
+		t.Fatalf("only %d ranks checked", checks)
+	}
+}
+
+func TestAllreduceRepeated(t *testing.T) {
+	w, _ := NewWorld(4, 4, EDRFabric())
+	err := w.Run(func(r *Rank) error {
+		for round := 1; round <= 5; round++ {
+			data := []float64{float64(round)}
+			r.AllreduceSum(data)
+			if data[0] != float64(4*round) {
+				t.Errorf("round %d: got %v", round, data[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvExchange(t *testing.T) {
+	w, _ := NewWorld(2, 4, EDRFabric())
+	err := w.Run(func(r *Rank) error {
+		partner := 1 - r.Rank()
+		send := []float32{float32(r.Rank() + 10)}
+		recv := make([]float32, 1)
+		if err := r.SendRecv(partner, 3, send, recv); err != nil {
+			return err
+		}
+		if recv[0] != float32(partner+10) {
+			t.Errorf("rank %d: exchanged %v", r.Rank(), recv[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntraNodeTransfersAreCheaper(t *testing.T) {
+	nm := EDRFabric()
+	intra := nm.transferTime(1<<20, true)
+	inter := nm.transferTime(1<<20, false)
+	if intra >= inter {
+		t.Fatalf("intra-node %v not cheaper than inter-node %v", intra, inter)
+	}
+}
+
+func TestTransferTimeScalesWithSize(t *testing.T) {
+	nm := EDRFabric()
+	small := nm.transferTime(1<<10, false)
+	big := nm.transferTime(1<<24, false)
+	if big <= small {
+		t.Fatal("transfer time does not grow with message size")
+	}
+	// Latency floor for tiny messages.
+	if small < nm.LatencySec {
+		t.Fatal("transfer below latency floor")
+	}
+}
+
+func TestNodeAssignment(t *testing.T) {
+	w, _ := NewWorld(8, 4, EDRFabric())
+	err := w.Run(func(r *Rank) error {
+		want := r.Rank() / 4
+		if r.Node() != want {
+			t.Errorf("rank %d on node %d, want %d", r.Rank(), r.Node(), want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	w, _ := NewWorld(3, 4, EDRFabric())
+	err := w.Run(func(r *Rank) error {
+		if r.Rank() == 1 {
+			return errTest
+		}
+		return nil
+	})
+	if err != errTest {
+		t.Fatalf("Run returned %v", err)
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "boom" }
+
+func TestAdvanceToNeverGoesBackwards(t *testing.T) {
+	w, _ := NewWorld(1, 1, EDRFabric())
+	err := w.Run(func(r *Rank) error {
+		r.Advance(5)
+		r.AdvanceTo(3)
+		if math.Abs(r.Now()-5) > 1e-12 {
+			t.Errorf("clock moved backwards to %v", r.Now())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	w, _ := NewWorld(5, 4, EDRFabric())
+	err := w.Run(func(r *Rank) error {
+		data := make([]float32, 3)
+		if r.Rank() == 2 {
+			data[0], data[1], data[2] = 7, 8, 9
+		}
+		if err := r.Bcast(2, data); err != nil {
+			return err
+		}
+		if data[0] != 7 || data[1] != 8 || data[2] != 9 {
+			t.Errorf("rank %d received %v", r.Rank(), data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastRepeatedAndValidation(t *testing.T) {
+	w, _ := NewWorld(3, 4, EDRFabric())
+	err := w.Run(func(r *Rank) error {
+		for round := 0; round < 4; round++ {
+			data := []float32{0}
+			if r.Rank() == round%3 {
+				data[0] = float32(100 + round)
+			}
+			if err := r.Bcast(round%3, data); err != nil {
+				return err
+			}
+			if data[0] != float32(100+round) {
+				t.Errorf("rank %d round %d: %v", r.Rank(), round, data[0])
+			}
+		}
+		if err := r.Bcast(9, nil); err == nil {
+			t.Error("invalid root accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

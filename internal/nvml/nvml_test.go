@@ -1,0 +1,234 @@
+package nvml
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"synergy/internal/hw"
+)
+
+func newLib(t *testing.T) (*Library, *hw.Device) {
+	t.Helper()
+	dev := hw.NewDevice(hw.V100())
+	lib, err := New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Init(); err != nil {
+		t.Fatal(err)
+	}
+	return lib, dev
+}
+
+func TestNewRejectsAMDDevices(t *testing.T) {
+	if _, err := New(hw.NewDevice(hw.MI100())); err == nil {
+		t.Fatal("AMD device accepted by NVML")
+	}
+}
+
+func TestInitShutdownLifecycle(t *testing.T) {
+	dev := hw.NewDevice(hw.V100())
+	lib, err := New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.DeviceGetCount(); !errors.Is(err, ErrUninitialized) {
+		t.Fatalf("pre-init call: got %v, want ErrUninitialized", err)
+	}
+	if err := lib.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Init(); !errors.Is(err, ErrAlreadyInitial) {
+		t.Fatalf("double init: got %v", err)
+	}
+	n, err := lib.DeviceGetCount()
+	if err != nil || n != 1 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+	if err := lib.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Shutdown(); !errors.Is(err, ErrUninitialized) {
+		t.Fatalf("double shutdown: got %v", err)
+	}
+}
+
+func TestDeviceGetHandleByIndexBounds(t *testing.T) {
+	lib, _ := newLib(t)
+	if _, err := lib.DeviceGetHandleByIndex(1); !errors.Is(err, ErrInvalidArg) {
+		t.Fatalf("out-of-range index: got %v", err)
+	}
+	if _, err := lib.DeviceGetHandleByIndex(-1); !errors.Is(err, ErrInvalidArg) {
+		t.Fatalf("negative index: got %v", err)
+	}
+}
+
+func TestSupportedClocks(t *testing.T) {
+	lib, dev := newLib(t)
+	h, _ := lib.DeviceGetHandleByIndex(0)
+	mems, err := h.GetSupportedMemoryClocks()
+	if err != nil || len(mems) != 1 || mems[0] != 877 {
+		t.Fatalf("memory clocks = %v, %v", mems, err)
+	}
+	cores, err := h.GetSupportedGraphicsClocks(877)
+	if err != nil || len(cores) != len(dev.Spec().CoreFreqsMHz) {
+		t.Fatalf("graphics clocks: %d entries, %v", len(cores), err)
+	}
+	if _, err := h.GetSupportedGraphicsClocks(1000); !errors.Is(err, ErrInvalidArg) {
+		t.Fatalf("wrong mem clock: got %v", err)
+	}
+}
+
+func TestApplicationClocksRequirePermission(t *testing.T) {
+	lib, dev := newLib(t)
+	h, _ := lib.DeviceGetHandleByIndex(0)
+	user := User{Name: "alice"}
+
+	// Restricted by default: regular users are refused.
+	err := h.SetApplicationsClocks(user, 877, dev.Spec().MinCoreMHz())
+	if !errors.Is(err, ErrNoPermission) {
+		t.Fatalf("unprivileged set: got %v, want ErrNoPermission", err)
+	}
+
+	// Root can always set.
+	if err := h.SetApplicationsClocks(Root, 877, dev.Spec().MinCoreMHz()); err != nil {
+		t.Fatal(err)
+	}
+	if dev.AppClockMHz() != dev.Spec().MinCoreMHz() {
+		t.Fatalf("clock not applied: %d", dev.AppClockMHz())
+	}
+
+	// Root lifts the restriction; now the user can set.
+	if err := h.SetAPIRestriction(Root, APISetApplicationClocks, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetApplicationsClocks(user, 877, dev.Spec().MaxCoreMHz()); err != nil {
+		t.Fatalf("user set after restriction lifted: %v", err)
+	}
+
+	// Only root may toggle restrictions.
+	if err := h.SetAPIRestriction(user, APISetApplicationClocks, true); !errors.Is(err, ErrNoPermission) {
+		t.Fatalf("user toggled restriction: %v", err)
+	}
+}
+
+func TestSetApplicationsClocksValidation(t *testing.T) {
+	lib, _ := newLib(t)
+	h, _ := lib.DeviceGetHandleByIndex(0)
+	if err := h.SetApplicationsClocks(Root, 900, 1312); !errors.Is(err, ErrInvalidArg) {
+		t.Fatalf("wrong memory clock: got %v", err)
+	}
+	if err := h.SetApplicationsClocks(Root, 877, 1311); !errors.Is(err, ErrInvalidArg) {
+		t.Fatalf("unsupported core clock: got %v", err)
+	}
+}
+
+func TestResetApplicationsClocks(t *testing.T) {
+	lib, dev := newLib(t)
+	h, _ := lib.DeviceGetHandleByIndex(0)
+	if err := h.SetApplicationsClocks(Root, 877, dev.Spec().MinCoreMHz()); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ResetApplicationsClocks(Root); err != nil {
+		t.Fatal(err)
+	}
+	if dev.AppClockMHz() != dev.Spec().DefaultCoreMHz {
+		t.Fatalf("reset left %d, want default %d", dev.AppClockMHz(), dev.Spec().DefaultCoreMHz)
+	}
+}
+
+func TestGetApplicationsClock(t *testing.T) {
+	lib, dev := newLib(t)
+	h, _ := lib.DeviceGetHandleByIndex(0)
+	core, err := h.GetApplicationsClock(ClockGraphics)
+	if err != nil || core != dev.Spec().DefaultCoreMHz {
+		t.Fatalf("graphics clock = %d, %v", core, err)
+	}
+	mem, err := h.GetApplicationsClock(ClockMem)
+	if err != nil || mem != 877 {
+		t.Fatalf("mem clock = %d, %v", mem, err)
+	}
+	if _, err := h.GetApplicationsClock(ClockType(99)); !errors.Is(err, ErrInvalidArg) {
+		t.Fatalf("bad clock type: %v", err)
+	}
+}
+
+func TestPowerUsageReflectsDeviceState(t *testing.T) {
+	lib, dev := newLib(t)
+	h, _ := lib.DeviceGetHandleByIndex(0)
+	mw, err := h.GetPowerUsage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(mw) / 1000; math.Abs(got-dev.Spec().IdlePowerW) > 0.5 {
+		t.Fatalf("idle power %v W, want %v", got, dev.Spec().IdlePowerW)
+	}
+}
+
+func TestTotalEnergyGrowsWithTime(t *testing.T) {
+	lib, dev := newLib(t)
+	h, _ := lib.DeviceGetHandleByIndex(0)
+	dev.AdvanceIdle(1.0)
+	e1, err := h.GetTotalEnergyConsumption()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.AdvanceIdle(1.0)
+	e2, err := h.GetTotalEnergyConsumption()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 <= e1 {
+		t.Fatalf("energy counter did not grow: %d -> %d", e1, e2)
+	}
+	// ~1 s of idle power in mJ.
+	want := dev.Spec().IdlePowerW * 1000
+	if diff := math.Abs(float64(e2-e1) - want); diff > 0.05*want {
+		t.Fatalf("energy delta %d mJ, want ~%.0f", e2-e1, want)
+	}
+}
+
+func TestGetNameAfterShutdownFails(t *testing.T) {
+	lib, _ := newLib(t)
+	h, _ := lib.DeviceGetHandleByIndex(0)
+	if err := lib.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.GetName(); !errors.Is(err, ErrUninitialized) {
+		t.Fatalf("post-shutdown call: got %v", err)
+	}
+}
+
+func TestGetAPIRestrictionDefault(t *testing.T) {
+	lib, _ := newLib(t)
+	h, _ := lib.DeviceGetHandleByIndex(0)
+	r, err := h.GetAPIRestriction(APISetApplicationClocks)
+	if err != nil || !r {
+		t.Fatalf("default restriction = %v, %v; want true (production default)", r, err)
+	}
+}
+
+func TestPowerManagementLimit(t *testing.T) {
+	lib, dev := newLib(t)
+	h, _ := lib.DeviceGetHandleByIndex(0)
+	if err := h.SetPowerManagementLimit(User{Name: "u"}, 200000); !errors.Is(err, ErrNoPermission) {
+		t.Fatalf("unprivileged power limit: %v", err)
+	}
+	if err := h.SetPowerManagementLimit(Root, 200000); err != nil {
+		t.Fatal(err)
+	}
+	mw, err := h.GetPowerManagementLimit()
+	if err != nil || mw != 200000 {
+		t.Fatalf("limit = %d mW, %v; want 200000", mw, err)
+	}
+	if err := h.SetPowerManagementLimit(Root, 999000); !errors.Is(err, ErrInvalidArg) {
+		t.Fatalf("limit above TDP: %v", err)
+	}
+	if err := h.SetPowerManagementLimit(Root, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.PowerLimit(); got != dev.Spec().TDPWatts {
+		t.Fatalf("reset limit = %v, want TDP", got)
+	}
+}

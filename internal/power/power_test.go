@@ -1,0 +1,112 @@
+package power
+
+import (
+	"testing"
+
+	"synergy/internal/hw"
+)
+
+func TestManagerBackendsForBothVendors(t *testing.T) {
+	for _, spec := range []*hw.Spec{hw.V100(), hw.MI100(), hw.Xeon8160()} {
+		dev := hw.NewDevice(spec)
+		m, err := NewPrivilegedManager(dev)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if m.VendorName() != spec.Vendor.String() {
+			t.Errorf("%s: vendor %q", spec.Name, m.VendorName())
+		}
+		if m.DeviceName() != spec.Name {
+			t.Errorf("device name %q, want %q", m.DeviceName(), spec.Name)
+		}
+		if got := len(m.SupportedCoreFreqs()); got != len(spec.CoreFreqsMHz) {
+			t.Errorf("%s: %d core freqs, want %d", spec.Name, got, len(spec.CoreFreqsMHz))
+		}
+		if m.MemFreqMHz() != spec.MemFreqMHz {
+			t.Errorf("%s: mem freq %d", spec.Name, m.MemFreqMHz())
+		}
+		if m.DefaultCoreFreq() != spec.DefaultCoreMHz {
+			t.Errorf("%s: default %d, want %d", spec.Name, m.DefaultCoreFreq(), spec.DefaultCoreMHz)
+		}
+	}
+}
+
+func TestSetAndResetCoreFreqAcrossVendors(t *testing.T) {
+	for _, spec := range []*hw.Spec{hw.V100(), hw.MI100(), hw.Xeon8160()} {
+		dev := hw.NewDevice(spec)
+		m, err := NewPrivilegedManager(dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := spec.CoreFreqsMHz[2]
+		if err := m.SetCoreFreq(target); err != nil {
+			t.Fatalf("%s: SetCoreFreq: %v", spec.Name, err)
+		}
+		if m.CurrentCoreFreq() != target {
+			t.Fatalf("%s: current %d, want %d", spec.Name, m.CurrentCoreFreq(), target)
+		}
+		if err := m.ResetCoreFreq(); err != nil {
+			t.Fatalf("%s: ResetCoreFreq: %v", spec.Name, err)
+		}
+		if m.CurrentCoreFreq() != spec.DefaultCoreMHz {
+			t.Fatalf("%s: after reset %d, want %d", spec.Name, m.CurrentCoreFreq(), spec.DefaultCoreMHz)
+		}
+	}
+}
+
+func TestSetCoreFreqRejectsUnsupported(t *testing.T) {
+	for _, spec := range []*hw.Spec{hw.V100(), hw.MI100(), hw.Xeon8160()} {
+		m, err := NewPrivilegedManager(hw.NewDevice(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetCoreFreq(12345); err == nil {
+			t.Fatalf("%s: unsupported frequency accepted", spec.Name)
+		}
+	}
+}
+
+func TestUnprivilegedManagerCannotScaleNVIDIA(t *testing.T) {
+	// On a production NVIDIA node without the plugin's privilege window,
+	// a regular user cannot change clocks (the motivation for §7).
+	dev := hw.NewDevice(hw.V100())
+	m, err := NewManager(dev, "alice", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetCoreFreq(dev.Spec().MinCoreMHz()); err == nil {
+		t.Fatal("unprivileged frequency scaling succeeded")
+	}
+}
+
+func TestSampledEnergyMatchesDevice(t *testing.T) {
+	dev := hw.NewDevice(hw.V100())
+	m, err := NewPrivilegedManager(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.AdvanceIdle(1.0)
+	got := m.SampledEnergy(0, 1.0)
+	want := dev.SampledEnergyBetween(0, 1.0, m.SamplingPeriod())
+	if got != want {
+		t.Fatalf("SampledEnergy = %v, want %v", got, want)
+	}
+	if m.DeviceNow() != dev.Now() {
+		t.Fatalf("DeviceNow = %v, want %v", m.DeviceNow(), dev.Now())
+	}
+}
+
+func TestSamplingPeriodsDifferByVendor(t *testing.T) {
+	nv, err := NewPrivilegedManager(hw.NewDevice(hw.V100()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	amd, err := NewPrivilegedManager(hw.NewDevice(hw.MI100()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv.SamplingPeriod() <= amd.SamplingPeriod() {
+		t.Fatalf("NVML period %v should be coarser than SMI %v",
+			nv.SamplingPeriod(), amd.SamplingPeriod())
+	}
+}

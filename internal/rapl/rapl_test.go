@@ -1,0 +1,158 @@
+package rapl
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"synergy/internal/hw"
+)
+
+func newPkg(t *testing.T) (*Package, *hw.Device) {
+	t.Helper()
+	dev := hw.NewDevice(hw.Xeon8160())
+	p, err := New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Init(); err != nil {
+		t.Fatal(err)
+	}
+	return p, dev
+}
+
+func TestNewRejectsGPUs(t *testing.T) {
+	if _, err := New(hw.NewDevice(hw.V100())); err == nil {
+		t.Fatal("GPU accepted by RAPL")
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	dev := hw.NewDevice(hw.Xeon8160())
+	p, err := New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.EnergyStatus(); !errors.Is(err, ErrUninitialized) {
+		t.Fatalf("pre-init read: %v", err)
+	}
+	if err := p.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Init(); err == nil {
+		t.Fatal("double init accepted")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); !errors.Is(err, ErrUninitialized) {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestEnergyCounterGrowsAndHasRAPLUnits(t *testing.T) {
+	p, dev := newPkg(t)
+	before, err := p.EnergyStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.AdvanceIdle(1.0) // 1 s idle = 35 J
+	after, err := p.EnergyStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := EnergyDelta(before, after)
+	want := dev.Spec().IdlePowerW
+	if math.Abs(delta-want) > 0.05*want {
+		t.Fatalf("counter delta %.2f J over 1 s idle, want ~%.0f", delta, want)
+	}
+}
+
+func TestEnergyDeltaHandlesWrap(t *testing.T) {
+	// Counter wrap: after - before in uint32 arithmetic.
+	before := uint32(0xFFFFFF00)
+	after := uint32(0x00000100) // wrapped past zero: delta = 0x200 units
+	if got, want := EnergyDelta(before, after), 512*EnergyUnitJoules; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("wrapped delta = %v, want %v", got, want)
+	}
+}
+
+func TestGovernorAndFrequencyControl(t *testing.T) {
+	p, dev := newPkg(t)
+	user := User{Name: "u"}
+
+	// Defaults: ondemand, nothing pinned... (base clock as app clock).
+	g, err := p.CurrentGovernor()
+	if err != nil || g != GovernorOndemand {
+		t.Fatalf("initial governor %q, %v", g, err)
+	}
+	// Pinning requires userspace governor and root.
+	if err := p.SetFrequency(Root, 1500); !errors.Is(err, ErrInvalidArg) {
+		t.Fatalf("pin under ondemand: %v", err)
+	}
+	if err := p.SetGovernor(user, GovernorUserspace); !errors.Is(err, ErrNoPermission) {
+		t.Fatalf("unprivileged governor change: %v", err)
+	}
+	if err := p.SetGovernor(Root, GovernorUserspace); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetFrequency(user, 1500); !errors.Is(err, ErrNoPermission) {
+		t.Fatalf("unprivileged pin: %v", err)
+	}
+	if err := p.SetFrequency(Root, 1501); !errors.Is(err, ErrInvalidArg) {
+		t.Fatalf("bad P-state: %v", err)
+	}
+	if err := p.SetFrequency(Root, 1500); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := p.Frequency(); got != 1500 {
+		t.Fatalf("pinned %d, want 1500", got)
+	}
+	// Back to ondemand restores the default clock.
+	if err := p.SetGovernor(Root, GovernorOndemand); err != nil {
+		t.Fatal(err)
+	}
+	if dev.AppClockMHz() != dev.Spec().DefaultCoreMHz {
+		t.Fatalf("ondemand left %d MHz", dev.AppClockMHz())
+	}
+	if err := p.SetGovernor(Root, Governor("performance+")); !errors.Is(err, ErrInvalidArg) {
+		t.Fatalf("unknown governor: %v", err)
+	}
+}
+
+func TestPowerLimitPL1(t *testing.T) {
+	p, dev := newPkg(t)
+	if err := p.SetPowerLimit(User{Name: "u"}, 100); !errors.Is(err, ErrNoPermission) {
+		t.Fatalf("unprivileged PL1: %v", err)
+	}
+	if err := p.SetPowerLimit(Root, 100); err != nil {
+		t.Fatal(err)
+	}
+	w, err := p.PowerLimit()
+	if err != nil || w != 100 {
+		t.Fatalf("PL1 = %v, %v", w, err)
+	}
+	if err := p.SetPowerLimit(Root, 10000); !errors.Is(err, ErrInvalidArg) {
+		t.Fatalf("PL1 above TDP: %v", err)
+	}
+	if err := p.SetPowerLimit(Root, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.PowerLimit(); got != dev.Spec().TDPWatts {
+		t.Fatalf("reset PL1 = %v", got)
+	}
+}
+
+func TestXeonSpecShape(t *testing.T) {
+	s := hw.Xeon8160()
+	if s.Vendor != hw.Intel {
+		t.Fatal("Xeon is not Intel")
+	}
+	if len(s.CoreFreqsMHz) != 26 || s.MinCoreMHz() != 1000 || s.MaxCoreMHz() != 3500 {
+		t.Fatalf("P-state table wrong: %d states [%d, %d]",
+			len(s.CoreFreqsMHz), s.MinCoreMHz(), s.MaxCoreMHz())
+	}
+	if !s.SupportsCoreFreq(2100) {
+		t.Fatal("base clock not in table")
+	}
+}

@@ -1,0 +1,164 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"synergy/internal/apps"
+	"synergy/internal/core"
+	"synergy/internal/hw"
+	"synergy/internal/metrics"
+	"synergy/internal/model"
+	"synergy/internal/mpi"
+)
+
+// Ablation compares the paper's central design choice (§2.2): coarse-
+// grained tuning (one frequency for every kernel of the application,
+// the best a job-level tool can do) against SYnergy's fine-grained
+// per-kernel tuning, both targeting MIN_EDP.
+type Ablation struct {
+	App string
+	// Baseline runs at default clocks.
+	BaselineTime, BaselineEnergy float64
+	// Coarse is the best single-frequency configuration (exhaustive
+	// search over the frequency table).
+	CoarseFreqMHz            int
+	CoarseTime, CoarseEnergy float64
+	// Fine is the per-kernel plan from the trained models.
+	FineTime, FineEnergy       float64
+	DistinctPlannedFrequencies int
+	// FineOracle is the per-kernel plan built from ground-truth sweeps
+	// (no model error): it isolates the granularity question from the
+	// prediction question.
+	FineOracleTime, FineOracleEnergy float64
+}
+
+// EDP helpers.
+func (a *Ablation) BaselineEDP() float64 { return a.BaselineTime * a.BaselineEnergy }
+
+// CoarseEDP is energy × time of the best single frequency.
+func (a *Ablation) CoarseEDP() float64 { return a.CoarseTime * a.CoarseEnergy }
+
+// FineEDP is energy × time of the per-kernel plan.
+func (a *Ablation) FineEDP() float64 { return a.FineTime * a.FineEnergy }
+
+// FineOracleEDP is energy × time of the ground-truth per-kernel plan.
+func (a *Ablation) FineOracleEDP() float64 { return a.FineOracleTime * a.FineOracleEnergy }
+
+// AblationConfig parameterises the study.
+type AblationConfig struct {
+	Spec                    *hw.Spec
+	App                     *apps.App
+	Advisor                 core.FrequencyAdvisor
+	LocalNx, LocalNy, Steps int
+	StateRows               int
+	FunctionalCap           int
+	// FreqStride subsamples the coarse-grained exhaustive search.
+	FreqStride int
+}
+
+// BuildAblation runs baseline, the coarse-grained search and the
+// fine-grained plan.
+func BuildAblation(cfg AblationConfig) (*Ablation, error) {
+	if cfg.FreqStride < 1 {
+		cfg.FreqStride = 8
+	}
+	rc := apps.RunConfig{
+		Spec: cfg.Spec, Nodes: 1, GPUsPerNode: 1,
+		LocalNx: cfg.LocalNx, LocalNy: cfg.LocalNy, Steps: cfg.Steps,
+		StateRows: cfg.StateRows, FunctionalCap: cfg.FunctionalCap,
+		Net: mpi.EDRFabric(),
+	}
+	base, err := apps.Run(cfg.App, rc)
+	if err != nil {
+		return nil, err
+	}
+	out := &Ablation{
+		App:            cfg.App.Name,
+		BaselineTime:   base.TimeSec,
+		BaselineEnergy: base.EnergyJ,
+	}
+
+	// Coarse-grained: exhaustive single-frequency search for min EDP.
+	bestEDP := 0.0
+	for i := 0; i < len(cfg.Spec.CoreFreqsMHz); i += cfg.FreqStride {
+		f := cfg.Spec.CoreFreqsMHz[i]
+		plan := apps.FreqPlan{}
+		for _, k := range cfg.App.Kernels {
+			plan[k.Name] = f
+		}
+		rc.Plan = plan
+		res, err := apps.Run(cfg.App, rc)
+		if err != nil {
+			return nil, err
+		}
+		edp := res.TimeSec * res.EnergyJ
+		if out.CoarseFreqMHz == 0 || edp < bestEDP {
+			bestEDP = edp
+			out.CoarseFreqMHz = f
+			out.CoarseTime = res.TimeSec
+			out.CoarseEnergy = res.EnergyJ
+		}
+	}
+
+	// Fine-grained: the model-driven per-kernel MIN_EDP plan.
+	plan, err := apps.PlanFromAdvisor(cfg.App, cfg.Advisor, cfg.LocalNx*cfg.LocalNy, metrics.MinEDP)
+	if err != nil {
+		return nil, err
+	}
+	distinct := map[int]bool{}
+	for _, f := range plan {
+		distinct[f] = true
+	}
+	out.DistinctPlannedFrequencies = len(distinct)
+	rc.Plan = plan
+	res, err := apps.Run(cfg.App, rc)
+	if err != nil {
+		return nil, err
+	}
+	out.FineTime = res.TimeSec
+	out.FineEnergy = res.EnergyJ
+
+	// Oracle fine-grained: each kernel at its ground-truth MIN_EDP
+	// frequency (no model error).
+	oracle := apps.FreqPlan{}
+	for _, k := range cfg.App.Kernels {
+		gt, err := model.GroundTruthSweep(cfg.Spec, k, int64(cfg.LocalNx*cfg.LocalNy))
+		if err != nil {
+			return nil, err
+		}
+		p, err := gt.Select(metrics.MinEDP)
+		if err != nil {
+			return nil, err
+		}
+		oracle[k.Name] = p.FreqMHz
+	}
+	rc.Plan = oracle
+	res, err = apps.Run(cfg.App, rc)
+	if err != nil {
+		return nil, err
+	}
+	out.FineOracleTime = res.TimeSec
+	out.FineOracleEnergy = res.EnergyJ
+	return out, nil
+}
+
+// Render prints the comparison.
+func (a *Ablation) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation (%s, MIN_EDP): coarse-grained vs fine-grained tuning\n", a.App)
+	t := &table{header: []string{"Config", "Time(s)", "Energy(J)", "EDP", "vsBaseline"}}
+	row := func(name string, tm, e float64, extra string) {
+		t.addRow(name, fmt.Sprintf("%.4f", tm), fmt.Sprintf("%.2f", e),
+			fmt.Sprintf("%.3f", tm*e), extra)
+	}
+	row("default", a.BaselineTime, a.BaselineEnergy, "-")
+	row(fmt.Sprintf("coarse@%dMHz", a.CoarseFreqMHz), a.CoarseTime, a.CoarseEnergy,
+		fmt.Sprintf("%.1f%% EDP", 100*(1-a.CoarseEDP()/a.BaselineEDP())))
+	row(fmt.Sprintf("fine(%d freqs)", a.DistinctPlannedFrequencies), a.FineTime, a.FineEnergy,
+		fmt.Sprintf("%.1f%% EDP", 100*(1-a.FineEDP()/a.BaselineEDP())))
+	row("fine(oracle)", a.FineOracleTime, a.FineOracleEnergy,
+		fmt.Sprintf("%.1f%% EDP", 100*(1-a.FineOracleEDP()/a.BaselineEDP())))
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,190 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"synergy/internal/hw"
+	"synergy/internal/metrics"
+)
+
+func TestBuildFig1MatchesPaper(t *testing.T) {
+	f := BuildFig1()
+	if len(f.Devices) != 3 {
+		t.Fatalf("%d devices, want 3", len(f.Devices))
+	}
+	byName := map[string]Fig1Device{}
+	for _, d := range f.Devices {
+		byName[d.Name] = d
+	}
+	v100 := byName["NVIDIA V100"]
+	if v100.CoreConfigs != 196 || v100.MinMHz != 135 || v100.MaxMHz != 1530 || v100.MemFreqMHz != 877 {
+		t.Errorf("V100 row wrong: %+v", v100)
+	}
+	a100 := byName["NVIDIA A100"]
+	if a100.CoreConfigs != 81 || a100.MinMHz != 210 || a100.MaxMHz != 1410 || a100.MemFreqMHz != 1215 {
+		t.Errorf("A100 row wrong: %+v", a100)
+	}
+	mi100 := byName["AMD MI100"]
+	if mi100.CoreConfigs != 16 || mi100.MinMHz != 300 || mi100.MaxMHz != 1502 || mi100.DefaultMHz != 0 {
+		t.Errorf("MI100 row wrong: %+v", mi100)
+	}
+	if !strings.Contains(f.Render(), "Figure 1") {
+		t.Error("render missing title")
+	}
+}
+
+func TestBuildFig2Shapes(t *testing.T) {
+	chars, err := BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chars) != 2 {
+		t.Fatalf("%d characterisations, want 2", len(chars))
+	}
+	lin, med := chars[0], chars[1]
+	if lin.Benchmark != "lin_reg_coeff" || med.Benchmark != "median" {
+		t.Fatalf("unexpected benchmarks %s, %s", lin.Benchmark, med.Benchmark)
+	}
+	if lin.BestSavingPct >= med.BestSavingPct {
+		t.Errorf("Fig. 2 contrast lost: lin_reg saves %.1f%%, median %.1f%%",
+			lin.BestSavingPct, med.BestSavingPct)
+	}
+	for _, c := range chars {
+		if len(c.Front) == 0 || len(c.Points) == 0 {
+			t.Errorf("%s: empty series", c.Benchmark)
+		}
+		if c.Render() == "" {
+			t.Errorf("%s: empty render", c.Benchmark)
+		}
+	}
+}
+
+func TestBuildFig8MI100DefaultIsBestPerf(t *testing.T) {
+	chars, err := BuildFig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range chars {
+		if c.Device != "AMD MI100" {
+			t.Fatalf("wrong device %s", c.Device)
+		}
+		// §8.2: on the MI100 the default (auto/max) configuration always
+		// delivers the best performance: no speedup above ~1.
+		for _, p := range c.Points {
+			if p.Speedup > 1.04 {
+				t.Errorf("%s: speedup %.3f above the MI100 default", c.Benchmark, p.Speedup)
+			}
+		}
+	}
+}
+
+func TestBuildFig4Ordering(t *testing.T) {
+	f, err := BuildFig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ED2P weighs delay more: its optimum sits at or above EDP's, which
+	// sits at or above the energy optimum (Fig. 4's observation).
+	if f.MinED2PMHz < f.MinEDPMHz {
+		t.Errorf("ED2P optimum %d below EDP optimum %d", f.MinED2PMHz, f.MinEDPMHz)
+	}
+	if f.MinEDPMHz < f.MinEnerMHz {
+		t.Errorf("EDP optimum %d below energy optimum %d", f.MinEDPMHz, f.MinEnerMHz)
+	}
+	if len(f.Freqs) != 196 {
+		t.Errorf("%d sweep points, want 196", len(f.Freqs))
+	}
+	if !strings.Contains(f.Render(), "MIN_EDP") {
+		t.Error("render missing minima")
+	}
+}
+
+func TestBuildFig5Monotonicity(t *testing.T) {
+	f, err := BuildFig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(f.Rows))
+	}
+	// ES_25 <= ES_50 <= ES_75 in energy saving.
+	if !(f.Rows[0].SavingPct <= f.Rows[1].SavingPct+1e-9 && f.Rows[1].SavingPct <= f.Rows[2].SavingPct+1e-9) {
+		t.Errorf("ES savings not monotone: %v %v %v", f.Rows[0].SavingPct, f.Rows[1].SavingPct, f.Rows[2].SavingPct)
+	}
+	if f.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestBuildTable1(t *testing.T) {
+	t1, err := BuildTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Rows) != 23 {
+		t.Fatalf("%d rows, want 23", len(t1.Rows))
+	}
+	out := t1.Render()
+	for _, col := range []string{"k_int_add", "k_gl_access", "black_scholes"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("render missing %q", col)
+		}
+	}
+}
+
+func TestBuildModelEvaluationSmall(t *testing.T) {
+	// Coarse stride keeps this fast; the full-resolution run is the
+	// bench harness's job.
+	m, err := BuildModelEvaluation(hw.V100(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Rows) != len(metrics.StandardTargets) {
+		t.Fatalf("%d rows", len(m.Rows))
+	}
+	if !strings.Contains(m.RenderTable2(), "Best") {
+		t.Error("Table 2 render incomplete")
+	}
+	fig9 := m.RenderFig9(metrics.MinEnergy)
+	if !strings.Contains(fig9, "RandomForest") {
+		t.Error("Fig 9 render missing algorithms")
+	}
+}
+
+func TestBuildFig10Small(t *testing.T) {
+	cfg := DefaultFig10Config()
+	cfg.NodeCounts = []int{1, 2}
+	cfg.Steps = 4
+	cfg.TrainStride = 16
+	cfg.FunctionalCap = 64
+	pts, err := BuildFig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 apps x 2 scales x (1 baseline + len(targets)).
+	want := 2 * 2 * (1 + len(Fig10Targets))
+	if len(pts) != want {
+		t.Fatalf("%d points, want %d", len(pts), want)
+	}
+	// Every target must appear, and some target must save energy at
+	// every scale.
+	for _, appName := range []string{"cloverleaf", "miniweather"} {
+		for _, gpus := range []int{4, 8} {
+			bestSaving := 0.0
+			for _, p := range pts {
+				if p.App == appName && p.GPUs == gpus && p.Target != "default" {
+					if p.SavingPct > bestSaving {
+						bestSaving = p.SavingPct
+					}
+				}
+			}
+			if bestSaving < 5 {
+				t.Errorf("%s @ %d GPUs: best saving %.1f%%, expected scalable savings", appName, gpus, bestSaving)
+			}
+		}
+	}
+	if !strings.Contains(RenderFig10(pts), "cloverleaf") {
+		t.Error("Fig 10 render incomplete")
+	}
+}

@@ -1,0 +1,176 @@
+package rocmsmi
+
+import (
+	"errors"
+	"testing"
+
+	"synergy/internal/hw"
+)
+
+func newLib(t *testing.T) (*Library, *hw.Device) {
+	t.Helper()
+	dev := hw.NewDevice(hw.MI100())
+	lib, err := New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Init(); err != nil {
+		t.Fatal(err)
+	}
+	return lib, dev
+}
+
+func TestNewRejectsNVIDIADevices(t *testing.T) {
+	if _, err := New(hw.NewDevice(hw.V100())); err == nil {
+		t.Fatal("NVIDIA device accepted by ROCm SMI")
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	dev := hw.NewDevice(hw.MI100())
+	lib, err := New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.NumDevices(); !errors.Is(err, ErrUninitialized) {
+		t.Fatalf("pre-init: %v", err)
+	}
+	if err := lib.Init(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := lib.NumDevices()
+	if err != nil || n != 1 {
+		t.Fatalf("NumDevices = %d, %v", n, err)
+	}
+	if err := lib.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockLevels(t *testing.T) {
+	lib, dev := newLib(t)
+	h, _ := lib.DeviceByIndex(0)
+	levels, err := h.ClockLevels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 16 {
+		t.Fatalf("MI100 should expose 16 DPM levels, got %d", len(levels))
+	}
+	if levels[0] != 300 || levels[15] != 1502 {
+		t.Fatalf("DPM range [%d, %d], want [300, 1502]", levels[0], levels[15])
+	}
+	mem, err := h.MemClockMHz()
+	if err != nil || mem != 1200 {
+		t.Fatalf("mem clock = %d, %v", mem, err)
+	}
+	_ = dev
+}
+
+func TestPerfLevelStartsAuto(t *testing.T) {
+	lib, dev := newLib(t)
+	h, _ := lib.DeviceByIndex(0)
+	lvl, err := h.PerfLevel()
+	if err != nil || lvl != PerfAuto {
+		t.Fatalf("initial perf level = %v, %v; want auto (MI100 has no default clock)", lvl, err)
+	}
+	if dev.AppClockMHz() != 0 {
+		t.Fatalf("device should start unpinned, got %d MHz", dev.AppClockMHz())
+	}
+}
+
+func TestSetClockLevelPermissionsAndValidation(t *testing.T) {
+	lib, dev := newLib(t)
+	h, _ := lib.DeviceByIndex(0)
+	user := User{Name: "bob"}
+
+	if err := h.SetClockLevel(user, 3); !errors.Is(err, ErrNoPermission) {
+		t.Fatalf("unprivileged set: %v", err)
+	}
+	if err := h.SetClockLevel(Root, 16); !errors.Is(err, ErrInvalidArg) {
+		t.Fatalf("out-of-range level: %v", err)
+	}
+	if err := h.SetClockLevel(Root, 3); err != nil {
+		t.Fatal(err)
+	}
+	if dev.AppClockMHz() != 540 {
+		t.Fatalf("level 3 pinned %d MHz, want 540", dev.AppClockMHz())
+	}
+	lvl, _ := h.PerfLevel()
+	if lvl != PerfManual {
+		t.Fatalf("perf level = %v, want manual", lvl)
+	}
+
+	// The plugin's privilege window lets regular users set clocks.
+	if err := h.SetUnrestricted(Root, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetClockLevel(user, 0); err != nil {
+		t.Fatalf("user set after unrestrict: %v", err)
+	}
+	if err := h.SetUnrestricted(user, false); !errors.Is(err, ErrNoPermission) {
+		t.Fatalf("user toggled restriction: %v", err)
+	}
+}
+
+func TestSetPerfLevelAutoUnpins(t *testing.T) {
+	lib, dev := newLib(t)
+	h, _ := lib.DeviceByIndex(0)
+	if err := h.SetClockLevel(Root, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetPerfLevelAuto(Root); err != nil {
+		t.Fatal(err)
+	}
+	if dev.AppClockMHz() != 0 {
+		t.Fatalf("auto mode left clock pinned at %d", dev.AppClockMHz())
+	}
+	if mhz, _ := h.CurrentClockMHz(); mhz != 0 {
+		t.Fatalf("CurrentClockMHz = %d in auto mode", mhz)
+	}
+}
+
+func TestPowerAndEnergyReads(t *testing.T) {
+	lib, dev := newLib(t)
+	h, _ := lib.DeviceByIndex(0)
+	p, err := h.PowerWatts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != dev.Spec().IdlePowerW {
+		t.Fatalf("idle power %v, want %v", p, dev.Spec().IdlePowerW)
+	}
+	dev.AdvanceIdle(0.5)
+	e, err := h.EnergyCountJoules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 * dev.Spec().IdlePowerW
+	if e < 0.9*want || e > 1.1*want {
+		t.Fatalf("energy count %v J, want ~%v", e, want)
+	}
+}
+
+func TestPowerCapAPI(t *testing.T) {
+	lib, dev := newLib(t)
+	h, _ := lib.DeviceByIndex(0)
+	if err := h.SetPowerCap(User{Name: "u"}, 200); !errors.Is(err, ErrNoPermission) {
+		t.Fatalf("unprivileged cap: %v", err)
+	}
+	if err := h.SetPowerCap(Root, 200); err != nil {
+		t.Fatal(err)
+	}
+	w, err := h.PowerCap()
+	if err != nil || w != 200 {
+		t.Fatalf("cap = %v, %v; want 200", w, err)
+	}
+	if err := h.SetPowerCap(Root, 5000); !errors.Is(err, ErrInvalidArg) {
+		t.Fatalf("cap above TDP: %v", err)
+	}
+	if err := h.SetPowerCap(Root, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.PowerLimit(); got != dev.Spec().TDPWatts {
+		t.Fatalf("reset cap = %v, want TDP", got)
+	}
+}

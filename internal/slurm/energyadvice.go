@@ -1,0 +1,116 @@
+package slurm
+
+import (
+	"fmt"
+	"sync"
+
+	"synergy/internal/metrics"
+)
+
+// EnergyAdvicePlugin closes the loop between scheduler-level power
+// management and SYnergy's per-kernel targets (an extension in the
+// direction of the paper's conclusion: energy scalability managed from
+// the job scheduler). It watches the same cluster power budget a
+// PowerCapPlugin manages and, instead of (or in addition to) hard
+// capping, *advises* each job of an energy target through the
+// allocation's hints: plenty of headroom → no advice; moderate pressure
+// → ES_25/ES_50; heavy pressure → ES_75. Applications that honour the
+// hint shed watts by running each kernel at its target frequency —
+// fine-grained, instead of the blunt board cap.
+type EnergyAdvicePlugin struct {
+	// ClusterBudgetW is the cluster-wide GPU power budget.
+	ClusterBudgetW float64
+
+	mu      sync.Mutex
+	demandW map[string]float64 // jobID -> nominal (TDP) demand
+}
+
+// HintEnergyTarget is the allocation-hint key carrying the advice.
+const HintEnergyTarget = "energy_target"
+
+// Name implements Plugin.
+func (p *EnergyAdvicePlugin) Name() string { return "energyadvice" }
+
+// Prologue implements Plugin: it registers the job's nominal demand,
+// computes the cluster pressure (total demand over budget) and writes
+// the advised target into the allocation hints.
+func (p *EnergyAdvicePlugin) Prologue(ctx *Allocation, node *Node) error {
+	if p.ClusterBudgetW <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.demandW == nil {
+		p.demandW = map[string]float64{}
+	}
+	if _, seen := p.demandW[ctx.JobID]; !seen {
+		demand := 0.0
+		for _, g := range ctx.GPUs() {
+			demand += g.Spec().TDPWatts
+		}
+		p.demandW[ctx.JobID] = demand
+
+		total := 0.0
+		for _, d := range p.demandW {
+			total += d
+		}
+		pressure := total / p.ClusterBudgetW
+		var target string
+		switch {
+		case pressure <= 1:
+			target = "" // headroom: run at the default configuration
+		case pressure <= 1.25:
+			target = metrics.ES(25).String()
+		case pressure <= 1.6:
+			target = metrics.ES(50).String()
+		default:
+			target = metrics.ES(75).String()
+		}
+		if target != "" {
+			if ctx.Hints == nil {
+				ctx.Hints = map[string]string{}
+			}
+			ctx.Hints[HintEnergyTarget] = target
+		}
+	}
+	return nil
+}
+
+// Epilogue implements Plugin: the job's demand leaves the pressure pool.
+func (p *EnergyAdvicePlugin) Epilogue(ctx *Allocation, node *Node) error {
+	if p.ClusterBudgetW <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.demandW, ctx.JobID)
+	return nil
+}
+
+// Pressure reports the current demand-to-budget ratio (for tooling).
+func (p *EnergyAdvicePlugin) Pressure() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0.0
+	for _, d := range p.demandW {
+		total += d
+	}
+	if p.ClusterBudgetW <= 0 {
+		return 0
+	}
+	return total / p.ClusterBudgetW
+}
+
+// AdvisedTarget parses the hint back into a target; ok is false when no
+// advice was given.
+func AdvisedTarget(ctx *Allocation) (metrics.Target, bool, error) {
+	s, ok := ctx.Hints[HintEnergyTarget]
+	if !ok || s == "" {
+		return metrics.Target{}, false, nil
+	}
+	t, err := metrics.ParseTarget(s)
+	if err != nil {
+		return metrics.Target{}, false, fmt.Errorf("slurm: bad %s hint %q: %w", HintEnergyTarget, s, err)
+	}
+	return t, true, nil
+}

@@ -1,0 +1,140 @@
+package slurm
+
+import (
+	"sync"
+	"testing"
+
+	"synergy/internal/hw"
+	"synergy/internal/metrics"
+)
+
+// adviceCluster builds n 4-GPU V100 nodes with only the advice plugin.
+func adviceCluster(t *testing.T, n int, budget float64) (*Cluster, *EnergyAdvicePlugin) {
+	t.Helper()
+	var nodes []*Node
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, NewNode(nodeName(i), hw.V100(), 4))
+	}
+	c := NewCluster(nodes...)
+	p := &EnergyAdvicePlugin{ClusterBudgetW: budget}
+	c.RegisterPlugin(p)
+	return c, p
+}
+
+func TestNoAdviceUnderBudget(t *testing.T) {
+	// One 4-GPU job demands 1200 W; a 2000 W budget leaves headroom.
+	c, _ := adviceCluster(t, 1, 2000)
+	res, err := c.Submit(&Job{
+		Name: "roomy", User: "a", NumNodes: 1, Exclusive: true,
+		Run: func(ctx *Allocation) error {
+			if _, ok, err := AdvisedTarget(ctx); err != nil || ok {
+				t.Errorf("unexpected advice under budget (ok=%v, err=%v)", ok, err)
+			}
+			return nil
+		},
+	})
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v / %v", err, res.Err)
+	}
+}
+
+func TestAdviceScalesWithPressure(t *testing.T) {
+	// Budget 1000 W, demand 1200 W -> pressure 1.2 -> ES_25.
+	c, p := adviceCluster(t, 1, 1000)
+	res, err := c.Submit(&Job{
+		Name: "tight", User: "a", NumNodes: 1, Exclusive: true,
+		Run: func(ctx *Allocation) error {
+			tgt, ok, err := AdvisedTarget(ctx)
+			if err != nil {
+				return err
+			}
+			if !ok || tgt != metrics.ES(25) {
+				t.Errorf("advice = %v (ok=%v), want ES_25", tgt, ok)
+			}
+			return nil
+		},
+	})
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v / %v", err, res.Err)
+	}
+	if p.Pressure() != 0 {
+		t.Fatalf("pressure %v after job end, want 0", p.Pressure())
+	}
+}
+
+func TestAdviceEscalatesWithConcurrentJobs(t *testing.T) {
+	// Budget 1500 W. First job (1200 W) fits; the second pushes total
+	// demand to 2400 W -> pressure 1.6 -> ES_50 for the newcomer.
+	c, _ := adviceCluster(t, 2, 1500)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, err := c.Submit(&Job{
+			Name: "first", User: "a", NumNodes: 1, Exclusive: true,
+			Run: func(ctx *Allocation) error {
+				close(started)
+				<-block
+				return nil
+			},
+		})
+		if err != nil || res.Err != nil {
+			t.Errorf("first: %v / %v", err, res.Err)
+		}
+	}()
+	<-started
+	res, err := c.Submit(&Job{
+		Name: "second", User: "b", NumNodes: 1, Exclusive: true,
+		Run: func(ctx *Allocation) error {
+			tgt, ok, err := AdvisedTarget(ctx)
+			if err != nil {
+				return err
+			}
+			if !ok || tgt != metrics.ES(50) {
+				t.Errorf("second job advice = %v (ok=%v), want ES_50", tgt, ok)
+			}
+			return nil
+		},
+	})
+	if err != nil || res.Err != nil {
+		t.Fatalf("second: %v / %v", err, res.Err)
+	}
+	close(block)
+	wg.Wait()
+}
+
+func TestAdvisedTargetParsesHint(t *testing.T) {
+	ctx := &Allocation{Hints: map[string]string{HintEnergyTarget: "PL_50"}}
+	tgt, ok, err := AdvisedTarget(ctx)
+	if err != nil || !ok || tgt != metrics.PL(50) {
+		t.Fatalf("%v %v %v", tgt, ok, err)
+	}
+	ctx = &Allocation{Hints: map[string]string{HintEnergyTarget: "nonsense"}}
+	if _, _, err := AdvisedTarget(ctx); err == nil {
+		t.Fatal("bad hint accepted")
+	}
+	if _, ok, _ := AdvisedTarget(&Allocation{}); ok {
+		t.Fatal("advice found in empty hints")
+	}
+}
+
+func TestAdviceDisabledWithoutBudget(t *testing.T) {
+	c, p := adviceCluster(t, 1, 0)
+	res, err := c.Submit(&Job{
+		Name: "j", User: "a", NumNodes: 1, Exclusive: true,
+		Run: func(ctx *Allocation) error {
+			if _, ok, _ := AdvisedTarget(ctx); ok {
+				t.Error("advice with capping disabled")
+			}
+			return nil
+		},
+	})
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v / %v", err, res.Err)
+	}
+	if p.Pressure() != 0 {
+		t.Fatal("pressure nonzero when disabled")
+	}
+}

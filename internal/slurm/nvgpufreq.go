@@ -1,0 +1,115 @@
+package slurm
+
+import (
+	"fmt"
+
+	"synergy/internal/hw"
+	"synergy/internal/nvml"
+)
+
+// NVGpuFreqPlugin is the paper's nvgpufreq SLURM plugin (§7.2). In the
+// prologue it performs the documented check chain — node info available,
+// node tagged with the nvgpufreq GRES, NVML loadable, job tagged with
+// the GRES, job exclusive on the node — and only if every check passes
+// does it lower the NVML application-clock privilege requirement on the
+// job's GPUs. The epilogue performs the full cleanup: application clocks
+// reset to the driver default and privileged access removed, so the next
+// job never inherits a degraded performance state (§7.1).
+type NVGpuFreqPlugin struct {
+	// Controller lets the plugin query slurmctld for node info.
+	Controller *Cluster
+}
+
+// Name implements Plugin.
+func (p *NVGpuFreqPlugin) Name() string { return "nvgpufreq" }
+
+// applies runs the §7.2 prologue check chain. A 'false' outcome is not
+// an error: the plugin simply "terminates its execution" without
+// touching the node.
+func (p *NVGpuFreqPlugin) applies(ctx *Allocation, node *Node) (bool, error) {
+	if p.Controller == nil {
+		return false, nil // cannot reach slurmctld: terminate
+	}
+	info, err := p.Controller.NodeInfo(node.Name)
+	if err != nil {
+		return false, nil // node info unavailable: terminate
+	}
+	if !info.HasGres(GresNVGpuFreq) {
+		return false, nil // node not tagged
+	}
+	if !info.NVMLAvailable {
+		return false, nil // dlopen(libnvidia-ml.so) failed
+	}
+	if !ctx.Job.Gres[GresNVGpuFreq] {
+		return false, nil // job did not request the feature
+	}
+	if info.ExclusiveHolder() != ctx.JobID {
+		return false, nil // job shares the node: no privileges
+	}
+	return true, nil
+}
+
+func withNVML(node *Node, f func(lib *nvml.Library, devs []*nvml.Device) error) error {
+	var nvidia []*hw.Device
+	for _, g := range node.GPUs {
+		if g.Spec().Vendor == hw.NVIDIA {
+			nvidia = append(nvidia, g)
+		}
+	}
+	if len(nvidia) == 0 {
+		return nil
+	}
+	lib, err := nvml.New(nvidia...)
+	if err != nil {
+		return err
+	}
+	if err := lib.Init(); err != nil {
+		return err
+	}
+	defer func() { _ = lib.Shutdown() }()
+	devs := make([]*nvml.Device, len(nvidia))
+	for i := range nvidia {
+		d, err := lib.DeviceGetHandleByIndex(i)
+		if err != nil {
+			return err
+		}
+		devs[i] = d
+	}
+	return f(lib, devs)
+}
+
+// Prologue implements Plugin.
+func (p *NVGpuFreqPlugin) Prologue(ctx *Allocation, node *Node) error {
+	ok, err := p.applies(ctx, node)
+	if err != nil || !ok {
+		return err
+	}
+	return withNVML(node, func(lib *nvml.Library, devs []*nvml.Device) error {
+		for _, d := range devs {
+			if err := d.SetAPIRestriction(nvml.Root, nvml.APISetApplicationClocks, false); err != nil {
+				return fmt.Errorf("nvgpufreq: lowering restriction: %w", err)
+			}
+		}
+		return nil
+	})
+}
+
+// Epilogue implements Plugin: full cleanup regardless of how the job
+// ended — restore default clocks and re-restrict the privileged APIs.
+func (p *NVGpuFreqPlugin) Epilogue(ctx *Allocation, node *Node) error {
+	ok, err := p.applies(ctx, node)
+	if err != nil || !ok {
+		return err
+	}
+	return withNVML(node, func(lib *nvml.Library, devs []*nvml.Device) error {
+		for _, d := range devs {
+			if err := d.ResetApplicationsClocks(nvml.Root); err != nil {
+				return fmt.Errorf("nvgpufreq: resetting clocks: %w", err)
+			}
+			if err := d.SetAPIRestriction(nvml.Root, nvml.APISetApplicationClocks, true); err != nil {
+				return fmt.Errorf("nvgpufreq: restoring restriction: %w", err)
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,107 @@
+package slurm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PowerCapPlugin implements the scheduler-level power management the
+// paper describes in §2.3: SLURM takes a configured power cap for the
+// system and distributes it across the nodes it controls. This plugin
+// holds a cluster-wide GPU power budget; each job's prologue carves the
+// job's share out of the remaining budget and programs the per-GPU
+// limits, and the epilogue returns the share and restores the board
+// defaults. It is deliberately coarse-grained — the contrast that
+// motivates SYnergy's per-kernel approach.
+type PowerCapPlugin struct {
+	// ClusterBudgetW is the total GPU power budget across the cluster.
+	// Zero disables capping.
+	ClusterBudgetW float64
+	// FloorPerGPUW is the minimum viable per-GPU cap; a job whose share
+	// would fall below it is rejected by the prologue.
+	FloorPerGPUW float64
+
+	mu          sync.Mutex
+	allocated   map[string]float64 // jobID -> granted total budget
+	perJobShare map[string]float64 // jobID -> per-GPU cap
+}
+
+// Name implements Plugin.
+func (p *PowerCapPlugin) Name() string { return "powercap" }
+
+// Remaining returns the currently unallocated budget.
+func (p *PowerCapPlugin) Remaining() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.remainingLocked()
+}
+
+func (p *PowerCapPlugin) remainingLocked() float64 {
+	used := 0.0
+	for _, w := range p.allocated {
+		used += w
+	}
+	return p.ClusterBudgetW - used
+}
+
+// Prologue implements Plugin: on the job's first node it reserves the
+// job's share of the remaining budget (an equal split across the job's
+// GPUs, clamped to each board's TDP); on every node it programs the
+// per-GPU power limits.
+func (p *PowerCapPlugin) Prologue(ctx *Allocation, node *Node) error {
+	if p.ClusterBudgetW <= 0 {
+		return nil // capping disabled
+	}
+	p.mu.Lock()
+	perGPU, reserved := p.perJobShare[ctx.JobID]
+	if !reserved {
+		gpus := ctx.GPUs()
+		if len(gpus) == 0 {
+			p.mu.Unlock()
+			return nil
+		}
+		perGPU = p.remainingLocked() / float64(len(gpus))
+		if perGPU < p.FloorPerGPUW {
+			p.mu.Unlock()
+			return fmt.Errorf("powercap: job %s share %.0f W/GPU below floor %.0f W",
+				ctx.JobID, perGPU, p.FloorPerGPUW)
+		}
+		for _, g := range gpus {
+			if tdp := g.Spec().TDPWatts; perGPU > tdp {
+				perGPU = tdp
+			}
+		}
+		if p.allocated == nil {
+			p.allocated = map[string]float64{}
+			p.perJobShare = map[string]float64{}
+		}
+		p.allocated[ctx.JobID] = perGPU * float64(len(gpus))
+		p.perJobShare[ctx.JobID] = perGPU
+	}
+	p.mu.Unlock()
+
+	for _, g := range node.GPUs {
+		if err := g.SetPowerLimit(perGPU); err != nil {
+			return fmt.Errorf("powercap: %s: %w", node.Name, err)
+		}
+	}
+	return nil
+}
+
+// Epilogue implements Plugin: restores the board default limits and
+// returns the job's budget.
+func (p *PowerCapPlugin) Epilogue(ctx *Allocation, node *Node) error {
+	if p.ClusterBudgetW <= 0 {
+		return nil
+	}
+	for _, g := range node.GPUs {
+		if err := g.SetPowerLimit(0); err != nil {
+			return fmt.Errorf("powercap: %s: %w", node.Name, err)
+		}
+	}
+	p.mu.Lock()
+	delete(p.allocated, ctx.JobID)
+	delete(p.perJobShare, ctx.JobID)
+	p.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,203 @@
+package slurm
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"synergy/internal/hw"
+)
+
+func newCapCluster(t *testing.T, nodes int, budget, floor float64) (*Cluster, *PowerCapPlugin) {
+	t.Helper()
+	var ns []*Node
+	for i := 0; i < nodes; i++ {
+		ns = append(ns, NewNode(nodeName(i), hw.V100(), 4))
+	}
+	c := NewCluster(ns...)
+	p := &PowerCapPlugin{ClusterBudgetW: budget, FloorPerGPUW: floor}
+	c.RegisterPlugin(p)
+	return c, p
+}
+
+func TestPowerCapAppliedDuringJob(t *testing.T) {
+	c, _ := newCapCluster(t, 1, 800, 100) // 800 W over 4 GPUs = 200 W each
+	res, err := c.Submit(&Job{
+		Name: "capped", User: "a", NumNodes: 1, Exclusive: true,
+		Run: func(ctx *Allocation) error {
+			for _, g := range ctx.GPUs() {
+				if got := g.PowerLimit(); got != 200 {
+					t.Errorf("GPU limit %v W during job, want 200", got)
+				}
+				// A hot kernel respects the cap and stretches.
+				rec, err := g.ExecuteKernel(hw.Workload{
+					Name: "hot", Items: 1 << 22, FloatOps: 4000, GlobalBytes: 8,
+				})
+				if err != nil {
+					return err
+				}
+				if rec.AvgPowerW > 200+1e-9 {
+					t.Errorf("kernel drew %v W above the 200 W cap", rec.AvgPowerW)
+				}
+				if !rec.Measurement.Throttled {
+					t.Error("hot kernel not marked throttled under cap")
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v / %v", err, res.Err)
+	}
+}
+
+func TestPowerCapRestoredAfterJob(t *testing.T) {
+	c, p := newCapCluster(t, 1, 800, 100)
+	node := c.Nodes()[0]
+	res, err := c.Submit(&Job{
+		Name: "j", User: "a", NumNodes: 1, Exclusive: true,
+		Run: func(ctx *Allocation) error { return nil },
+	})
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v / %v", err, res.Err)
+	}
+	for _, g := range node.GPUs {
+		if got := g.PowerLimit(); got != g.Spec().TDPWatts {
+			t.Errorf("limit %v W after job, want TDP %v", got, g.Spec().TDPWatts)
+		}
+	}
+	if p.Remaining() != 800 {
+		t.Errorf("budget not returned: remaining %v", p.Remaining())
+	}
+}
+
+func TestPowerCapBudgetSharedAcrossConcurrentJobs(t *testing.T) {
+	c, p := newCapCluster(t, 2, 1600, 100)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, err := c.Submit(&Job{
+			Name: "first", User: "a", NumNodes: 1, Exclusive: true,
+			Run: func(ctx *Allocation) error {
+				close(started)
+				<-block
+				return nil
+			},
+		})
+		if err != nil || res.Err != nil {
+			t.Errorf("first: %v / %v", err, res.Err)
+		}
+	}()
+	<-started
+	// First job holds 4 GPUs x 400 W = 1600 W... clamped to TDP 300 W
+	// per GPU = 1200 W; 400 W remain.
+	if rem := p.Remaining(); rem != 400 {
+		t.Errorf("remaining %v W while first job runs, want 400", rem)
+	}
+	// Second job gets 400/4 = 100 W per GPU, exactly at the floor.
+	res, err := c.Submit(&Job{
+		Name: "second", User: "b", NumNodes: 1, Exclusive: true,
+		Run: func(ctx *Allocation) error {
+			for _, g := range ctx.GPUs() {
+				if got := g.PowerLimit(); got != 100 {
+					t.Errorf("second job GPU limit %v, want 100", got)
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil || res.Err != nil {
+		t.Fatalf("second: %v / %v", err, res.Err)
+	}
+	close(block)
+	wg.Wait()
+	if rem := p.Remaining(); rem != 1600 {
+		t.Errorf("budget leaked: remaining %v after all jobs", rem)
+	}
+}
+
+func TestPowerCapRejectsBelowFloor(t *testing.T) {
+	c, _ := newCapCluster(t, 1, 300, 100) // 300/4 = 75 W < floor
+	res, err := c.Submit(&Job{
+		Name: "starved", User: "a", NumNodes: 1, Exclusive: true,
+		Run: func(ctx *Allocation) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "below floor") {
+		t.Fatalf("job error = %v, want below-floor rejection", res.Err)
+	}
+	// Rejected job's GPUs keep default limits.
+	for _, g := range c.Nodes()[0].GPUs {
+		if got := g.PowerLimit(); got != g.Spec().TDPWatts {
+			t.Errorf("rejected job changed a limit to %v", got)
+		}
+	}
+}
+
+func TestPowerCapDisabledIsNoOp(t *testing.T) {
+	c, _ := newCapCluster(t, 1, 0, 0)
+	res, err := c.Submit(&Job{
+		Name: "free", User: "a", NumNodes: 1, Exclusive: true,
+		Run: func(ctx *Allocation) error {
+			for _, g := range ctx.GPUs() {
+				if got := g.PowerLimit(); got != g.Spec().TDPWatts {
+					t.Errorf("limit %v with capping disabled", got)
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v / %v", err, res.Err)
+	}
+}
+
+func TestDevicePowerLimitValidation(t *testing.T) {
+	d := hw.NewDevice(hw.V100())
+	if err := d.SetPowerLimit(10); err == nil {
+		t.Error("limit below floor accepted")
+	}
+	if err := d.SetPowerLimit(1000); err == nil {
+		t.Error("limit above TDP accepted")
+	}
+	if err := d.SetPowerLimit(250); err != nil {
+		t.Errorf("valid limit rejected: %v", err)
+	}
+	if err := d.SetPowerLimit(0); err != nil {
+		t.Errorf("reset rejected: %v", err)
+	}
+	if got := d.PowerLimit(); got != d.Spec().TDPWatts {
+		t.Errorf("after reset limit %v, want TDP", got)
+	}
+}
+
+func TestCappedEnergyVsTime(t *testing.T) {
+	// Capping a hot kernel conserves its energy (power x stretched time)
+	// while increasing its runtime.
+	spec := hw.V100()
+	free := hw.NewDevice(spec)
+	capped := hw.NewDevice(spec)
+	if err := capped.SetPowerLimit(150); err != nil {
+		t.Fatal(err)
+	}
+	w := hw.Workload{Name: "hot", Items: 1 << 22, FloatOps: 4000, GlobalBytes: 8}
+	rf, err := free.ExecuteKernel(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := capped.ExecuteKernel(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Measurement.TimeSec <= rf.Measurement.TimeSec {
+		t.Errorf("capped kernel not slower: %v vs %v", rc.Measurement.TimeSec, rf.Measurement.TimeSec)
+	}
+	if rc.AvgPowerW > 150+1e-9 {
+		t.Errorf("capped power %v above limit", rc.AvgPowerW)
+	}
+}

@@ -1,0 +1,126 @@
+package slurm
+
+import (
+	"errors"
+	"sync"
+)
+
+// Asynchronous job queue: SubmitAsync enqueues like sbatch does, a
+// scheduler loop starts jobs as nodes free up — FIFO with opportunistic
+// backfill (a job further down the queue may start early when it fits
+// in nodes the queue head cannot use; without walltime estimates this is
+// the eager variant of SLURM's backfill scheduler).
+
+// JobHandle tracks an asynchronously submitted job.
+type JobHandle struct {
+	job  *Job
+	done chan struct{}
+
+	mu      sync.Mutex
+	started bool
+	res     *JobResult
+	err     error
+}
+
+// Wait blocks until the job finishes and returns its accounting.
+func (h *JobHandle) Wait() (*JobResult, error) {
+	<-h.done
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.res, h.err
+}
+
+// Started reports whether the scheduler has started the job.
+func (h *JobHandle) Started() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.started
+}
+
+// Done reports whether the job has finished.
+func (h *JobHandle) Done() bool {
+	select {
+	case <-h.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// SubmitAsync enqueues the job and returns immediately; the scheduler
+// starts it when nodes are available.
+func (c *Cluster) SubmitAsync(job *Job) (*JobHandle, error) {
+	if job.Run == nil {
+		return nil, errors.New("slurm: job has no script")
+	}
+	if job.NumNodes <= 0 {
+		return nil, errors.New("slurm: job requests no nodes")
+	}
+	h := &JobHandle{job: job, done: make(chan struct{})}
+	c.mu.Lock()
+	if job.NumNodes > len(c.nodes) {
+		c.mu.Unlock()
+		return nil, errors.New("slurm: job requests more nodes than the cluster has")
+	}
+	c.queue = append(c.queue, h)
+	c.mu.Unlock()
+	c.kickScheduler()
+	return h, nil
+}
+
+// QueueLength reports the number of pending (not yet started) jobs.
+func (c *Cluster) QueueLength() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// kickScheduler runs one scheduling pass: walk the pending queue in
+// order, start every job that can be allocated right now. The head of
+// the queue blocks only itself — later jobs may backfill.
+func (c *Cluster) kickScheduler() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	remaining := c.queue[:0]
+	for _, h := range c.queue {
+		jobID, alloc, ok := c.tryAllocateLocked(h.job)
+		if !ok {
+			remaining = append(remaining, h)
+			continue
+		}
+		h.mu.Lock()
+		h.started = true
+		h.mu.Unlock()
+		go func(h *JobHandle, jobID string, alloc []*Node) {
+			res := c.executeAllocated(h.job, jobID, alloc)
+			h.mu.Lock()
+			h.res = res
+			h.mu.Unlock()
+			close(h.done)
+			c.kickScheduler() // freed nodes: schedule the next jobs
+		}(h, jobID, alloc)
+	}
+	c.queue = remaining
+}
+
+// tryAllocateLocked attempts a first-fit allocation (caller holds c.mu).
+func (c *Cluster) tryAllocateLocked(job *Job) (string, []*Node, bool) {
+	var alloc []*Node
+	c.nextID++
+	jobID := jobIDString(c.nextID)
+	for _, n := range c.nodes {
+		if len(alloc) == job.NumNodes {
+			break
+		}
+		if err := n.allocate(jobID, job.Exclusive); err == nil {
+			alloc = append(alloc, n)
+		}
+	}
+	if len(alloc) < job.NumNodes {
+		for _, n := range alloc {
+			n.release(jobID)
+		}
+		return "", nil, false
+	}
+	return jobID, alloc, true
+}

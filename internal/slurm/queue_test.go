@@ -1,0 +1,202 @@
+package slurm
+
+import (
+	"testing"
+	"time"
+)
+
+// waitUntil polls cond for up to two seconds.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestSubmitAsyncRunsImmediatelyWhenFree(t *testing.T) {
+	c := newV100Cluster(t, 2)
+	h, err := c.SubmitAsync(&Job{
+		Name: "quick", User: "a", NumNodes: 1, Exclusive: true,
+		Run: func(ctx *Allocation) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Wait()
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v / %v", err, res)
+	}
+	if !h.Done() || !h.Started() {
+		t.Fatal("handle state inconsistent after Wait")
+	}
+}
+
+func TestSubmitAsyncQueuesWhenBusy(t *testing.T) {
+	c := newV100Cluster(t, 1)
+	release := make(chan struct{})
+	running := make(chan struct{})
+	first, err := c.SubmitAsync(&Job{
+		Name: "holder", User: "a", NumNodes: 1, Exclusive: true,
+		Run: func(ctx *Allocation) error {
+			close(running)
+			<-release
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	second, err := c.SubmitAsync(&Job{
+		Name: "waiter", User: "b", NumNodes: 1, Exclusive: true,
+		Run: func(ctx *Allocation) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Started() {
+		t.Fatal("second job started while the node is held")
+	}
+	if c.QueueLength() != 1 {
+		t.Fatalf("queue length %d, want 1", c.QueueLength())
+	}
+	close(release)
+	if res, err := first.Wait(); err != nil || res.Err != nil {
+		t.Fatalf("first: %v / %v", err, res)
+	}
+	if res, err := second.Wait(); err != nil || res.Err != nil {
+		t.Fatalf("second: %v / %v", err, res)
+	}
+	if c.QueueLength() != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestBackfillSmallJobJumpsQueue(t *testing.T) {
+	// 2 nodes. A holds one node; B needs both (stuck behind A); C needs
+	// one and must backfill onto the free node while A runs.
+	c := newV100Cluster(t, 2)
+	release := make(chan struct{})
+	running := make(chan struct{})
+	a, err := c.SubmitAsync(&Job{
+		Name: "A", User: "u", NumNodes: 1, Exclusive: true,
+		Run: func(ctx *Allocation) error {
+			close(running)
+			<-release
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	b, err := c.SubmitAsync(&Job{
+		Name: "B", User: "u", NumNodes: 2, Exclusive: true,
+		Run: func(ctx *Allocation) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cJob, err := c.SubmitAsync(&Job{
+		Name: "C", User: "u", NumNodes: 1, Exclusive: true,
+		Run: func(ctx *Allocation) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C backfills and finishes while A still runs and B stays pending.
+	if res, err := cJob.Wait(); err != nil || res.Err != nil {
+		t.Fatalf("C: %v / %v", err, res)
+	}
+	if b.Started() {
+		t.Fatal("B started without enough nodes")
+	}
+	if a.Done() {
+		t.Fatal("A finished prematurely")
+	}
+	close(release)
+	if res, err := a.Wait(); err != nil || res.Err != nil {
+		t.Fatalf("A: %v / %v", err, res)
+	}
+	if res, err := b.Wait(); err != nil || res.Err != nil {
+		t.Fatalf("B: %v / %v", err, res)
+	}
+}
+
+func TestSubmitAsyncValidation(t *testing.T) {
+	c := newV100Cluster(t, 1)
+	if _, err := c.SubmitAsync(&Job{Name: "noscript", NumNodes: 1}); err == nil {
+		t.Error("job without script accepted")
+	}
+	if _, err := c.SubmitAsync(&Job{Name: "zero", Run: func(*Allocation) error { return nil }}); err == nil {
+		t.Error("zero-node job accepted")
+	}
+	if _, err := c.SubmitAsync(&Job{
+		Name: "huge", NumNodes: 9, Run: func(*Allocation) error { return nil },
+	}); err == nil {
+		t.Error("impossible job accepted into the queue")
+	}
+}
+
+func TestAsyncJobsRunPluginsAndCleanUp(t *testing.T) {
+	c := newV100Cluster(t, 1)
+	node := c.Nodes()[0]
+	h, err := c.SubmitAsync(&Job{
+		Name: "scale", User: "alice", NumNodes: 1, Exclusive: true,
+		Gres: map[GRES]bool{GresNVGpuFreq: true},
+		Run:  gpuFreqJob(t, "alice", true),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Wait()
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v / %v", err, res)
+	}
+	for _, g := range node.GPUs {
+		if g.AppClockMHz() != g.Spec().DefaultCoreMHz {
+			t.Fatalf("async job left clock at %d", g.AppClockMHz())
+		}
+	}
+}
+
+func TestManyAsyncJobsFIFOForEqualSizes(t *testing.T) {
+	c := newV100Cluster(t, 1)
+	var order []string
+	var mu chan struct{} = make(chan struct{}, 1)
+	mu <- struct{}{}
+	var handles []*JobHandle
+	for _, name := range []string{"j1", "j2", "j3", "j4"} {
+		name := name
+		h, err := c.SubmitAsync(&Job{
+			Name: name, User: "u", NumNodes: 1, Exclusive: true,
+			Run: func(ctx *Allocation) error {
+				<-mu
+				order = append(order, name)
+				mu <- struct{}{}
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	for _, h := range handles {
+		if res, err := h.Wait(); err != nil || res.Err != nil {
+			t.Fatalf("%v / %v", err, res)
+		}
+	}
+	// All equal-size jobs on one node run strictly in submission order.
+	for i, want := range []string{"j1", "j2", "j3", "j4"} {
+		if order[i] != want {
+			t.Fatalf("execution order %v, want FIFO", order)
+		}
+	}
+	waitUntil(t, "queue drained", func() bool { return c.QueueLength() == 0 })
+}

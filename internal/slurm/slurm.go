@@ -1,0 +1,287 @@
+// Package slurm simulates the job-scheduler layer of §7: a cluster of
+// GPU nodes managed by a controller (slurmctld) that allocates nodes to
+// jobs, tags capabilities through Generic RESources (GRES), and runs
+// per-node prologue/epilogue plugin hooks around every job — including
+// the paper's nvgpufreq plugin, which temporarily lowers the NVML
+// privilege requirements for exclusive, GRES-tagged jobs and restores
+// the node to a consistent performance state afterwards.
+package slurm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"synergy/internal/hw"
+)
+
+// GRES is a Generic RESource tag.
+type GRES string
+
+// GresNVGpuFreq is the tag enabling the frequency-scaling plugin on a
+// node (and requesting it on a job).
+const GresNVGpuFreq GRES = "nvgpufreq"
+
+// Node is one cluster node with its GPUs and capability tags.
+type Node struct {
+	Name string
+	GPUs []*hw.Device
+	// Gres lists the node's capability tags.
+	Gres map[GRES]bool
+	// NVMLAvailable reports whether the NVML shared object can be
+	// dlopen'd on this node (the plugin checks this).
+	NVMLAvailable bool
+
+	mu        sync.Mutex
+	exclusive string         // job ID holding the node exclusively
+	shared    map[string]int // job IDs sharing the node
+}
+
+// NewNode builds a node with n GPUs of the given spec. NVML is marked
+// available on NVIDIA nodes.
+func NewNode(name string, spec *hw.Spec, nGPUs int, gres ...GRES) *Node {
+	n := &Node{
+		Name:          name,
+		Gres:          map[GRES]bool{},
+		NVMLAvailable: spec.Vendor == hw.NVIDIA,
+		shared:        map[string]int{},
+	}
+	for i := 0; i < nGPUs; i++ {
+		n.GPUs = append(n.GPUs, hw.NewDevice(spec))
+	}
+	for _, g := range gres {
+		n.Gres[g] = true
+	}
+	return n
+}
+
+// HasGres reports whether the node carries the tag.
+func (n *Node) HasGres(g GRES) bool { return n.Gres[g] }
+
+// allocate marks the node as used by the job; exclusive jobs require the
+// node to be completely free, shared jobs only require no exclusive
+// holder.
+func (n *Node) allocate(jobID string, exclusive bool) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.exclusive != "" {
+		return fmt.Errorf("slurm: node %s held exclusively by job %s", n.Name, n.exclusive)
+	}
+	if exclusive {
+		if len(n.shared) > 0 {
+			return fmt.Errorf("slurm: node %s has %d shared jobs", n.Name, len(n.shared))
+		}
+		n.exclusive = jobID
+		return nil
+	}
+	n.shared[jobID]++
+	return nil
+}
+
+func (n *Node) release(jobID string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.exclusive == jobID {
+		n.exclusive = ""
+		return
+	}
+	if n.shared[jobID] > 0 {
+		n.shared[jobID]--
+		if n.shared[jobID] == 0 {
+			delete(n.shared, jobID)
+		}
+	}
+}
+
+// ExclusiveHolder returns the job holding the node exclusively ("" if
+// none) — used by plugins to verify exclusivity.
+func (n *Node) ExclusiveHolder() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.exclusive
+}
+
+// Job is one batch submission.
+type Job struct {
+	Name string
+	User string
+	// NumNodes is the requested node count.
+	NumNodes int
+	// Exclusive requests whole-node allocation (--exclusive).
+	Exclusive bool
+	// Gres lists requested resources (--gres=nvgpufreq).
+	Gres map[GRES]bool
+	// Run is the job script; it receives the allocation.
+	Run func(ctx *Allocation) error
+}
+
+// Allocation is what a running job sees.
+type Allocation struct {
+	JobID string
+	Job   *Job
+	Nodes []*Node
+	// Hints carries advisory key/value pairs set by prologue plugins
+	// (for example the EnergyAdvicePlugin's suggested energy target).
+	Hints map[string]string
+}
+
+// GPUs returns every GPU of the allocation in node order.
+func (a *Allocation) GPUs() []*hw.Device {
+	var out []*hw.Device
+	for _, n := range a.Nodes {
+		out = append(out, n.GPUs...)
+	}
+	return out
+}
+
+// Plugin is a prologue/epilogue extension (SLURM SPANK-style hook).
+type Plugin interface {
+	Name() string
+	// Prologue runs on each allocated node before the job starts.
+	// Returning an error fails the job.
+	Prologue(ctx *Allocation, node *Node) error
+	// Epilogue runs on each allocated node after the job ends (also on
+	// failure).
+	Epilogue(ctx *Allocation, node *Node) error
+}
+
+// JobResult reports accounting for a finished job.
+type JobResult struct {
+	JobID string
+	// EnergyJ is the total GPU energy consumed during the job (the
+	// scheduler's energy-accounting view).
+	EnergyJ float64
+	// Err is the job script's error, if any.
+	Err error
+}
+
+// Cluster is the controller (slurmctld) plus the node inventory.
+type Cluster struct {
+	mu      sync.Mutex
+	nodes   []*Node
+	plugins []Plugin
+	nextID  int
+	queue   []*JobHandle // pending asynchronous jobs, FIFO
+}
+
+func jobIDString(n int) string { return fmt.Sprintf("job-%d", n) }
+
+// NewCluster creates a cluster over the nodes.
+func NewCluster(nodes ...*Node) *Cluster {
+	return &Cluster{nodes: nodes}
+}
+
+// RegisterPlugin appends a prologue/epilogue plugin.
+func (c *Cluster) RegisterPlugin(p Plugin) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.plugins = append(c.plugins, p)
+}
+
+// Nodes returns the node inventory.
+func (c *Cluster) Nodes() []*Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Node, len(c.nodes))
+	copy(out, c.nodes)
+	return out
+}
+
+// NodeInfo returns a node by name — the slurmctld lookup the plugin
+// performs in its prologue.
+func (c *Cluster) NodeInfo(name string) (*Node, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range c.nodes {
+		if n.Name == name {
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("slurm: unknown node %q", name)
+}
+
+// Submit allocates nodes, runs prologues, the job script and epilogues,
+// and returns accounting. It is synchronous (sbatch --wait); it fails
+// immediately when the allocation cannot be satisfied right now — use
+// SubmitAsync to queue instead.
+func (c *Cluster) Submit(job *Job) (*JobResult, error) {
+	if job.Run == nil {
+		return nil, errors.New("slurm: job has no script")
+	}
+	if job.NumNodes <= 0 {
+		return nil, errors.New("slurm: job requests no nodes")
+	}
+	c.mu.Lock()
+	jobID, alloc, ok := c.tryAllocateLocked(job)
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("slurm: cannot allocate %d nodes for %s", job.NumNodes, job.Name)
+	}
+	return c.executeAllocated(job, jobID, alloc), nil
+}
+
+// executeAllocated runs prologues, the job script and epilogues on an
+// already-made allocation, releases the nodes and returns accounting.
+func (c *Cluster) executeAllocated(job *Job, jobID string, alloc []*Node) *JobResult {
+	c.mu.Lock()
+	plugins := make([]Plugin, len(c.plugins))
+	copy(plugins, c.plugins)
+	c.mu.Unlock()
+	defer func() {
+		for _, n := range alloc {
+			n.release(jobID)
+		}
+	}()
+
+	ctx := &Allocation{JobID: jobID, Job: job, Nodes: alloc}
+
+	// Energy accounting window opens before the prologue.
+	startE := make([]float64, 0, len(alloc)*4)
+	for _, n := range alloc {
+		for _, g := range n.GPUs {
+			startE = append(startE, g.EnergyBetween(0, g.Now()))
+		}
+	}
+
+	// Prologue chain; a failure aborts the job but still runs the
+	// epilogues of the plugins that already ran, in reverse order.
+	var ran []Plugin
+	var prologErr error
+	for _, p := range plugins {
+		for _, n := range alloc {
+			if err := p.Prologue(ctx, n); err != nil {
+				prologErr = fmt.Errorf("slurm: plugin %s prologue on %s: %w", p.Name(), n.Name, err)
+				break
+			}
+		}
+		if prologErr != nil {
+			break
+		}
+		ran = append(ran, p)
+	}
+
+	var jobErr error
+	if prologErr == nil {
+		jobErr = job.Run(ctx)
+	} else {
+		jobErr = prologErr
+	}
+
+	for i := len(ran) - 1; i >= 0; i-- {
+		for _, n := range alloc {
+			if err := ran[i].Epilogue(ctx, n); err != nil && jobErr == nil {
+				jobErr = fmt.Errorf("slurm: plugin %s epilogue on %s: %w", ran[i].Name(), n.Name, err)
+			}
+		}
+	}
+
+	res := &JobResult{JobID: jobID, Err: jobErr}
+	i := 0
+	for _, n := range alloc {
+		for _, g := range n.GPUs {
+			res.EnergyJ += g.EnergyBetween(0, g.Now()) - startE[i]
+			i++
+		}
+	}
+	return res
+}

@@ -1,0 +1,374 @@
+package slurm
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"synergy/internal/hw"
+	"synergy/internal/nvml"
+	"synergy/internal/power"
+)
+
+// newV100Cluster builds a cluster of n 4-GPU V100 nodes with the
+// nvgpufreq GRES and plugin installed.
+func newV100Cluster(t *testing.T, n int) *Cluster {
+	t.Helper()
+	var nodes []*Node
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, NewNode(nodeName(i), hw.V100(), 4, GresNVGpuFreq))
+	}
+	c := NewCluster(nodes...)
+	c.RegisterPlugin(&NVGpuFreqPlugin{Controller: c})
+	return c
+}
+
+func nodeName(i int) string { return "r" + string(rune('0'+i)) }
+
+// gpuFreqJob is a job script that scales every allocated GPU's clock as
+// a regular user and reports whether each set succeeded.
+func gpuFreqJob(t *testing.T, user string, wantOK bool) func(ctx *Allocation) error {
+	return func(ctx *Allocation) error {
+		for _, g := range ctx.GPUs() {
+			pm, err := power.NewManager(g, user, false)
+			if err != nil {
+				return err
+			}
+			err = pm.SetCoreFreq(g.Spec().MinCoreMHz())
+			if wantOK && err != nil {
+				return err
+			}
+			if !wantOK && err == nil {
+				return errors.New("frequency scaling unexpectedly allowed")
+			}
+		}
+		return nil
+	}
+}
+
+func TestExclusiveTaggedJobGetsFrequencyControl(t *testing.T) {
+	c := newV100Cluster(t, 1)
+	res, err := c.Submit(&Job{
+		Name: "scale", User: "alice", NumNodes: 1, Exclusive: true,
+		Gres: map[GRES]bool{GresNVGpuFreq: true},
+		Run:  gpuFreqJob(t, "alice", true),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("job failed: %v", res.Err)
+	}
+}
+
+func TestEpilogueRestoresCleanState(t *testing.T) {
+	c := newV100Cluster(t, 1)
+	node := c.Nodes()[0]
+	res, err := c.Submit(&Job{
+		Name: "scale", User: "alice", NumNodes: 1, Exclusive: true,
+		Gres: map[GRES]bool{GresNVGpuFreq: true},
+		Run:  gpuFreqJob(t, "alice", true),
+	})
+	if err != nil || res.Err != nil {
+		t.Fatalf("submit: %v / %v", err, res.Err)
+	}
+	for _, g := range node.GPUs {
+		// Clocks restored to the driver default...
+		if g.AppClockMHz() != g.Spec().DefaultCoreMHz {
+			t.Errorf("GPU left at %d MHz after job (default %d)", g.AppClockMHz(), g.Spec().DefaultCoreMHz)
+		}
+		// ...and privileges removed: the next user cannot scale.
+		pm, err := power.NewManager(g, "bob", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pm.SetCoreFreq(g.Spec().MinCoreMHz()); err == nil {
+			t.Error("privilege leak: next user can scale clocks")
+		}
+	}
+}
+
+func TestCrashedJobStillCleanedUp(t *testing.T) {
+	c := newV100Cluster(t, 1)
+	node := c.Nodes()[0]
+	boom := errors.New("segfault")
+	res, err := c.Submit(&Job{
+		Name: "crash", User: "alice", NumNodes: 1, Exclusive: true,
+		Gres: map[GRES]bool{GresNVGpuFreq: true},
+		Run: func(ctx *Allocation) error {
+			pm, err := power.NewManager(ctx.GPUs()[0], "alice", false)
+			if err != nil {
+				return err
+			}
+			if err := pm.SetCoreFreq(ctx.GPUs()[0].Spec().MinCoreMHz()); err != nil {
+				return err
+			}
+			return boom // job dies with the clock lowered
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.Err, boom) {
+		t.Fatalf("job error = %v, want crash", res.Err)
+	}
+	g := node.GPUs[0]
+	if g.AppClockMHz() != g.Spec().DefaultCoreMHz {
+		t.Fatalf("crashed job left clock at %d MHz", g.AppClockMHz())
+	}
+}
+
+func TestNonExclusiveJobGetsNoPrivileges(t *testing.T) {
+	c := newV100Cluster(t, 1)
+	res, err := c.Submit(&Job{
+		Name: "shared", User: "alice", NumNodes: 1, Exclusive: false,
+		Gres: map[GRES]bool{GresNVGpuFreq: true},
+		Run:  gpuFreqJob(t, "alice", false),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("job failed: %v", res.Err)
+	}
+}
+
+func TestUntaggedJobGetsNoPrivileges(t *testing.T) {
+	c := newV100Cluster(t, 1)
+	res, err := c.Submit(&Job{
+		Name: "untagged", User: "alice", NumNodes: 1, Exclusive: true,
+		Run: gpuFreqJob(t, "alice", false),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("job failed: %v", res.Err)
+	}
+}
+
+func TestUntaggedNodeGetsNoPrivileges(t *testing.T) {
+	node := NewNode("plain", hw.V100(), 2) // no GRES tag
+	c := NewCluster(node)
+	c.RegisterPlugin(&NVGpuFreqPlugin{Controller: c})
+	res, err := c.Submit(&Job{
+		Name: "j", User: "alice", NumNodes: 1, Exclusive: true,
+		Gres: map[GRES]bool{GresNVGpuFreq: true},
+		Run:  gpuFreqJob(t, "alice", false),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("job failed: %v", res.Err)
+	}
+}
+
+func TestNVMLUnavailableNodeGetsNoPrivileges(t *testing.T) {
+	node := NewNode("broken", hw.V100(), 2, GresNVGpuFreq)
+	node.NVMLAvailable = false // dlopen fails
+	c := NewCluster(node)
+	c.RegisterPlugin(&NVGpuFreqPlugin{Controller: c})
+	res, err := c.Submit(&Job{
+		Name: "j", User: "alice", NumNodes: 1, Exclusive: true,
+		Gres: map[GRES]bool{GresNVGpuFreq: true},
+		Run:  gpuFreqJob(t, "alice", false),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("job failed: %v", res.Err)
+	}
+}
+
+func TestExclusiveAllocationConflicts(t *testing.T) {
+	c := newV100Cluster(t, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := c.Submit(&Job{
+			Name: "holder", User: "a", NumNodes: 1, Exclusive: true,
+			Run: func(ctx *Allocation) error {
+				close(started)
+				<-block
+				return nil
+			},
+		})
+		if err != nil {
+			t.Errorf("holder: %v", err)
+		}
+	}()
+	<-started
+	// While the node is held exclusively, another job cannot allocate.
+	if _, err := c.Submit(&Job{
+		Name: "intruder", User: "b", NumNodes: 1, Exclusive: false,
+		Run: func(ctx *Allocation) error { return nil },
+	}); err == nil {
+		t.Error("second job allocated an exclusively-held node")
+	}
+	close(block)
+	wg.Wait()
+}
+
+func TestSharedAllocationCoexists(t *testing.T) {
+	c := newV100Cluster(t, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c.Submit(&Job{
+			Name: "s1", User: "a", NumNodes: 1,
+			Run: func(ctx *Allocation) error {
+				close(started)
+				<-block
+				return nil
+			},
+		}); err != nil {
+			t.Errorf("s1: %v", err)
+		}
+	}()
+	<-started
+	if _, err := c.Submit(&Job{
+		Name: "s2", User: "b", NumNodes: 1,
+		Run: func(ctx *Allocation) error { return nil },
+	}); err != nil {
+		t.Errorf("shared jobs should coexist: %v", err)
+	}
+	close(block)
+	wg.Wait()
+}
+
+func TestSubmitValidation(t *testing.T) {
+	c := newV100Cluster(t, 1)
+	if _, err := c.Submit(&Job{Name: "noscript", NumNodes: 1}); err == nil {
+		t.Error("job without script accepted")
+	}
+	if _, err := c.Submit(&Job{Name: "nonodes", Run: func(*Allocation) error { return nil }}); err == nil {
+		t.Error("job without nodes accepted")
+	}
+	if _, err := c.Submit(&Job{
+		Name: "toobig", NumNodes: 5,
+		Run: func(*Allocation) error { return nil },
+	}); err == nil || !strings.Contains(err.Error(), "cannot allocate") {
+		t.Errorf("oversized job: %v", err)
+	}
+}
+
+func TestMultiNodeAllocation(t *testing.T) {
+	c := newV100Cluster(t, 4)
+	res, err := c.Submit(&Job{
+		Name: "mpi", User: "alice", NumNodes: 4, Exclusive: true,
+		Gres: map[GRES]bool{GresNVGpuFreq: true},
+		Run: func(ctx *Allocation) error {
+			if len(ctx.Nodes) != 4 {
+				t.Errorf("allocated %d nodes", len(ctx.Nodes))
+			}
+			if len(ctx.GPUs()) != 16 {
+				t.Errorf("allocated %d GPUs", len(ctx.GPUs()))
+			}
+			return nil
+		},
+	})
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v / %v", err, res.Err)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	c := newV100Cluster(t, 1)
+	res, err := c.Submit(&Job{
+		Name: "burn", User: "alice", NumNodes: 1, Exclusive: true,
+		Run: func(ctx *Allocation) error {
+			for _, g := range ctx.GPUs() {
+				g.AdvanceIdle(1.0) // 1 s of idle power per GPU
+			}
+			return nil
+		},
+	})
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v / %v", err, res.Err)
+	}
+	want := 4 * hw.V100().IdlePowerW // 4 GPUs x 1 s
+	if res.EnergyJ < want*0.9 || res.EnergyJ > want*1.1 {
+		t.Fatalf("accounted %v J, want ~%v", res.EnergyJ, want)
+	}
+}
+
+func TestRestrictionFlagDirectly(t *testing.T) {
+	// The privilege window is visible through a fresh NVML session
+	// during the job and gone after it.
+	c := newV100Cluster(t, 1)
+	node := c.Nodes()[0]
+	res, err := c.Submit(&Job{
+		Name: "check", User: "alice", NumNodes: 1, Exclusive: true,
+		Gres: map[GRES]bool{GresNVGpuFreq: true},
+		Run: func(ctx *Allocation) error {
+			lib, err := nvml.New(ctx.GPUs()[0])
+			if err != nil {
+				return err
+			}
+			if err := lib.Init(); err != nil {
+				return err
+			}
+			h, err := lib.DeviceGetHandleByIndex(0)
+			if err != nil {
+				return err
+			}
+			restricted, err := h.GetAPIRestriction(nvml.APISetApplicationClocks)
+			if err != nil {
+				return err
+			}
+			if restricted {
+				return errors.New("restriction not lifted during job")
+			}
+			return nil
+		},
+	})
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v / %v", err, res.Err)
+	}
+	lib, err := nvml.New(node.GPUs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Init(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := lib.DeviceGetHandleByIndex(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restricted, err := h.GetAPIRestriction(nvml.APISetApplicationClocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restricted {
+		t.Fatal("restriction not restored after job")
+	}
+}
+
+func TestMI100NodesWorkWithoutPlugin(t *testing.T) {
+	// AMD nodes: NVML unavailable, plugin terminates silently; the job
+	// still runs.
+	node := NewNode("amd0", hw.MI100(), 4, GresNVGpuFreq)
+	if node.NVMLAvailable {
+		t.Fatal("AMD node should not report NVML")
+	}
+	c := NewCluster(node)
+	c.RegisterPlugin(&NVGpuFreqPlugin{Controller: c})
+	res, err := c.Submit(&Job{
+		Name: "amdjob", User: "alice", NumNodes: 1, Exclusive: true,
+		Gres: map[GRES]bool{GresNVGpuFreq: true},
+		Run:  func(ctx *Allocation) error { return nil },
+	})
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v / %v", err, res.Err)
+	}
+}

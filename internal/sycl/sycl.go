@@ -1,0 +1,332 @@
+// Package sycl is a SYCL-flavoured runtime over the simulated GPU
+// substrate: devices, in-order queues, command groups, parallel_for
+// kernel launches and events with execution-status and profiling
+// queries. Kernels are kernelir programs; launching one both executes it
+// (the interpreter computes real results on host memory) and advances
+// the device's virtual timeline according to the hardware model.
+//
+// The SYnergy API (internal/core) wraps this queue exactly the way the
+// paper's synergy::queue wraps sycl::queue.
+package sycl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"synergy/internal/features"
+	"synergy/internal/hw"
+	"synergy/internal/kernelir"
+)
+
+// Device represents one compute device (a simulated GPU).
+type Device struct {
+	hw *hw.Device
+}
+
+// NewDevice creates a device from a hardware spec.
+func NewDevice(spec *hw.Spec) *Device {
+	return &Device{hw: hw.NewDevice(spec)}
+}
+
+// WrapDevice adopts an existing virtual device (used when the scheduler
+// hands out devices it also manages through NVML/SMI).
+func WrapDevice(d *hw.Device) *Device { return &Device{hw: d} }
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.hw.Spec().Name }
+
+// HW exposes the underlying virtual device.
+func (d *Device) HW() *hw.Device { return d.hw }
+
+// EventStatus mirrors SYCL's info::event_command_status.
+type EventStatus int
+
+const (
+	// Submitted: the command group is enqueued but not yet running.
+	Submitted EventStatus = iota
+	// Running: the kernel is executing on the device.
+	Running
+	// Complete: execution finished (possibly with an error).
+	Complete
+)
+
+// String returns the status name.
+func (s EventStatus) String() string {
+	switch s {
+	case Submitted:
+		return "submitted"
+	case Running:
+		return "running"
+	default:
+		return "complete"
+	}
+}
+
+// Event tracks one submitted command group, with profiling information
+// in device virtual time once complete.
+type Event struct {
+	mu     sync.Mutex
+	status EventStatus
+	rec    hw.KernelRecord
+	err    error
+	done   chan struct{}
+}
+
+// Status returns the current execution status.
+func (e *Event) Status() EventStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.status
+}
+
+// Wait blocks until the command group completes and returns its error,
+// like wait_and_throw.
+func (e *Event) Wait() error {
+	<-e.done
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Profiling returns the kernel record (start/end in device virtual time,
+// energy, frequency). It blocks until completion.
+func (e *Event) Profiling() (hw.KernelRecord, error) {
+	<-e.done
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rec, e.err
+}
+
+func (e *Event) setRunning() {
+	e.mu.Lock()
+	e.status = Running
+	e.mu.Unlock()
+}
+
+func (e *Event) finish(rec hw.KernelRecord, err error) {
+	e.mu.Lock()
+	e.status = Complete
+	e.rec = rec
+	e.err = err
+	e.mu.Unlock()
+	close(e.done)
+}
+
+// finishWith reports through the queue's async handler before finishing.
+func (q *Queue) finishWith(ev *Event, rec hw.KernelRecord, err error) {
+	if err != nil {
+		q.mu.Lock()
+		h := q.asyncHandler
+		q.mu.Unlock()
+		if h != nil {
+			h(err)
+		}
+	}
+	ev.finish(rec, err)
+}
+
+// Handler is the command-group handler: command groups call ParallelFor
+// exactly once to describe the kernel launch, optionally declaring
+// dependencies on earlier events first.
+type Handler struct {
+	kernel *kernelir.Kernel
+	args   kernelir.Args
+	items  int
+	width  int // row width for 2-D ranges (0 = 1-D)
+	calls  int
+	deps   []*Event
+}
+
+// DependsOn declares that this command group must not start before the
+// given events complete (sycl::handler::depends_on). Only meaningful on
+// out-of-order queues; in-order queues already serialise.
+func (h *Handler) DependsOn(evs ...*Event) {
+	h.deps = append(h.deps, evs...)
+}
+
+// ParallelFor records a kernel launch over [0, items) work-items with
+// the given argument bindings.
+func (h *Handler) ParallelFor(items int, k *kernelir.Kernel, args kernelir.Args) {
+	h.calls++
+	h.kernel = k
+	h.args = args
+	h.items = items
+}
+
+// ParallelFor2D records a kernel launch over an nx × ny range
+// (sycl::range<2>): GlobalID2 in the kernel yields (x, y) without any
+// index arithmetic.
+func (h *Handler) ParallelFor2D(nx, ny int, k *kernelir.Kernel, args kernelir.Args) {
+	h.calls++
+	h.kernel = k
+	h.args = args
+	h.items = nx * ny
+	h.width = nx
+}
+
+// CommandGroup is the function a Submit executes to build the launch,
+// as in sycl::queue::submit.
+type CommandGroup func(h *Handler)
+
+// Queue is an in-order device queue: submissions execute asynchronously
+// with respect to the host, in submission order on the device.
+type Queue struct {
+	dev *Device
+	// ConstructedAt is the device virtual time when the queue was
+	// created (the start of the coarse-grained profiling window, §4.2).
+	constructedAt float64
+
+	mu            sync.Mutex
+	last          chan struct{} // done channel of the most recent submission
+	functionalCap int
+	outOfOrder    bool
+	pending       sync.WaitGroup
+	asyncHandler  func(error)
+}
+
+// NewQueue creates an in-order queue on the device.
+func NewQueue(dev *Device) *Queue {
+	return &Queue{dev: dev, constructedAt: dev.hw.Now()}
+}
+
+// NewOutOfOrderQueue creates a queue whose submissions are ordered only
+// by the dependencies declared with Handler.DependsOn — the default
+// sycl::queue semantics. Kernels still serialise on the device's single
+// execution engine, but independent command groups may start in any
+// order.
+func NewOutOfOrderQueue(dev *Device) *Queue {
+	return &Queue{dev: dev, constructedAt: dev.hw.Now(), outOfOrder: true}
+}
+
+// Device returns the queue's device.
+func (q *Queue) Device() *Device { return q.dev }
+
+// SetFunctionalCap bounds how many work-items the interpreter actually
+// computes per launch (0 = all, the default). The virtual-time/energy
+// model always accounts for the full launch; when a launch exceeds the
+// cap only the first cap work-items produce results on host memory.
+//
+// This is a simulator-only escape hatch: a virtual GPU is ~10⁴× faster
+// than the host interpreter, so launches sized for realistic kernel
+// durations cannot be fully interpreted. Tests that verify numerical
+// output must use launches within the cap (or leave it at 0).
+func (q *Queue) SetFunctionalCap(n int) {
+	if n < 0 {
+		panic("sycl: negative functional cap")
+	}
+	q.mu.Lock()
+	q.functionalCap = n
+	q.mu.Unlock()
+}
+
+// SetAsyncHandler installs a callback invoked (from the device thread)
+// whenever a command group fails asynchronously — the sycl::queue
+// async_handler. Event.Wait still returns the error as well.
+func (q *Queue) SetAsyncHandler(h func(error)) {
+	q.mu.Lock()
+	q.asyncHandler = h
+	q.mu.Unlock()
+}
+
+// ConstructedAt returns the device time at queue construction.
+func (q *Queue) ConstructedAt() float64 { return q.constructedAt }
+
+// Submit enqueues a command group and returns its event immediately.
+func (q *Queue) Submit(cg CommandGroup) (*Event, error) {
+	return q.SubmitPre(nil, cg)
+}
+
+// SubmitPre enqueues a command group with a pre-kernel action that runs
+// on the device thread immediately before the kernel starts — the hook
+// the SYnergy layer uses for per-kernel frequency scaling (§4.4: SYCL
+// has no way to run instructions just before a kernel starts, so the
+// frequency change is implemented in the command-group execution).
+func (q *Queue) SubmitPre(pre func() error, cg CommandGroup) (*Event, error) {
+	h := &Handler{}
+	cg(h)
+	if h.calls == 0 {
+		return nil, errors.New("sycl: command group did not call ParallelFor")
+	}
+	if h.calls > 1 {
+		return nil, errors.New("sycl: command group called ParallelFor more than once")
+	}
+	if h.items <= 0 {
+		return nil, fmt.Errorf("sycl: kernel %q launched with %d work-items", h.kernel.Name, h.items)
+	}
+	wl, err := features.KernelWorkload(h.kernel, int64(h.items))
+	if err != nil {
+		return nil, err
+	}
+
+	ev := &Event{done: make(chan struct{})}
+	q.mu.Lock()
+	var prev chan struct{}
+	if !q.outOfOrder {
+		prev = q.last
+		q.last = ev.done
+	}
+	execItems := h.items
+	if q.functionalCap > 0 && execItems > q.functionalCap {
+		execItems = q.functionalCap
+	}
+	q.pending.Add(1)
+	q.mu.Unlock()
+
+	deps := h.deps
+	go func() {
+		defer q.pending.Done()
+		if prev != nil {
+			<-prev // in-order queue: wait for the previous command
+		}
+		for _, dep := range deps {
+			if err := dep.Wait(); err != nil {
+				q.finishWith(ev, hw.KernelRecord{}, fmt.Errorf("sycl: dependency of %q failed: %w", h.kernel.Name, err))
+				return
+			}
+		}
+		ev.setRunning()
+		if pre != nil {
+			if err := pre(); err != nil {
+				q.finishWith(ev, hw.KernelRecord{}, err)
+				return
+			}
+		}
+		// Advance the virtual timeline per the hardware model...
+		rec, err := q.dev.hw.ExecuteKernel(wl)
+		if err != nil {
+			q.finishWith(ev, hw.KernelRecord{}, err)
+			return
+		}
+		// ...and compute the actual results on host memory.
+		if err := kernelir.ExecuteGrid(h.kernel, h.args, execItems, h.width); err != nil {
+			q.finishWith(ev, rec, err)
+			return
+		}
+		ev.finish(rec, nil)
+	}()
+	return ev, nil
+}
+
+// Probe dry-runs a command group to discover the kernel and launch size
+// it would submit, without executing anything. The SYnergy layer uses
+// this to run model inference (frequency prediction) before submission.
+func Probe(cg CommandGroup) (*kernelir.Kernel, int, error) {
+	h := &Handler{}
+	cg(h)
+	if h.calls != 1 {
+		return nil, 0, errors.New("sycl: command group must call ParallelFor exactly once")
+	}
+	return h.kernel, h.items, nil
+}
+
+// Wait blocks until every submitted command group has completed.
+func (q *Queue) Wait() {
+	q.mu.Lock()
+	last := q.last
+	q.mu.Unlock()
+	if last != nil {
+		<-last
+	}
+	q.pending.Wait()
+}

@@ -1,0 +1,83 @@
+// Package trace exports device timelines in the Chrome tracing format
+// (chrome://tracing, Perfetto): one track per GPU with a complete event
+// per kernel (name, frequency, energy) and a power counter track — a
+// practical way to inspect what per-kernel frequency scaling did to a
+// run.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"synergy/internal/hw"
+)
+
+// event is one Chrome trace event (the subset we emit).
+type event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"` // "X" complete, "C" counter, "M" metadata
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// Device pairs a label with a virtual device for export.
+type Device struct {
+	Label string
+	Dev   *hw.Device
+}
+
+// Export writes the Chrome-trace JSON for the devices' full timelines.
+func Export(w io.Writer, devices []Device) error {
+	if len(devices) == 0 {
+		return fmt.Errorf("trace: no devices to export")
+	}
+	var f traceFile
+	f.DisplayTimeUnit = "ms"
+	for tid, d := range devices {
+		f.TraceEvents = append(f.TraceEvents, event{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": d.Label},
+		})
+		segs := d.Dev.Segments()
+		sort.Slice(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
+		idle := d.Dev.Spec().IdlePowerW
+		prevEnd := 0.0
+		for _, s := range segs {
+			// Idle gap counter sample.
+			if s.Start > prevEnd {
+				f.TraceEvents = append(f.TraceEvents, counter(tid, prevEnd, idle))
+			}
+			f.TraceEvents = append(f.TraceEvents, event{
+				Name: s.Label, Ph: "X",
+				Ts: s.Start * 1e6, Dur: (s.End - s.Start) * 1e6,
+				Pid: 1, Tid: tid,
+				Args: map[string]any{
+					"powerW":  s.PowerW,
+					"energyJ": s.PowerW * (s.End - s.Start),
+				},
+			})
+			f.TraceEvents = append(f.TraceEvents, counter(tid, s.Start, s.PowerW))
+			prevEnd = s.End
+		}
+		f.TraceEvents = append(f.TraceEvents, counter(tid, prevEnd, idle))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+func counter(tid int, t, powerW float64) event {
+	return event{
+		Name: "power", Ph: "C", Ts: t * 1e6, Pid: 1, Tid: tid,
+		Args: map[string]any{"W": powerW},
+	}
+}

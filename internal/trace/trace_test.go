@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"synergy/internal/hw"
+)
+
+func TestExportProducesValidChromeTrace(t *testing.T) {
+	dev := hw.NewDevice(hw.V100())
+	for i := 0; i < 3; i++ {
+		if _, err := dev.ExecuteKernel(hw.Workload{
+			Name: "k", Items: 1 << 20, FloatOps: 50, GlobalBytes: 16,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		dev.AdvanceIdle(0.001)
+	}
+
+	var buf bytes.Buffer
+	if err := Export(&buf, []Device{{Label: "gpu0", Dev: dev}}); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	kernels, counters, meta := 0, 0, 0
+	for _, e := range parsed.TraceEvents {
+		switch e.Ph {
+		case "X":
+			kernels++
+			if e.Dur <= 0 {
+				t.Errorf("kernel event with non-positive duration: %+v", e)
+			}
+			if _, ok := e.Args["powerW"]; !ok {
+				t.Error("kernel event missing power annotation")
+			}
+		case "C":
+			counters++
+		case "M":
+			meta++
+		}
+	}
+	if kernels != 3 {
+		t.Errorf("%d kernel events, want 3", kernels)
+	}
+	if counters < 4 {
+		t.Errorf("%d counter samples, want >= 4 (busy + idle)", counters)
+	}
+	if meta != 1 {
+		t.Errorf("%d metadata events, want 1", meta)
+	}
+}
+
+func TestExportMultipleDevicesAndEmpty(t *testing.T) {
+	if err := Export(&bytes.Buffer{}, nil); err == nil {
+		t.Error("empty export accepted")
+	}
+	a := hw.NewDevice(hw.V100())
+	b := hw.NewDevice(hw.MI100())
+	if _, err := a.ExecuteKernel(hw.Workload{Name: "x", Items: 100, FloatOps: 10, GlobalBytes: 4}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Export(&buf, []Device{{"a", a}, {"b", b}}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"a"`)) || !bytes.Contains(buf.Bytes(), []byte(`"b"`)) {
+		t.Error("device labels missing from trace")
+	}
+}
