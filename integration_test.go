@@ -186,8 +186,9 @@ func TestDeviceEnergyDecomposition(t *testing.T) {
 
 // TestClusterDeniesUnprivilegedScaling runs the MPI application through
 // SLURM as a regular user WITHOUT the nvgpufreq GRES: the per-kernel
-// frequency plan must fail at launch (permission), proving the plugin
-// gate is what enables SYnergy on shared clusters.
+// frequency plan is denied (permission), the job degrades to default
+// clocks — completing with every denial recorded — proving the plugin
+// gate is what enables SYnergy's savings on shared clusters.
 func TestClusterDeniesUnprivilegedScaling(t *testing.T) {
 	spec := hw.V100()
 	node := slurm.NewNode("n0", spec, 2, slurm.GresNVGpuFreq)
@@ -199,11 +200,13 @@ func TestClusterDeniesUnprivilegedScaling(t *testing.T) {
 	for _, k := range app.Kernels {
 		plan[k.Name] = spec.CoreFreqsMHz[10]
 	}
-	run := func(gres map[slurm.GRES]bool) error {
+	run := func(gres map[slurm.GRES]bool) *apps.RunResult {
+		var rr *apps.RunResult
 		res, err := cluster.Submit(&slurm.Job{
 			Name: "mw", User: "alice", NumNodes: 1, Exclusive: true, Gres: gres,
 			Run: func(alloc *slurm.Allocation) error {
-				_, err := apps.Run(app, apps.RunConfig{
+				var err error
+				rr, err = apps.Run(app, apps.RunConfig{
 					Spec: spec, Nodes: 1, GPUsPerNode: 2,
 					LocalNx: 48, LocalNy: 48, Steps: 2,
 					Plan: plan, Net: mpi.EDRFabric(),
@@ -215,14 +218,25 @@ func TestClusterDeniesUnprivilegedScaling(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.Err
+		if res.Err != nil {
+			t.Fatalf("job failed: %v", res.Err)
+		}
+		return rr
 	}
 
-	if err := run(nil); err == nil {
-		t.Fatal("unprivileged job scaled frequencies without the nvgpufreq GRES")
+	unpriv := run(nil)
+	if len(unpriv.Degradations) == 0 {
+		t.Fatal("unprivileged job recorded no degradations without the nvgpufreq GRES")
 	}
-	if err := run(map[slurm.GRES]bool{slurm.GresNVGpuFreq: true}); err != nil {
-		t.Fatalf("privileged job failed: %v", err)
+	if unpriv.ClockSets != 0 {
+		t.Fatalf("unprivileged job changed clocks %d times", unpriv.ClockSets)
+	}
+	priv := run(map[slurm.GRES]bool{slurm.GresNVGpuFreq: true})
+	if len(priv.Degradations) != 0 {
+		t.Fatalf("privileged job degraded: %+v", priv.Degradations)
+	}
+	if priv.ClockSets == 0 {
+		t.Fatal("privileged job never scaled frequencies")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"synergy/internal/core"
+	"synergy/internal/fault"
 	"synergy/internal/hw"
 	"synergy/internal/kernelir"
 	"synergy/internal/metrics"
@@ -101,6 +102,11 @@ type RunConfig struct {
 	// Profile enables per-kernel statistics collection (merged across
 	// ranks into RunResult.Kernels).
 	Profile bool
+	// Fault optionally attaches a fault injector to the whole run: the
+	// MPI fabric and every device (supplied or fresh) consult it. Jobs
+	// running under SLURM instead inherit the cluster's injector through
+	// the allocated devices.
+	Fault *fault.Injector
 }
 
 func (c *RunConfig) validate() error {
@@ -136,6 +142,10 @@ type RunResult struct {
 	// Kernels holds per-kernel statistics merged across ranks when
 	// RunConfig.Profile is set (sorted by descending energy).
 	Kernels []core.KernelStats
+	// Degradations lists the submissions (across all ranks, in rank
+	// order) that ran at current clocks because frequency control was
+	// denied — the job completed, the energy saving was forfeited.
+	Degradations []core.DegradationEvent
 }
 
 // Run executes the application on a simulated GPU cluster: one MPI rank
@@ -156,10 +166,17 @@ func Run(app *App, cfg RunConfig) (*RunResult, error) {
 		devices = make([]*hw.Device, ranks)
 		for i := range devices {
 			devices[i] = hw.NewDevice(cfg.Spec)
+			devices[i].SetLabel(fmt.Sprintf("rank%d", i))
 		}
 	}
 	if len(devices) != ranks {
 		return nil, fmt.Errorf("apps: %d devices supplied for %d ranks", len(devices), ranks)
+	}
+	if cfg.Fault != nil {
+		world.SetFaultInjector(cfg.Fault)
+		for _, d := range devices {
+			d.SetFaultInjector(cfg.Fault)
+		}
 	}
 	// Synchronise all devices to a common job-start epoch (devices that
 	// ran earlier jobs are ahead in virtual time; the others idle until
@@ -181,6 +198,7 @@ func Run(app *App, cfg RunConfig) (*RunResult, error) {
 	}
 	times := make([]float64, ranks)
 	profiles := make([][]core.KernelStats, ranks)
+	degraded := make([][]core.DegradationEvent, ranks)
 	items := cfg.LocalNx * cfg.LocalNy
 
 	err = world.Run(func(r *mpi.Rank) error {
@@ -258,6 +276,7 @@ func Run(app *App, cfg RunConfig) (*RunResult, error) {
 		if cfg.Profile {
 			profiles[r.Rank()] = q.Profile()
 		}
+		degraded[r.Rank()] = q.Degradations()
 		return nil
 	})
 	if err != nil {
@@ -274,6 +293,9 @@ func Run(app *App, cfg RunConfig) (*RunResult, error) {
 	}
 	if cfg.Profile {
 		res.Kernels = mergeKernelStats(profiles)
+	}
+	for _, d := range degraded {
+		res.Degradations = append(res.Degradations, d...)
 	}
 	return res, nil
 }

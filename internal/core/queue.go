@@ -11,11 +11,27 @@ import (
 	"fmt"
 	"sync"
 
+	"synergy/internal/governor"
 	"synergy/internal/kernelir"
 	"synergy/internal/metrics"
 	"synergy/internal/power"
 	"synergy/internal/sycl"
 )
+
+// DegradationEvent records a submission that ran at current clocks
+// because the vendor layer denied the frequency change (no privilege
+// window, §7): the kernel still executes correctly — only the energy
+// saving is forfeited.
+type DegradationEvent struct {
+	// Kernel is the kernel name ("" when the command group has none).
+	Kernel string
+	// WantMHz is the core frequency the runtime tried to pin.
+	WantMHz int
+	// Reason is the vendor error text.
+	Reason string
+	// TimeSec is the device virtual time when the denial was observed.
+	TimeSec float64
+}
 
 // FrequencyAdvisor predicts the core frequency that optimises a target
 // for a kernel — the prediction phase of §6.2. internal/model provides
@@ -33,6 +49,8 @@ type Queue struct {
 	mu      sync.Mutex
 	pinned  int // core MHz pinned at construction (0 = none)
 	advisor FrequencyAdvisor
+	retry   governor.RetryPolicy
+	degr    []DegradationEvent
 	prof    profiler
 }
 
@@ -73,6 +91,24 @@ func (q *Queue) SetAdvisor(a FrequencyAdvisor) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.advisor = a
+}
+
+// SetRetryPolicy overrides the retry/backoff policy used for pre-kernel
+// clock changes (governor.DefaultRetryPolicy when unset).
+func (q *Queue) SetRetryPolicy(pol governor.RetryPolicy) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.retry = pol
+}
+
+// Degradations returns the submissions that ran at current clocks
+// because frequency control was denied, in submission order.
+func (q *Queue) Degradations() []DegradationEvent {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]DegradationEvent, len(q.degr))
+	copy(out, q.degr)
+	return out
 }
 
 // Device returns the underlying SYCL device.
@@ -139,13 +175,40 @@ func (q *Queue) SubmitWithTarget(target metrics.Target, cg sycl.CommandGroup) (*
 
 // submitAt submits with a pre-kernel clock change: the set happens on
 // the device thread in submission order, costing the vendor library's
-// clock-set overhead (§4.4).
+// clock-set overhead (§4.4). Transient clock-set failures are retried
+// with bounded backoff; a permission denial degrades gracefully — the
+// kernel runs at current clocks and the denial is recorded.
 func (q *Queue) submitAt(coreMHz int, cg sycl.CommandGroup) (*sycl.Event, error) {
+	q.mu.Lock()
+	pol := q.retry
+	q.mu.Unlock()
+	if pol.MaxAttempts == 0 {
+		pol = governor.DefaultRetryPolicy()
+	}
 	ev, err := q.q.SubmitPre(func() error {
 		if q.pm.CurrentCoreFreq() == coreMHz {
 			return nil
 		}
-		return q.pm.SetCoreFreq(coreMHz)
+		res := governor.ApplyFrequency(q.pm, coreMHz, pol)
+		if res.Applied {
+			return nil
+		}
+		if res.Degraded {
+			name := ""
+			if k, _, perr := sycl.Probe(cg); perr == nil {
+				name = k.Name
+			}
+			q.mu.Lock()
+			q.degr = append(q.degr, DegradationEvent{
+				Kernel:  name,
+				WantMHz: coreMHz,
+				Reason:  res.Err.Error(),
+				TimeSec: q.pm.DeviceNow(),
+			})
+			q.mu.Unlock()
+			return nil // run at current clocks; energy saving forfeited
+		}
+		return res.Err
 	}, cg)
 	if err == nil {
 		q.observe(ev)

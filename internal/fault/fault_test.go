@@ -1,0 +1,265 @@
+package fault
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	t.Parallel()
+	var in *Injector
+	d, err := in.Check("any.site")
+	if d != 0 || err != nil {
+		t.Fatalf("nil injector Check = (%v, %v), want (0, nil)", d, err)
+	}
+	if in.CallCount("any.site") != 0 {
+		t.Fatal("nil injector counted a call")
+	}
+	if in.Trace() != nil {
+		t.Fatal("nil injector has a trace")
+	}
+}
+
+func TestStickyFault(t *testing.T) {
+	t.Parallel()
+	in := New(1, Rule{Site: "a.b", Err: ErrInjected})
+	for i := 0; i < 5; i++ {
+		if _, err := in.Check("a.b"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: err = %v, want ErrInjected", i+1, err)
+		}
+	}
+	if got := len(in.Trace()); got != 5 {
+		t.Fatalf("trace has %d events, want 5", got)
+	}
+}
+
+func TestOneShotFault(t *testing.T) {
+	t.Parallel()
+	in := New(1, Rule{Site: "a.b", Count: 1, Err: ErrInjected})
+	if _, err := in.Check("a.b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first call: err = %v, want ErrInjected", err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := in.Check("a.b"); err != nil {
+			t.Fatalf("one-shot fired again: %v", err)
+		}
+	}
+}
+
+func TestOneShotIsPerQualifiedSite(t *testing.T) {
+	t.Parallel()
+	// A base-site one-shot fires once per device, not once globally.
+	in := New(1, Rule{Site: "nvml.set", Count: 1, Err: ErrInjected})
+	for _, site := range []string{"nvml.set:gpu0", "nvml.set:gpu1"} {
+		if _, err := in.Check(site); !errors.Is(err, ErrInjected) {
+			t.Fatalf("%s first call: err = %v, want ErrInjected", site, err)
+		}
+		if _, err := in.Check(site); err != nil {
+			t.Fatalf("%s fired twice: %v", site, err)
+		}
+	}
+}
+
+func TestQualifiedRuleMatchesExactly(t *testing.T) {
+	t.Parallel()
+	in := New(1, Rule{Site: "mpi.send:r3", Err: ErrInjected})
+	if _, err := in.Check("mpi.send:r2"); err != nil {
+		t.Fatalf("rule for r3 fired on r2: %v", err)
+	}
+	if _, err := in.Check("mpi.send:r3"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rule for r3 did not fire on r3: %v", err)
+	}
+}
+
+func TestAfterSkipsEarlyCalls(t *testing.T) {
+	t.Parallel()
+	in := New(1, Rule{Site: "a.b", After: 3, Err: ErrInjected})
+	for i := 0; i < 3; i++ {
+		if _, err := in.Check("a.b"); err != nil {
+			t.Fatalf("call %d fired despite after=3: %v", i+1, err)
+		}
+	}
+	if _, err := in.Check("a.b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("call 4: err = %v, want ErrInjected", err)
+	}
+}
+
+func TestDelayOnlyRule(t *testing.T) {
+	t.Parallel()
+	in := New(1, Rule{Site: "a.b", DelaySec: 0.25})
+	d, err := in.Check("a.b")
+	if err != nil {
+		t.Fatalf("delay-only rule injected error %v", err)
+	}
+	if d != 0.25 {
+		t.Fatalf("delay = %v, want 0.25", d)
+	}
+	tr := in.Trace()
+	if len(tr) != 1 || tr[0].Err != "" || tr[0].DelaySec != 0.25 {
+		t.Fatalf("trace = %+v", tr)
+	}
+}
+
+func TestMultipleRulesAccumulateDelayFirstErrorWins(t *testing.T) {
+	t.Parallel()
+	errA := errors.New("a")
+	errB := errors.New("b")
+	in := New(1,
+		Rule{Site: "a.b", DelaySec: 0.1, Err: errA},
+		Rule{Site: "a.b", DelaySec: 0.2, Err: errB},
+	)
+	d, err := in.Check("a.b")
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want first rule's error", err)
+	}
+	if math.Abs(d-0.3) > 1e-12 {
+		t.Fatalf("delay = %v, want 0.3", d)
+	}
+}
+
+func TestProbabilisticFiringIsDeterministicAndCalibrated(t *testing.T) {
+	t.Parallel()
+	const n = 2000
+	run := func() []Event {
+		in := New(42, Rule{Site: "a.b", Prob: 0.3, Err: ErrInjected})
+		for i := 0; i < n; i++ {
+			in.Check("a.b")
+		}
+		return in.Trace()
+	}
+	t1, t2 := run(), run()
+	if !reflect.DeepEqual(t1, t2) {
+		t.Fatal("identical seed produced different traces")
+	}
+	rate := float64(len(t1)) / n
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("empirical rate %.3f far from p=0.3", rate)
+	}
+	// A different seed draws a different subsequence.
+	in := New(43, Rule{Site: "a.b", Prob: 0.3, Err: ErrInjected})
+	for i := 0; i < n; i++ {
+		in.Check("a.b")
+	}
+	if reflect.DeepEqual(t1, in.Trace()) {
+		t.Fatal("different seeds produced the identical trace")
+	}
+}
+
+func TestResetReplaysIdenticalSequence(t *testing.T) {
+	t.Parallel()
+	in := New(7,
+		Rule{Site: "a.b", Prob: 0.5, Err: ErrInjected},
+		Rule{Site: "a.b", Count: 2, DelaySec: 0.01},
+	)
+	collect := func() []Event {
+		for i := 0; i < 100; i++ {
+			in.Check("a.b")
+		}
+		return in.Trace()
+	}
+	first := collect()
+	in.Reset()
+	second := collect()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("Reset did not replay the identical fault sequence")
+	}
+}
+
+func TestNamedErrorRegistry(t *testing.T) {
+	t.Parallel()
+	sentinel := errors.New("boom")
+	RegisterError("test.boom", sentinel)
+	got, ok := NamedError("test.boom")
+	if !ok || !errors.Is(got, sentinel) {
+		t.Fatalf("NamedError = (%v, %v)", got, ok)
+	}
+	if _, ok := NamedError("test.unknown"); ok {
+		t.Fatal("unregistered name resolved")
+	}
+}
+
+func TestParseScenario(t *testing.T) {
+	t.Parallel()
+	sentinel := errors.New("parse sentinel")
+	RegisterError("test.parse_sentinel", sentinel)
+	sc, err := ParseScenario("s", `
+# one-shot permission denial on gpu1
+nvml.set:gpu1 count=1 err=test.parse_sentinel
+mpi.send p=0.25 delay=10ms    # flaky link
+slurm.node_fail:node2 after=2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Site: "nvml.set:gpu1", Count: 1, Err: sentinel},
+		{Site: "mpi.send", Prob: 0.25, DelaySec: (10 * time.Millisecond).Seconds()},
+		{Site: "slurm.node_fail:node2", After: 2, Err: ErrInjected},
+	}
+	if !reflect.DeepEqual(sc.Rules, want) {
+		t.Fatalf("rules = %+v\nwant    %+v", sc.Rules, want)
+	}
+}
+
+func TestParseScenarioErrors(t *testing.T) {
+	t.Parallel()
+	for _, text := range []string{
+		"a.b p=1.5",
+		"a.b after=-1",
+		"a.b count=x",
+		"a.b delay=banana",
+		"a.b err=never.registered",
+		"a.b frobnicate=1",
+		"a.b p",
+	} {
+		if _, err := ParseScenario("bad", text); err == nil {
+			t.Errorf("ParseScenario(%q) accepted malformed input", text)
+		}
+	}
+}
+
+func TestCallCount(t *testing.T) {
+	t.Parallel()
+	in := New(1)
+	in.Check("a.b:x")
+	in.Check("a.b:x")
+	in.Check("a.b:y")
+	if got := in.CallCount("a.b:x"); got != 2 {
+		t.Fatalf("CallCount(a.b:x) = %d, want 2", got)
+	}
+	if got := in.CallCount("a.b:y"); got != 1 {
+		t.Fatalf("CallCount(a.b:y) = %d, want 1", got)
+	}
+}
+
+func TestTraceIsSortedUnderConcurrency(t *testing.T) {
+	t.Parallel()
+	// Different qualified sites hammered from different goroutines still
+	// yield one canonical, comparable trace.
+	run := func() []Event {
+		in := New(99, Rule{Site: "mpi.send", Prob: 0.5, Err: ErrInjected})
+		done := make(chan struct{})
+		for r := 0; r < 4; r++ {
+			site := "mpi.send:r" + string(rune('0'+r))
+			go func(site string) {
+				defer close_(done)
+				for i := 0; i < 200; i++ {
+					in.Check(site)
+				}
+			}(site)
+		}
+		for r := 0; r < 4; r++ {
+			<-done
+		}
+		return in.Trace()
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Fatal("concurrent runs with the same seed diverged")
+	}
+}
+
+// close_ sends one completion token (the channel is used as a counter).
+func close_(ch chan struct{}) { ch <- struct{}{} }

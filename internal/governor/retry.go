@@ -1,0 +1,94 @@
+package governor
+
+import (
+	"fmt"
+
+	"synergy/internal/power"
+)
+
+// RetryPolicy bounds the clock-set retry loop used when a vendor
+// library rejects a frequency change transiently (driver timeouts under
+// load). Backoff waits are virtual device time, charged through
+// power.Manager.Sleep.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of SetCoreFreq attempts (>= 1).
+	MaxAttempts int
+	// InitialBackoffSec is the wait after the first failed attempt.
+	InitialBackoffSec float64
+	// BackoffFactor multiplies the wait after each further failure.
+	BackoffFactor float64
+	// MaxBackoffSec caps a single wait.
+	MaxBackoffSec float64
+}
+
+// DefaultRetryPolicy mirrors a production DVFS daemon: a handful of
+// quick retries, exponential backoff from 1 ms, capped well below a
+// kernel duration so a flaky driver cannot stall the queue.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:       4,
+		InitialBackoffSec: 1e-3,
+		BackoffFactor:     2,
+		MaxBackoffSec:     10e-3,
+	}
+}
+
+// ApplyResult reports how a frequency-change attempt sequence ended.
+type ApplyResult struct {
+	// Applied: the requested frequency is now pinned.
+	Applied bool
+	// Degraded: the vendor layer denied permission; the caller should
+	// proceed at current clocks (energy saving forfeited) and record the
+	// degradation.
+	Degraded bool
+	// Attempts counts SetCoreFreq calls made.
+	Attempts int
+	// BackoffSec is the total virtual time spent waiting between
+	// attempts.
+	BackoffSec float64
+	// Err is the terminal error when the sequence neither applied nor
+	// degraded (retry budget exhausted on transient errors, or a
+	// non-retryable failure).
+	Err error
+}
+
+// ApplyFrequency pins the core clock with bounded retry-with-backoff:
+// transient errors (power.IsTransient) are retried up to
+// pol.MaxAttempts with exponentially growing virtual-time backoff;
+// permission denials (power.IsPermissionDenied) degrade immediately —
+// the caller keeps running at current clocks; any other error is
+// returned after the first attempt. The sequence therefore always
+// converges, degrades or fails within pol.MaxAttempts calls.
+func ApplyFrequency(pm power.Manager, coreMHz int, pol RetryPolicy) ApplyResult {
+	if pol.MaxAttempts < 1 {
+		pol.MaxAttempts = 1
+	}
+	res := ApplyResult{}
+	wait := pol.InitialBackoffSec
+	for {
+		res.Attempts++
+		err := pm.SetCoreFreq(coreMHz)
+		if err == nil {
+			res.Applied = true
+			return res
+		}
+		if power.IsPermissionDenied(err) {
+			res.Degraded = true
+			res.Err = err
+			return res
+		}
+		if !power.IsTransient(err) || res.Attempts >= pol.MaxAttempts {
+			res.Err = fmt.Errorf("governor: pinning %d MHz failed after %d attempt(s): %w",
+				coreMHz, res.Attempts, err)
+			return res
+		}
+		if wait > pol.MaxBackoffSec && pol.MaxBackoffSec > 0 {
+			wait = pol.MaxBackoffSec
+		}
+		if wait > 0 {
+			pm.Sleep(wait)
+			res.BackoffSec += wait
+		}
+		wait *= pol.BackoffFactor
+	}
+}

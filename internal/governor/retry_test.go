@@ -1,0 +1,119 @@
+package governor
+
+import (
+	"errors"
+	"testing"
+
+	"synergy/internal/fault"
+	"synergy/internal/hw"
+	"synergy/internal/nvml"
+	"synergy/internal/power"
+)
+
+func v100Manager(t *testing.T, root bool, rules ...fault.Rule) (power.Manager, *hw.Device) {
+	t.Helper()
+	dev := hw.NewDevice(hw.V100())
+	dev.SetLabel("gpu0")
+	if len(rules) > 0 {
+		dev.SetFaultInjector(fault.New(1, rules...))
+	}
+	var pm power.Manager
+	var err error
+	if root {
+		pm, err = power.NewPrivilegedManager(dev)
+	} else {
+		pm, err = power.NewManager(dev, "alice", false)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pm, dev
+}
+
+func TestApplyFrequencyConvergesAfterTransientFaults(t *testing.T) {
+	t.Parallel()
+	pm, dev := v100Manager(t, true, fault.Rule{
+		Site: nvml.SiteSetAppClocks, Count: 2, Err: nvml.ErrTimeout,
+	})
+	want := dev.Spec().MinCoreMHz()
+	t0 := dev.Now()
+	res := ApplyFrequency(pm, want, DefaultRetryPolicy())
+	if !res.Applied || res.Err != nil {
+		t.Fatalf("ApplyFrequency = %+v, want applied", res)
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (two transients then success)", res.Attempts)
+	}
+	if dev.AppClockMHz() != want {
+		t.Fatalf("clock at %d MHz, want %d", dev.AppClockMHz(), want)
+	}
+	// The backoff waits are charged to the device's virtual time.
+	if got := dev.Now() - t0; got < res.BackoffSec {
+		t.Fatalf("device advanced %v, want >= backoff %v", got, res.BackoffSec)
+	}
+	if res.BackoffSec <= 0 {
+		t.Fatal("no backoff recorded across retries")
+	}
+}
+
+func TestApplyFrequencyDegradesOnPermissionDenied(t *testing.T) {
+	t.Parallel()
+	pm, dev := v100Manager(t, false)
+	res := ApplyFrequency(pm, dev.Spec().MinCoreMHz(), DefaultRetryPolicy())
+	if !res.Degraded || res.Applied {
+		t.Fatalf("ApplyFrequency = %+v, want degraded", res)
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (denials are not retried)", res.Attempts)
+	}
+	if !power.IsPermissionDenied(res.Err) {
+		t.Fatalf("res.Err = %v, want a permission denial", res.Err)
+	}
+}
+
+func TestApplyFrequencyBoundedOnPersistentTransients(t *testing.T) {
+	t.Parallel()
+	pm, _ := v100Manager(t, true, fault.Rule{
+		Site: nvml.SiteSetAppClocks, Err: nvml.ErrTimeout, // sticky
+	})
+	pol := DefaultRetryPolicy()
+	res := ApplyFrequency(pm, 877, pol)
+	if res.Applied || res.Degraded {
+		t.Fatalf("ApplyFrequency = %+v, want terminal failure", res)
+	}
+	if res.Attempts != pol.MaxAttempts {
+		t.Fatalf("attempts = %d, want the policy bound %d", res.Attempts, pol.MaxAttempts)
+	}
+	if !errors.Is(res.Err, nvml.ErrTimeout) {
+		t.Fatalf("res.Err = %v, want wrapped ErrTimeout", res.Err)
+	}
+}
+
+func TestApplyFrequencySurfacesUnknownErrorsImmediately(t *testing.T) {
+	t.Parallel()
+	boom := errors.New("firmware exploded")
+	pm, _ := v100Manager(t, true, fault.Rule{
+		Site: nvml.SiteSetAppClocks, Err: boom,
+	})
+	res := ApplyFrequency(pm, 877, DefaultRetryPolicy())
+	if res.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (unknown errors are not retried)", res.Attempts)
+	}
+	if !errors.Is(res.Err, boom) {
+		t.Fatalf("res.Err = %v, want wrapped cause", res.Err)
+	}
+}
+
+func TestApplyFrequencyBackoffCap(t *testing.T) {
+	t.Parallel()
+	pm, _ := v100Manager(t, true, fault.Rule{
+		Site: nvml.SiteSetAppClocks, Err: nvml.ErrTimeout,
+	})
+	pol := RetryPolicy{MaxAttempts: 6, InitialBackoffSec: 1, BackoffFactor: 10, MaxBackoffSec: 2}
+	res := ApplyFrequency(pm, 877, pol)
+	// Waits: 1, then capped at 2 for the remaining three gaps.
+	want := 1.0 + 2 + 2 + 2 + 2
+	if res.BackoffSec != want {
+		t.Fatalf("backoff = %v, want %v (capped)", res.BackoffSec, want)
+	}
+}

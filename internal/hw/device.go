@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"synergy/internal/fault"
 )
 
 // Segment is one interval of the device timeline with constant power.
@@ -41,6 +43,8 @@ type Device struct {
 	clockSets   int64
 	driverFlags map[string]bool
 	powerLimitW float64 // 0 = board default (TDP)
+	label       string
+	injector    *fault.Injector
 }
 
 // NewDevice creates a virtual device with the driver-default clocks.
@@ -53,6 +57,48 @@ func NewDevice(spec *Spec) *Device {
 
 // Spec returns the device descriptor.
 func (d *Device) Spec() *Spec { return d.spec }
+
+// SetLabel gives the device a stable identity ("node0/gpu1") used to
+// qualify fault-injection sites; without one, sites fall back to the
+// library-local device index, which is only unique within one node.
+func (d *Device) SetLabel(s string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.label = s
+}
+
+// Label returns the device's identity label ("" when never set).
+func (d *Device) Label() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.label
+}
+
+// SetFaultInjector attaches a fault injector to the device. Like driver
+// flags, the attachment is device state: every management-library
+// session (NVML, SMI) and runtime queue opened on the device consults
+// it. A nil injector detaches.
+func (d *Device) SetFaultInjector(in *fault.Injector) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.injector = in
+}
+
+// FaultInjector returns the attached injector (nil when none; a nil
+// injector's Check is a no-op, so callers need no guard).
+func (d *Device) FaultInjector() *fault.Injector {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.injector
+}
+
+// ResetDriverFlags clears all persistent driver state — what a node
+// reboot does to API-restriction bits and similar driver-held flags.
+func (d *Device) ResetDriverFlags() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.driverFlags = nil
+}
 
 // Now returns the current virtual time in seconds.
 func (d *Device) Now() float64 {

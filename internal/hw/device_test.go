@@ -7,6 +7,7 @@ import (
 )
 
 func TestDeviceExecuteAdvancesTime(t *testing.T) {
+	t.Parallel()
 	d := NewDevice(V100())
 	w := computeBoundWL()
 	r, err := d.ExecuteKernel(w)
@@ -25,6 +26,7 @@ func TestDeviceExecuteAdvancesTime(t *testing.T) {
 }
 
 func TestDeviceUsesAppClock(t *testing.T) {
+	t.Parallel()
 	d := NewDevice(V100())
 	low := d.Spec().CoreFreqsMHz[10]
 	if err := d.SetAppClock(low); err != nil {
@@ -40,6 +42,7 @@ func TestDeviceUsesAppClock(t *testing.T) {
 }
 
 func TestDeviceAutoModeRunsAtMax(t *testing.T) {
+	t.Parallel()
 	d := NewDevice(MI100())
 	if d.AppClockMHz() != 0 {
 		t.Fatalf("MI100 should start in auto mode, got %d", d.AppClockMHz())
@@ -54,6 +57,7 @@ func TestDeviceAutoModeRunsAtMax(t *testing.T) {
 }
 
 func TestSetAppClockValidation(t *testing.T) {
+	t.Parallel()
 	d := NewDevice(V100())
 	if err := d.SetAppClock(123); err == nil {
 		t.Fatal("unsupported clock accepted")
@@ -61,6 +65,7 @@ func TestSetAppClockValidation(t *testing.T) {
 }
 
 func TestSetAppClockOverheadAndRedundantSet(t *testing.T) {
+	t.Parallel()
 	d := NewDevice(V100())
 	low := d.Spec().CoreFreqsMHz[0]
 	if err := d.SetAppClock(low); err != nil {
@@ -83,6 +88,7 @@ func TestSetAppClockOverheadAndRedundantSet(t *testing.T) {
 }
 
 func TestResetAppClockRestoresDefault(t *testing.T) {
+	t.Parallel()
 	d := NewDevice(V100())
 	if err := d.SetAppClock(d.Spec().MinCoreMHz()); err != nil {
 		t.Fatal(err)
@@ -103,6 +109,7 @@ func TestResetAppClockRestoresDefault(t *testing.T) {
 }
 
 func TestEnergyBetweenMatchesKernelEnergy(t *testing.T) {
+	t.Parallel()
 	d := NewDevice(V100())
 	r, err := d.ExecuteKernel(memoryBoundWL())
 	if err != nil {
@@ -115,6 +122,7 @@ func TestEnergyBetweenMatchesKernelEnergy(t *testing.T) {
 }
 
 func TestEnergyIncludesIdlePower(t *testing.T) {
+	t.Parallel()
 	d := NewDevice(V100())
 	d.AdvanceIdle(2.0)
 	got := d.EnergyBetween(0, 2.0)
@@ -126,6 +134,7 @@ func TestEnergyIncludesIdlePower(t *testing.T) {
 
 // Property: energy integration is additive over adjacent intervals.
 func TestEnergyBetweenAdditivity(t *testing.T) {
+	t.Parallel()
 	d := NewDevice(V100())
 	for i := 0; i < 5; i++ {
 		if _, err := d.ExecuteKernel(memoryBoundWL()); err != nil {
@@ -151,6 +160,7 @@ func TestEnergyBetweenAdditivity(t *testing.T) {
 }
 
 func TestSampledEnergyConvergesForLongIntervals(t *testing.T) {
+	t.Parallel()
 	d := NewDevice(V100())
 	// A long busy stretch: many memory-bound kernels back to back.
 	for i := 0; i < 200; i++ {
@@ -173,6 +183,7 @@ func TestSampledEnergyConvergesForLongIntervals(t *testing.T) {
 // limitation: kernels much shorter than the sampling period cannot be
 // profiled accurately.
 func TestSampledEnergyInaccurateForShortKernels(t *testing.T) {
+	t.Parallel()
 	d := NewDevice(V100())
 	tiny := Workload{Name: "tiny", Items: 1 << 10, FloatOps: 10, GlobalBytes: 4}
 	r, err := d.ExecuteKernel(tiny)
@@ -192,6 +203,7 @@ func TestSampledEnergyInaccurateForShortKernels(t *testing.T) {
 }
 
 func TestPowerAtIdentifiesBusyAndIdle(t *testing.T) {
+	t.Parallel()
 	d := NewDevice(V100())
 	r, err := d.ExecuteKernel(computeBoundWL())
 	if err != nil {
@@ -208,6 +220,7 @@ func TestPowerAtIdentifiesBusyAndIdle(t *testing.T) {
 }
 
 func TestAdvanceIdlePanicsOnNegative(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("negative idle advance did not panic")
@@ -217,6 +230,7 @@ func TestAdvanceIdlePanicsOnNegative(t *testing.T) {
 }
 
 func TestDeviceConcurrentAccess(t *testing.T) {
+	t.Parallel()
 	d := NewDevice(V100())
 	done := make(chan error, 8)
 	for g := 0; g < 8; g++ {

@@ -15,6 +15,7 @@ func memoryBoundWL() Workload {
 }
 
 func TestEvaluateDeterministic(t *testing.T) {
+	t.Parallel()
 	s := V100()
 	w := computeBoundWL()
 	a, err := s.Evaluate(w, s.DefaultCoreMHz)
@@ -31,6 +32,7 @@ func TestEvaluateDeterministic(t *testing.T) {
 }
 
 func TestEvaluateEnergyIsPowerTimesTime(t *testing.T) {
+	t.Parallel()
 	s := V100()
 	for _, w := range []Workload{computeBoundWL(), memoryBoundWL()} {
 		for _, f := range []int{s.MinCoreMHz(), s.DefaultCoreMHz, s.MaxCoreMHz()} {
@@ -46,6 +48,7 @@ func TestEvaluateEnergyIsPowerTimesTime(t *testing.T) {
 }
 
 func TestEvaluateRejectsUnsupportedFrequency(t *testing.T) {
+	t.Parallel()
 	s := V100()
 	if _, err := s.Evaluate(computeBoundWL(), 1311); err == nil {
 		t.Fatal("unsupported frequency accepted")
@@ -53,6 +56,7 @@ func TestEvaluateRejectsUnsupportedFrequency(t *testing.T) {
 }
 
 func TestEvaluateRejectsInvalidWorkload(t *testing.T) {
+	t.Parallel()
 	s := V100()
 	if _, err := s.Evaluate(Workload{Name: "empty", Items: 0}, s.DefaultCoreMHz); err == nil {
 		t.Error("zero-item workload accepted")
@@ -66,6 +70,7 @@ func TestEvaluateRejectsInvalidWorkload(t *testing.T) {
 }
 
 func TestPowerNeverExceedsTDP(t *testing.T) {
+	t.Parallel()
 	for _, s := range []*Spec{V100(), A100(), MI100()} {
 		for _, w := range []Workload{computeBoundWL(), memoryBoundWL()} {
 			ms, err := s.Sweep(w)
@@ -83,6 +88,7 @@ func TestPowerNeverExceedsTDP(t *testing.T) {
 }
 
 func TestTimeDecreasesWithFrequency(t *testing.T) {
+	t.Parallel()
 	// Up to the ~1.2% noise, higher clocks are never slower.
 	s := V100()
 	w := computeBoundWL()
@@ -99,6 +105,7 @@ func TestTimeDecreasesWithFrequency(t *testing.T) {
 }
 
 func TestComputeBoundScalesWithFrequency(t *testing.T) {
+	t.Parallel()
 	// For a compute-bound kernel, t(fmax)/t(fmin) ~ fmin/fmax.
 	s := V100()
 	w := computeBoundWL()
@@ -121,6 +128,7 @@ func TestComputeBoundScalesWithFrequency(t *testing.T) {
 }
 
 func TestMemoryBoundFlatAboveKnee(t *testing.T) {
+	t.Parallel()
 	// Above the bandwidth knee, time is nearly frequency-independent.
 	s := V100()
 	w := memoryBoundWL()
@@ -148,6 +156,7 @@ func TestMemoryBoundFlatAboveKnee(t *testing.T) {
 // Fig. 2a: compute-bound kernels have little energy headroom (< ~12%)
 // and the lowest frequencies are grossly energy-inefficient.
 func TestFig2ComputeBoundEnergyShape(t *testing.T) {
+	t.Parallel()
 	s := V100()
 	ms, err := s.Sweep(computeBoundWL())
 	if err != nil {
@@ -180,6 +189,7 @@ func TestFig2ComputeBoundEnergyShape(t *testing.T) {
 // behaviour (Fig. 2b, Fig. 7a): memory-bound kernels can save >=20%
 // energy while losing little performance.
 func TestFig2MemoryBoundEnergyShape(t *testing.T) {
+	t.Parallel()
 	s := V100()
 	w := memoryBoundWL()
 	def, err := s.Evaluate(w, s.DefaultCoreMHz)
@@ -210,6 +220,7 @@ func TestFig2MemoryBoundEnergyShape(t *testing.T) {
 // MI100 the (auto/max) default configuration always delivers the best
 // performance.
 func TestMI100DefaultIsBestPerformance(t *testing.T) {
+	t.Parallel()
 	s := MI100()
 	for _, w := range []Workload{computeBoundWL(), memoryBoundWL()} {
 		base, err := s.Evaluate(w, s.BaselineCoreMHz())
@@ -230,6 +241,7 @@ func TestMI100DefaultIsBestPerformance(t *testing.T) {
 }
 
 func TestThrottleEngagesOnlyNearTDP(t *testing.T) {
+	t.Parallel()
 	s := V100()
 	w := computeBoundWL()
 	m, err := s.Evaluate(w, s.MinCoreMHz())
@@ -242,6 +254,7 @@ func TestThrottleEngagesOnlyNearTDP(t *testing.T) {
 }
 
 func TestSweepLengthMatchesTable(t *testing.T) {
+	t.Parallel()
 	s := A100()
 	ms, err := s.Sweep(memoryBoundWL())
 	if err != nil {
@@ -253,6 +266,7 @@ func TestSweepLengthMatchesTable(t *testing.T) {
 }
 
 func TestWorkloadTotalOpsWeighting(t *testing.T) {
+	t.Parallel()
 	w := Workload{Name: "w", Items: 1, IntOps: 1, FloatOps: 1, DivOps: 1, SFOps: 1, LocalBytes: 4}
 	want := 1 + 1 + divWeight + sfWeight + localWeight
 	if got := w.TotalOps(); math.Abs(got-want) > 1e-12 {

@@ -8,6 +8,7 @@ import (
 // TestFig1FrequencyTables checks the device descriptors against the
 // frequency availability the paper reports in Fig. 1.
 func TestFig1FrequencyTables(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		spec               *Spec
 		n, minF, maxF, mem int
@@ -33,6 +34,7 @@ func TestFig1FrequencyTables(t *testing.T) {
 }
 
 func TestV100DefaultClock(t *testing.T) {
+	t.Parallel()
 	s := V100()
 	if s.DefaultCoreMHz < 1300 || s.DefaultCoreMHz > 1320 {
 		t.Fatalf("V100 default clock %d MHz, want ~1312 (paper baseline)", s.DefaultCoreMHz)
@@ -43,6 +45,7 @@ func TestV100DefaultClock(t *testing.T) {
 }
 
 func TestMI100HasNoDefaultClock(t *testing.T) {
+	t.Parallel()
 	s := MI100()
 	if s.DefaultCoreMHz != 0 {
 		t.Fatalf("MI100 must auto-scale (no default clock), got %d", s.DefaultCoreMHz)
@@ -53,6 +56,7 @@ func TestMI100HasNoDefaultClock(t *testing.T) {
 }
 
 func TestClockTablesStrictlyAscending(t *testing.T) {
+	t.Parallel()
 	for name, s := range BuiltinSpecs() {
 		fs := s.CoreFreqsMHz
 		for i := 1; i < len(fs); i++ {
@@ -64,6 +68,7 @@ func TestClockTablesStrictlyAscending(t *testing.T) {
 }
 
 func TestSupportsCoreFreqMatchesLinearScan(t *testing.T) {
+	t.Parallel()
 	s := V100()
 	member := make(map[int]bool, len(s.CoreFreqsMHz))
 	for _, f := range s.CoreFreqsMHz {
@@ -78,6 +83,7 @@ func TestSupportsCoreFreqMatchesLinearScan(t *testing.T) {
 }
 
 func TestNearestCoreFreq(t *testing.T) {
+	t.Parallel()
 	s := MI100()
 	if got := s.NearestCoreFreq(310); got != 300 {
 		t.Errorf("nearest(310) = %d, want 300", got)
@@ -92,6 +98,7 @@ func TestNearestCoreFreq(t *testing.T) {
 }
 
 func TestNearestCoreFreqAlwaysSupported(t *testing.T) {
+	t.Parallel()
 	s := A100()
 	f := func(mhz uint16) bool {
 		return s.SupportsCoreFreq(s.NearestCoreFreq(int(mhz)))
@@ -102,6 +109,7 @@ func TestNearestCoreFreqAlwaysSupported(t *testing.T) {
 }
 
 func TestSpecValidateRejectsBadSpecs(t *testing.T) {
+	t.Parallel()
 	good := V100()
 	bad := *good
 	bad.CoreFreqsMHz = nil
@@ -126,6 +134,7 @@ func TestSpecValidateRejectsBadSpecs(t *testing.T) {
 }
 
 func TestSpecByName(t *testing.T) {
+	t.Parallel()
 	for _, name := range []string{"v100", "a100", "mi100"} {
 		if _, err := SpecByName(name); err != nil {
 			t.Errorf("SpecByName(%q): %v", name, err)
@@ -137,6 +146,7 @@ func TestSpecByName(t *testing.T) {
 }
 
 func TestVoltageRangeAndMonotonicity(t *testing.T) {
+	t.Parallel()
 	s := V100()
 	prev := 0.0
 	for _, f := range s.CoreFreqsMHz {

@@ -6,6 +6,7 @@ import (
 )
 
 func TestDisassembleContainsStructure(t *testing.T) {
+	t.Parallel()
 	b := NewBuilder("demo")
 	in := b.BufferF32("in", Read)
 	out := b.BufferF32("out", Write)
@@ -47,6 +48,7 @@ func TestDisassembleContainsStructure(t *testing.T) {
 }
 
 func TestDisassembleAllOpsRenderable(t *testing.T) {
+	t.Parallel()
 	// Every opcode must have a mnemonic; exercising a kernel with broad
 	// coverage guards the opNames table.
 	b := NewBuilder("wide")

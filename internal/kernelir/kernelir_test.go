@@ -27,6 +27,7 @@ func buildSaxpy(t *testing.T) *Kernel {
 }
 
 func TestSaxpyExecution(t *testing.T) {
+	t.Parallel()
 	k := buildSaxpy(t)
 	n := 1000
 	x := make([]float32, n)
@@ -52,6 +53,7 @@ func TestSaxpyExecution(t *testing.T) {
 }
 
 func TestRepeatAccumulation(t *testing.T) {
+	t.Parallel()
 	// out[gid] = sum over 16 iterations of in[gid] (i.e., 16*in[gid]).
 	b := NewBuilder("acc")
 	in := b.BufferF32("in", Read)
@@ -83,6 +85,7 @@ func TestRepeatAccumulation(t *testing.T) {
 }
 
 func TestNestedRepeat(t *testing.T) {
+	t.Parallel()
 	// out[gid] = 3*4 = 12 increments of 1.
 	b := NewBuilder("nested")
 	out := b.BufferF32("out", Write)
@@ -110,6 +113,7 @@ func TestNestedRepeat(t *testing.T) {
 }
 
 func TestIndexClamping(t *testing.T) {
+	t.Parallel()
 	// Stencil-style load at gid-1 must clamp at the left edge.
 	b := NewBuilder("clamp")
 	in := b.BufferF32("in", Read)
@@ -135,6 +139,7 @@ func TestIndexClamping(t *testing.T) {
 }
 
 func TestIntOpsSemantics(t *testing.T) {
+	t.Parallel()
 	// Each case computes one op over scalar params and stores to out[0].
 	cases := []struct {
 		name string
@@ -185,6 +190,7 @@ func TestIntOpsSemantics(t *testing.T) {
 }
 
 func TestSelectAndCompareFloat(t *testing.T) {
+	t.Parallel()
 	// out[gid] = in[gid] < 0 ? -in[gid] : in[gid]  (abs via select)
 	b := NewBuilder("selabs")
 	in := b.BufferF32("in", Read)
@@ -212,6 +218,7 @@ func TestSelectAndCompareFloat(t *testing.T) {
 }
 
 func TestSpecialFunctions(t *testing.T) {
+	t.Parallel()
 	b := NewBuilder("sf")
 	out := b.BufferF32("out", Write)
 	x := b.ScalarF("x")
@@ -238,6 +245,7 @@ func TestSpecialFunctions(t *testing.T) {
 }
 
 func TestLocalMemory(t *testing.T) {
+	t.Parallel()
 	// Write gid to local[0], read it back, store to out.
 	b := NewBuilder("local")
 	out := b.BufferF32("out", Write)
@@ -261,6 +269,7 @@ func TestLocalMemory(t *testing.T) {
 }
 
 func TestValidateRejectsStoreToReadOnly(t *testing.T) {
+	t.Parallel()
 	k := &Kernel{
 		Name:         "bad",
 		Params:       []Param{{Name: "in", IsBuffer: true, Type: F32, Access: Read}},
@@ -274,6 +283,7 @@ func TestValidateRejectsStoreToReadOnly(t *testing.T) {
 }
 
 func TestValidateRejectsLoadFromWriteOnly(t *testing.T) {
+	t.Parallel()
 	k := &Kernel{
 		Name:         "bad",
 		Params:       []Param{{Name: "out", IsBuffer: true, Type: F32, Access: Write}},
@@ -287,6 +297,7 @@ func TestValidateRejectsLoadFromWriteOnly(t *testing.T) {
 }
 
 func TestValidateRejectsRegisterOutOfRange(t *testing.T) {
+	t.Parallel()
 	k := &Kernel{
 		Name:         "bad",
 		Body:         []Instr{{Op: OpAddI, Dst: 5, A: 0, B: 0}},
@@ -299,6 +310,7 @@ func TestValidateRejectsRegisterOutOfRange(t *testing.T) {
 }
 
 func TestValidateRejectsUnbalancedRepeat(t *testing.T) {
+	t.Parallel()
 	k := &Kernel{Name: "bad", Body: []Instr{{Op: OpRepeatBegin, Imm: 2}}}
 	if err := k.Validate(); err == nil {
 		t.Fatal("unclosed repeat accepted")
@@ -310,6 +322,7 @@ func TestValidateRejectsUnbalancedRepeat(t *testing.T) {
 }
 
 func TestValidateRejectsNonIntegerTripCount(t *testing.T) {
+	t.Parallel()
 	k := &Kernel{Name: "bad", Body: []Instr{{Op: OpRepeatBegin, Imm: 2.5}, {Op: OpRepeatEnd}}}
 	if err := k.Validate(); err == nil {
 		t.Fatal("fractional trip count accepted")
@@ -317,6 +330,7 @@ func TestValidateRejectsNonIntegerTripCount(t *testing.T) {
 }
 
 func TestValidateRejectsLocalAccessWithoutLocal(t *testing.T) {
+	t.Parallel()
 	k := &Kernel{
 		Name:         "bad",
 		Body:         []Instr{{Op: OpLoadLF, Dst: 0, A: 0}},
@@ -329,6 +343,7 @@ func TestValidateRejectsLocalAccessWithoutLocal(t *testing.T) {
 }
 
 func TestExecuteMissingArguments(t *testing.T) {
+	t.Parallel()
 	k := buildSaxpy(t)
 	err := Execute(k, Args{F32: map[string][]float32{"x": {1}, "y": {1}}}, 1)
 	if err == nil {
@@ -341,6 +356,7 @@ func TestExecuteMissingArguments(t *testing.T) {
 }
 
 func TestExecuteRejectsNonPositiveItems(t *testing.T) {
+	t.Parallel()
 	k := buildSaxpy(t)
 	args := Args{
 		F32:     map[string][]float32{"x": {1}, "y": {1}, "z": {0}},
@@ -352,6 +368,7 @@ func TestExecuteRejectsNonPositiveItems(t *testing.T) {
 }
 
 func TestBuilderReuseAfterBuildPanics(t *testing.T) {
+	t.Parallel()
 	b := NewBuilder("k")
 	out := b.BufferF32("out", Write)
 	gid := b.GlobalID()
@@ -367,6 +384,7 @@ func TestBuilderReuseAfterBuildPanics(t *testing.T) {
 }
 
 func TestParamIndex(t *testing.T) {
+	t.Parallel()
 	k := buildSaxpy(t)
 	if i, ok := k.ParamIndex("y"); !ok || i != 1 {
 		t.Fatalf("ParamIndex(y) = %d, %v", i, ok)
@@ -377,6 +395,7 @@ func TestParamIndex(t *testing.T) {
 }
 
 func TestExecuteParallelDeterminism(t *testing.T) {
+	t.Parallel()
 	k := buildSaxpy(t)
 	n := 1 << 14
 	run := func() []float32 {
@@ -405,6 +424,7 @@ func TestExecuteParallelDeterminism(t *testing.T) {
 }
 
 func TestExecuteGrid2D(t *testing.T) {
+	t.Parallel()
 	// out[y*nx+x] = 100*y + x, via GlobalID2 (no div/rem index math).
 	b := NewBuilder("grid2d")
 	out := b.BufferF32("out", Write)
@@ -429,6 +449,7 @@ func TestExecuteGrid2D(t *testing.T) {
 }
 
 func TestGlobalID2Degenerates1D(t *testing.T) {
+	t.Parallel()
 	b := NewBuilder("deg")
 	out := b.BufferF32("out", Write)
 	gid := b.GlobalID()
@@ -448,6 +469,7 @@ func TestGlobalID2Degenerates1D(t *testing.T) {
 }
 
 func TestGlobalID2IsFreeInFeatures(t *testing.T) {
+	t.Parallel()
 	// 2-D indexing costs no feature counts (unlike div/rem decomposition)
 	// — verified indirectly: the kernel above has only the store counted.
 	b := NewBuilder("free2d")

@@ -336,6 +336,27 @@ func ObjectiveValue(t Target, p Point) float64 {
 	}
 }
 
+// EnergySavingPct returns the energy saving of a configuration relative
+// to the sweep's baseline, in percent: 100·(e_def − e)/e_def. The
+// baseline itself saves exactly 0%; since energies are positive the
+// saving is always strictly below 100%. Negative values mean the
+// configuration costs more energy than the default.
+func (s *Sweep) EnergySavingPct(p Point) float64 {
+	def := s.BaselinePoint()
+	return 100 * (def.EnergyJ - p.EnergyJ) / def.EnergyJ
+}
+
+// PerfLossPct returns the performance loss of a configuration relative
+// to the sweep's baseline, in percent: 100·(t − t_def)/t_def, clamped
+// at 0 — a configuration faster than the default loses nothing.
+func (s *Sweep) PerfLossPct(p Point) float64 {
+	def := s.BaselinePoint()
+	if pl := 100 * (p.TimeSec - def.TimeSec) / def.TimeSec; pl > 0 {
+		return pl
+	}
+	return 0
+}
+
 // PointAt returns the sweep point at the given frequency.
 func (s *Sweep) PointAt(freqMHz int) (Point, bool) {
 	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].FreqMHz >= freqMHz })

@@ -48,6 +48,7 @@ func hwSweep(t *testing.T, w hw.Workload) *Sweep {
 }
 
 func TestParseTargetRoundTrip(t *testing.T) {
+	t.Parallel()
 	for _, tgt := range StandardTargets {
 		got, err := ParseTarget(tgt.String())
 		if err != nil {
@@ -69,6 +70,7 @@ func TestParseTargetRoundTrip(t *testing.T) {
 }
 
 func TestNewSweepValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewSweep(nil, 100); err == nil {
 		t.Error("empty sweep accepted")
 	}
@@ -90,6 +92,7 @@ func TestNewSweepValidation(t *testing.T) {
 }
 
 func TestSweepSortsPoints(t *testing.T) {
+	t.Parallel()
 	pts := []Point{
 		{FreqMHz: 300, TimeSec: 1, EnergyJ: 3},
 		{FreqMHz: 100, TimeSec: 3, EnergyJ: 1},
@@ -110,6 +113,7 @@ func TestSweepSortsPoints(t *testing.T) {
 }
 
 func TestMaxPerfAndMinEnergySelection(t *testing.T) {
+	t.Parallel()
 	s := syntheticSweep(t)
 	mp, err := s.Select(MaxPerf)
 	if err != nil {
@@ -133,6 +137,7 @@ func TestMaxPerfAndMinEnergySelection(t *testing.T) {
 // at a frequency at or above the EDP optimum, which sits at or above the
 // energy optimum (ED2P weighs delay more).
 func TestFig4EDPOrdering(t *testing.T) {
+	t.Parallel()
 	for _, s := range []*Sweep{
 		syntheticSweep(t),
 		hwSweep(t, hw.Workload{Name: "bs", Items: 1 << 22, FloatOps: 180, SFOps: 10, GlobalBytes: 20}),
@@ -150,6 +155,7 @@ func TestFig4EDPOrdering(t *testing.T) {
 }
 
 func TestESDefinition(t *testing.T) {
+	t.Parallel()
 	s := syntheticSweep(t)
 	def := s.BaselinePoint()
 	me, _ := s.Select(MinEnergy)
@@ -177,6 +183,7 @@ func TestESDefinition(t *testing.T) {
 }
 
 func TestPLDefinition(t *testing.T) {
+	t.Parallel()
 	s := syntheticSweep(t)
 	def := s.BaselinePoint()
 	me, _ := s.Select(MinEnergy)
@@ -200,6 +207,7 @@ func TestPLDefinition(t *testing.T) {
 // Property (§5): ES_x energy is non-increasing and its time
 // non-decreasing as x grows; dually for PL_x.
 func TestESPLMonotoneInX(t *testing.T) {
+	t.Parallel()
 	s := hwSweep(t, hw.Workload{Name: "mono", Items: 1 << 22, FloatOps: 120, GlobalBytes: 40})
 	prevES, _ := s.Select(ES(10))
 	prevPL, _ := s.Select(PL(10))
@@ -221,6 +229,7 @@ func TestESPLMonotoneInX(t *testing.T) {
 }
 
 func TestESWithNoSavingsReturnsBaseline(t *testing.T) {
+	t.Parallel()
 	// Energy strictly increasing as frequency falls: no savings exist.
 	var pts []Point
 	for f := 400; f <= 1200; f += 200 {
@@ -243,6 +252,7 @@ func TestESWithNoSavingsReturnsBaseline(t *testing.T) {
 
 // Pareto-front properties, checked with randomized sweeps.
 func TestParetoFrontProperties(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 50; trial++ {
 		n := 5 + rng.Intn(40)
@@ -300,6 +310,7 @@ func TestParetoFrontProperties(t *testing.T) {
 }
 
 func TestCharacterizeBaselineIsUnity(t *testing.T) {
+	t.Parallel()
 	s := syntheticSweep(t)
 	cs := s.Characterize()
 	for _, c := range cs {
@@ -314,6 +325,7 @@ func TestCharacterizeBaselineIsUnity(t *testing.T) {
 }
 
 func TestObjectiveValue(t *testing.T) {
+	t.Parallel()
 	p := Point{FreqMHz: 1000, TimeSec: 2, EnergyJ: 3}
 	cases := []struct {
 		tgt  Target
@@ -330,6 +342,7 @@ func TestObjectiveValue(t *testing.T) {
 }
 
 func TestPointAt(t *testing.T) {
+	t.Parallel()
 	s := syntheticSweep(t)
 	p, ok := s.PointAt(700)
 	if !ok || p.FreqMHz != 700 {
@@ -341,6 +354,7 @@ func TestPointAt(t *testing.T) {
 }
 
 func TestEDPandED2P(t *testing.T) {
+	t.Parallel()
 	f := func(e, tm float64) bool {
 		e, tm = math.Abs(e)+0.1, math.Abs(tm)+0.1
 		if math.IsInf(e, 0) || math.IsInf(tm, 0) {

@@ -1,0 +1,135 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+
+	"synergy/internal/fault"
+)
+
+func TestSendRetransmitsDroppedMessages(t *testing.T) {
+	t.Parallel()
+	w, err := NewWorld(2, 2, EDRFabric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop rank 0's first two send attempts; the third succeeds.
+	w.SetFaultInjector(fault.New(1, fault.Rule{
+		Site: SiteSend + ":r0", Count: 2, Err: fault.ErrInjected,
+	}))
+	var sendTime, cleanTime float64
+	err = w.Run(func(r *Rank) error {
+		if r.Rank() == 0 {
+			if err := r.Send(1, 0, []float32{1, 2, 3}); err != nil {
+				return err
+			}
+			sendTime = r.Now()
+			return nil
+		}
+		buf := make([]float32, 3)
+		if err := r.Recv(0, 0, buf); err != nil {
+			return err
+		}
+		if buf[2] != 3 {
+			t.Errorf("payload corrupted after retransmit: %v", buf)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A clean run of the same send, for comparison.
+	w2, _ := NewWorld(2, 2, EDRFabric())
+	err = w2.Run(func(r *Rank) error {
+		if r.Rank() == 0 {
+			if err := r.Send(1, 0, []float32{1, 2, 3}); err != nil {
+				return err
+			}
+			cleanTime = r.Now()
+			return nil
+		}
+		buf := make([]float32, 3)
+		return r.Recv(0, 0, buf)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantExtra := 2 * (w.RetransmitTimeoutSec() + w.net.transferTime(12, false))
+	if got := sendTime - cleanTime; got < wantExtra*0.99 {
+		t.Fatalf("retransmits cost %v, want >= %v (2 timeouts + 2 re-sends)", got, wantExtra)
+	}
+}
+
+func TestSendFailsAfterBoundedAttempts(t *testing.T) {
+	t.Parallel()
+	w, err := NewWorld(2, 2, EDRFabric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetFaultInjector(fault.New(1, fault.Rule{
+		Site: SiteSend + ":r0", Err: fault.ErrInjected, // sticky: every attempt drops
+	}))
+	err = w.Run(func(r *Rank) error {
+		if r.Rank() != 0 {
+			return nil
+		}
+		err := r.Send(1, 0, []float32{1})
+		if !errors.Is(err, ErrMessageLost) {
+			t.Errorf("send on a dead link: err = %v, want ErrMessageLost", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly maxSendAttempts were made.
+	inj := w.injector()
+	if got := inj.CallCount(SiteSend + ":r0"); got != maxSendAttempts {
+		t.Fatalf("attempts = %d, want %d", got, maxSendAttempts)
+	}
+}
+
+func TestSendDelayInjectionAdvancesClock(t *testing.T) {
+	t.Parallel()
+	w, err := NewWorld(2, 2, EDRFabric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lag = 0.5
+	w.SetFaultInjector(fault.New(1, fault.Rule{
+		Site: SiteSend + ":r0", Count: 1, DelaySec: lag,
+	}))
+	err = w.Run(func(r *Rank) error {
+		if r.Rank() == 0 {
+			if err := r.Send(1, 0, []float32{1}); err != nil {
+				return err
+			}
+			if r.Now() < lag {
+				t.Errorf("sender clock %v, want >= injected delay %v", r.Now(), lag)
+			}
+			return nil
+		}
+		buf := make([]float32, 1)
+		if err := r.Recv(0, 0, buf); err != nil {
+			return err
+		}
+		if r.Now() < lag {
+			t.Errorf("receiver clock %v, want >= injected delay %v", r.Now(), lag)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageLostRegisteredForScenarios(t *testing.T) {
+	t.Parallel()
+	sc, err := fault.ParseScenario("link", "mpi.send:r1 err=mpi.message_lost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(sc.Rules[0].Err, ErrMessageLost) {
+		t.Fatalf("scenario error = %v, want ErrMessageLost", sc.Rules[0].Err)
+	}
+}

@@ -11,7 +11,25 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"synergy/internal/fault"
 )
+
+// ErrMessageLost reports a message dropped by the fabric on every
+// retransmit attempt (injected faults exhausted the retry budget).
+var ErrMessageLost = errors.New("mpi: message lost after retransmit attempts")
+
+// Fault-injection sites exposed by this package (qualified per sending
+// rank: "mpi.send:r3").
+const SiteSend = "mpi.send"
+
+// maxSendAttempts bounds the retransmit loop: a send whose every attempt
+// is dropped fails with ErrMessageLost instead of retrying forever.
+const maxSendAttempts = 4
+
+func init() {
+	fault.RegisterError("mpi.message_lost", ErrMessageLost)
+}
 
 // NetworkModel describes the interconnect cost model.
 type NetworkModel struct {
@@ -69,6 +87,9 @@ type World struct {
 	bcastMu   sync.Mutex
 	bcastNext []float32 // staged by the root before the barrier
 	bcastData []float32 // published inside the barrier
+
+	injMu sync.Mutex
+	inj   *fault.Injector
 }
 
 type mailKey struct {
@@ -101,6 +122,28 @@ func NewWorld(size, ranksPerNode int, net NetworkModel) (*World, error) {
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
+
+// SetFaultInjector attaches a fault injector to the fabric: sends then
+// consult the "mpi.send:r<rank>" site per transmission attempt. A nil
+// injector detaches.
+func (w *World) SetFaultInjector(in *fault.Injector) {
+	w.injMu.Lock()
+	defer w.injMu.Unlock()
+	w.inj = in
+}
+
+func (w *World) injector() *fault.Injector {
+	w.injMu.Lock()
+	defer w.injMu.Unlock()
+	return w.inj
+}
+
+// RetransmitTimeoutSec is the virtual time a sender waits before
+// retransmitting a dropped message (a reliable-transport timeout, far
+// above the fabric latency).
+func (w *World) RetransmitTimeoutSec() float64 {
+	return 1000 * w.net.LatencySec
+}
 
 // Run executes body on every rank concurrently and returns the first
 // error (all ranks are joined before returning).
@@ -186,8 +229,27 @@ func (r *Rank) Send(to, tag int, data []float32) error {
 	}
 	buf := make([]float32, len(data))
 	copy(buf, data)
-	r.now += r.world.net.transferTime(4*len(data), r.world.sameNode(r.rank, to))
-	r.world.box(r.rank, to, tag) <- message{data: buf, sentAt: r.now}
+	w := r.world
+	inj := w.injector()
+	site := fmt.Sprintf("%s:r%d", SiteSend, r.rank)
+	cost := w.net.transferTime(4*len(data), w.sameNode(r.rank, to))
+	// Reliable transport with bounded retransmit: every attempt pays the
+	// transfer cost plus any injected latency; a dropped attempt (an
+	// injected error) additionally pays the retransmit timeout. When the
+	// fault layer drops every attempt, the send fails.
+	for attempt := 1; ; attempt++ {
+		delay, err := inj.Check(site)
+		r.now += cost + delay
+		if err == nil {
+			break
+		}
+		if attempt >= maxSendAttempts {
+			return fmt.Errorf("mpi: rank %d: send to %d: %w (%d attempts, last: %v)",
+				r.rank, to, ErrMessageLost, attempt, err)
+		}
+		r.now += w.RetransmitTimeoutSec()
+	}
+	w.box(r.rank, to, tag) <- message{data: buf, sentAt: r.now}
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 )
 
 func TestWorldValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewWorld(0, 4, EDRFabric()); err == nil {
 		t.Error("zero-size world accepted")
 	}
@@ -16,6 +17,7 @@ func TestWorldValidation(t *testing.T) {
 }
 
 func TestSendRecvMovesData(t *testing.T) {
+	t.Parallel()
 	w, err := NewWorld(2, 4, EDRFabric())
 	if err != nil {
 		t.Fatal(err)
@@ -39,6 +41,7 @@ func TestSendRecvMovesData(t *testing.T) {
 }
 
 func TestRecvSynchronisesClock(t *testing.T) {
+	t.Parallel()
 	w, err := NewWorld(2, 4, EDRFabric())
 	if err != nil {
 		t.Fatal(err)
@@ -63,6 +66,7 @@ func TestRecvSynchronisesClock(t *testing.T) {
 }
 
 func TestSendValidation(t *testing.T) {
+	t.Parallel()
 	w, _ := NewWorld(2, 4, EDRFabric())
 	err := w.Run(func(r *Rank) error {
 		if r.Rank() == 0 {
@@ -81,6 +85,7 @@ func TestSendValidation(t *testing.T) {
 }
 
 func TestRecvSizeMismatch(t *testing.T) {
+	t.Parallel()
 	w, _ := NewWorld(2, 4, EDRFabric())
 	err := w.Run(func(r *Rank) error {
 		if r.Rank() == 0 {
@@ -98,6 +103,7 @@ func TestRecvSizeMismatch(t *testing.T) {
 }
 
 func TestBarrierSynchronisesToSlowest(t *testing.T) {
+	t.Parallel()
 	w, _ := NewWorld(8, 4, EDRFabric())
 	err := w.Run(func(r *Rank) error {
 		r.Advance(float64(r.Rank()) * 0.1) // rank 7 is slowest: 0.7
@@ -113,6 +119,7 @@ func TestBarrierSynchronisesToSlowest(t *testing.T) {
 }
 
 func TestBarrierReusable(t *testing.T) {
+	t.Parallel()
 	w, _ := NewWorld(4, 4, EDRFabric())
 	err := w.Run(func(r *Rank) error {
 		for i := 0; i < 20; i++ {
@@ -127,6 +134,7 @@ func TestBarrierReusable(t *testing.T) {
 }
 
 func TestAllreduceSum(t *testing.T) {
+	t.Parallel()
 	w, _ := NewWorld(6, 4, EDRFabric())
 	var checks int32
 	err := w.Run(func(r *Rank) error {
@@ -148,6 +156,7 @@ func TestAllreduceSum(t *testing.T) {
 }
 
 func TestAllreduceRepeated(t *testing.T) {
+	t.Parallel()
 	w, _ := NewWorld(4, 4, EDRFabric())
 	err := w.Run(func(r *Rank) error {
 		for round := 1; round <= 5; round++ {
@@ -165,6 +174,7 @@ func TestAllreduceRepeated(t *testing.T) {
 }
 
 func TestSendRecvExchange(t *testing.T) {
+	t.Parallel()
 	w, _ := NewWorld(2, 4, EDRFabric())
 	err := w.Run(func(r *Rank) error {
 		partner := 1 - r.Rank()
@@ -184,6 +194,7 @@ func TestSendRecvExchange(t *testing.T) {
 }
 
 func TestIntraNodeTransfersAreCheaper(t *testing.T) {
+	t.Parallel()
 	nm := EDRFabric()
 	intra := nm.transferTime(1<<20, true)
 	inter := nm.transferTime(1<<20, false)
@@ -193,6 +204,7 @@ func TestIntraNodeTransfersAreCheaper(t *testing.T) {
 }
 
 func TestTransferTimeScalesWithSize(t *testing.T) {
+	t.Parallel()
 	nm := EDRFabric()
 	small := nm.transferTime(1<<10, false)
 	big := nm.transferTime(1<<24, false)
@@ -206,6 +218,7 @@ func TestTransferTimeScalesWithSize(t *testing.T) {
 }
 
 func TestNodeAssignment(t *testing.T) {
+	t.Parallel()
 	w, _ := NewWorld(8, 4, EDRFabric())
 	err := w.Run(func(r *Rank) error {
 		want := r.Rank() / 4
@@ -220,6 +233,7 @@ func TestNodeAssignment(t *testing.T) {
 }
 
 func TestRunPropagatesErrors(t *testing.T) {
+	t.Parallel()
 	w, _ := NewWorld(3, 4, EDRFabric())
 	err := w.Run(func(r *Rank) error {
 		if r.Rank() == 1 {
@@ -239,6 +253,7 @@ type testError struct{}
 func (*testError) Error() string { return "boom" }
 
 func TestAdvanceToNeverGoesBackwards(t *testing.T) {
+	t.Parallel()
 	w, _ := NewWorld(1, 1, EDRFabric())
 	err := w.Run(func(r *Rank) error {
 		r.Advance(5)
@@ -254,6 +269,7 @@ func TestAdvanceToNeverGoesBackwards(t *testing.T) {
 }
 
 func TestBcast(t *testing.T) {
+	t.Parallel()
 	w, _ := NewWorld(5, 4, EDRFabric())
 	err := w.Run(func(r *Rank) error {
 		data := make([]float32, 3)
@@ -274,6 +290,7 @@ func TestBcast(t *testing.T) {
 }
 
 func TestBcastRepeatedAndValidation(t *testing.T) {
+	t.Parallel()
 	w, _ := NewWorld(3, 4, EDRFabric())
 	err := w.Run(func(r *Rank) error {
 		for round := 0; round < 4; round++ {

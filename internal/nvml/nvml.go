@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync"
 
+	"synergy/internal/fault"
 	"synergy/internal/hw"
 )
 
@@ -26,7 +27,28 @@ var (
 	ErrNoPermission   = errors.New("nvml: insufficient permissions")
 	ErrNotSupported   = errors.New("nvml: operation not supported on this device")
 	ErrAlreadyInitial = errors.New("nvml: already initialized")
+	// ErrTimeout is the driver failing to complete a call in time — the
+	// transient failure mode clock-set calls exhibit under load.
+	ErrTimeout = errors.New("nvml: operation timed out")
 )
+
+// ErrNotPermitted is the NVML_ERROR_NOT_PERMITTED alias for the
+// insufficient-permissions sentinel (same errors.Is identity).
+var ErrNotPermitted = ErrNoPermission
+
+// Fault-injection sites exposed by this package (qualified per device by
+// the hw.Device label, or "gpu<i>" when unlabelled).
+const (
+	SiteSetAppClocks      = "nvml.set_app_clocks"
+	SiteResetAppClocks    = "nvml.reset_app_clocks"
+	SiteSetAPIRestriction = "nvml.set_api_restriction"
+	SitePowerSample       = "nvml.power_sample"
+)
+
+func init() {
+	fault.RegisterError("nvml.not_permitted", ErrNoPermission)
+	fault.RegisterError("nvml.timeout", ErrTimeout)
+}
 
 // RestrictedAPI identifies an API class whose permission requirements can
 // be toggled per device (nvmlDeviceSetAPIRestriction).
@@ -148,6 +170,28 @@ func (l *Library) DeviceGetHandleByIndex(i int) (*Device, error) {
 
 func (d *Device) hw() *hw.Device { return d.lib.devices[d.idx] }
 
+// site qualifies an injection site with the device identity. Injected
+// latency is virtual driver-call latency: it stalls the device timeline
+// exactly like the documented clock-set overhead does.
+func (d *Device) site(base string) string {
+	label := d.hw().Label()
+	if label == "" {
+		label = fmt.Sprintf("gpu%d", d.idx)
+	}
+	return base + ":" + label
+}
+
+// checkFault consults the device's fault injector at the site, applying
+// injected latency to the device timeline before returning any injected
+// error.
+func (d *Device) checkFault(base string) error {
+	delay, err := d.hw().FaultInjector().Check(d.site(base))
+	if delay > 0 {
+		d.hw().AdvanceIdle(delay)
+	}
+	return err
+}
+
 func (d *Device) checkInit() error {
 	d.lib.mu.Lock()
 	defer d.lib.mu.Unlock()
@@ -225,6 +269,9 @@ func (d *Device) SetApplicationsClocks(u User, memMHz, coreMHz int) error {
 	if err := d.checkInit(); err != nil {
 		return err
 	}
+	if err := d.checkFault(SiteSetAppClocks); err != nil {
+		return fmt.Errorf("setting application clocks: %w", err)
+	}
 	if !d.apiAllowed(u, APISetApplicationClocks) {
 		return fmt.Errorf("%w: user %q may not set application clocks", ErrNoPermission, u.Name)
 	}
@@ -243,6 +290,9 @@ func (d *Device) ResetApplicationsClocks(u User) error {
 	if err := d.checkInit(); err != nil {
 		return err
 	}
+	if err := d.checkFault(SiteResetAppClocks); err != nil {
+		return fmt.Errorf("resetting application clocks: %w", err)
+	}
 	if !d.apiAllowed(u, APISetApplicationClocks) {
 		return fmt.Errorf("%w: user %q may not reset application clocks", ErrNoPermission, u.Name)
 	}
@@ -257,6 +307,9 @@ func (d *Device) ResetApplicationsClocks(u User) error {
 func (d *Device) SetAPIRestriction(u User, api RestrictedAPI, restricted bool) error {
 	if err := d.checkInit(); err != nil {
 		return err
+	}
+	if err := d.checkFault(SiteSetAPIRestriction); err != nil {
+		return fmt.Errorf("setting API restriction: %w", err)
 	}
 	if !u.Root {
 		return fmt.Errorf("%w: only root may change API restrictions", ErrNoPermission)
@@ -306,6 +359,9 @@ func (d *Device) GetPowerManagementLimit() (int, error) {
 func (d *Device) GetPowerUsage() (int, error) {
 	if err := d.checkInit(); err != nil {
 		return 0, err
+	}
+	if err := d.checkFault(SitePowerSample); err != nil {
+		return 0, fmt.Errorf("reading power sample: %w", err)
 	}
 	dev := d.hw()
 	now := dev.Now()

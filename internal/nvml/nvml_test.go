@@ -22,12 +22,14 @@ func newLib(t *testing.T) (*Library, *hw.Device) {
 }
 
 func TestNewRejectsAMDDevices(t *testing.T) {
+	t.Parallel()
 	if _, err := New(hw.NewDevice(hw.MI100())); err == nil {
 		t.Fatal("AMD device accepted by NVML")
 	}
 }
 
 func TestInitShutdownLifecycle(t *testing.T) {
+	t.Parallel()
 	dev := hw.NewDevice(hw.V100())
 	lib, err := New(dev)
 	if err != nil {
@@ -55,6 +57,7 @@ func TestInitShutdownLifecycle(t *testing.T) {
 }
 
 func TestDeviceGetHandleByIndexBounds(t *testing.T) {
+	t.Parallel()
 	lib, _ := newLib(t)
 	if _, err := lib.DeviceGetHandleByIndex(1); !errors.Is(err, ErrInvalidArg) {
 		t.Fatalf("out-of-range index: got %v", err)
@@ -65,6 +68,7 @@ func TestDeviceGetHandleByIndexBounds(t *testing.T) {
 }
 
 func TestSupportedClocks(t *testing.T) {
+	t.Parallel()
 	lib, dev := newLib(t)
 	h, _ := lib.DeviceGetHandleByIndex(0)
 	mems, err := h.GetSupportedMemoryClocks()
@@ -81,6 +85,7 @@ func TestSupportedClocks(t *testing.T) {
 }
 
 func TestApplicationClocksRequirePermission(t *testing.T) {
+	t.Parallel()
 	lib, dev := newLib(t)
 	h, _ := lib.DeviceGetHandleByIndex(0)
 	user := User{Name: "alice"}
@@ -114,6 +119,7 @@ func TestApplicationClocksRequirePermission(t *testing.T) {
 }
 
 func TestSetApplicationsClocksValidation(t *testing.T) {
+	t.Parallel()
 	lib, _ := newLib(t)
 	h, _ := lib.DeviceGetHandleByIndex(0)
 	if err := h.SetApplicationsClocks(Root, 900, 1312); !errors.Is(err, ErrInvalidArg) {
@@ -125,6 +131,7 @@ func TestSetApplicationsClocksValidation(t *testing.T) {
 }
 
 func TestResetApplicationsClocks(t *testing.T) {
+	t.Parallel()
 	lib, dev := newLib(t)
 	h, _ := lib.DeviceGetHandleByIndex(0)
 	if err := h.SetApplicationsClocks(Root, 877, dev.Spec().MinCoreMHz()); err != nil {
@@ -139,6 +146,7 @@ func TestResetApplicationsClocks(t *testing.T) {
 }
 
 func TestGetApplicationsClock(t *testing.T) {
+	t.Parallel()
 	lib, dev := newLib(t)
 	h, _ := lib.DeviceGetHandleByIndex(0)
 	core, err := h.GetApplicationsClock(ClockGraphics)
@@ -155,6 +163,7 @@ func TestGetApplicationsClock(t *testing.T) {
 }
 
 func TestPowerUsageReflectsDeviceState(t *testing.T) {
+	t.Parallel()
 	lib, dev := newLib(t)
 	h, _ := lib.DeviceGetHandleByIndex(0)
 	mw, err := h.GetPowerUsage()
@@ -167,6 +176,7 @@ func TestPowerUsageReflectsDeviceState(t *testing.T) {
 }
 
 func TestTotalEnergyGrowsWithTime(t *testing.T) {
+	t.Parallel()
 	lib, dev := newLib(t)
 	h, _ := lib.DeviceGetHandleByIndex(0)
 	dev.AdvanceIdle(1.0)
@@ -190,6 +200,7 @@ func TestTotalEnergyGrowsWithTime(t *testing.T) {
 }
 
 func TestGetNameAfterShutdownFails(t *testing.T) {
+	t.Parallel()
 	lib, _ := newLib(t)
 	h, _ := lib.DeviceGetHandleByIndex(0)
 	if err := lib.Shutdown(); err != nil {
@@ -201,6 +212,7 @@ func TestGetNameAfterShutdownFails(t *testing.T) {
 }
 
 func TestGetAPIRestrictionDefault(t *testing.T) {
+	t.Parallel()
 	lib, _ := newLib(t)
 	h, _ := lib.DeviceGetHandleByIndex(0)
 	r, err := h.GetAPIRestriction(APISetApplicationClocks)
@@ -210,6 +222,7 @@ func TestGetAPIRestrictionDefault(t *testing.T) {
 }
 
 func TestPowerManagementLimit(t *testing.T) {
+	t.Parallel()
 	lib, dev := newLib(t)
 	h, _ := lib.DeviceGetHandleByIndex(0)
 	if err := h.SetPowerManagementLimit(User{Name: "u"}, 200000); !errors.Is(err, ErrNoPermission) {

@@ -6,6 +6,7 @@
 package power
 
 import (
+	"errors"
 	"fmt"
 
 	"synergy/internal/hw"
@@ -44,6 +45,25 @@ type Manager interface {
 	DeviceNow() float64
 	// SamplingPeriod returns the telemetry period in seconds.
 	SamplingPeriod() float64
+	// Sleep advances the device's virtual time by dt seconds of idle —
+	// the wait a host-side retry/backoff loop spends between attempts.
+	Sleep(dtSec float64)
+}
+
+// IsPermissionDenied reports whether a vendor-library error means the
+// caller lacks the privilege to change device state — the condition the
+// runtime degrades gracefully on (the job runs at default clocks)
+// rather than retries.
+func IsPermissionDenied(err error) bool {
+	return errors.Is(err, nvml.ErrNoPermission) ||
+		errors.Is(err, rocmsmi.ErrNoPermission) ||
+		errors.Is(err, rapl.ErrNoPermission)
+}
+
+// IsTransient reports whether a vendor-library error is a transient
+// condition worth retrying (driver/SMU timeouts under load).
+func IsTransient(err error) bool {
+	return errors.Is(err, nvml.ErrTimeout) || errors.Is(err, rocmsmi.ErrTimeout)
 }
 
 // NewManager builds the appropriate backend for the device, with the
@@ -144,6 +164,7 @@ func (m *nvmlManager) SampledEnergy(t0, t1 float64) float64 {
 	return e
 }
 
+func (m *nvmlManager) Sleep(dtSec float64)     { m.dev.AdvanceIdle(dtSec) }
 func (m *nvmlManager) DeviceNow() float64      { return m.dev.Now() }
 func (m *nvmlManager) SamplingPeriod() float64 { return nvml.SamplingPeriodSec }
 
@@ -200,6 +221,7 @@ func (m *smiManager) SampledEnergy(t0, t1 float64) float64 {
 	return e
 }
 
+func (m *smiManager) Sleep(dtSec float64)     { m.dev.AdvanceIdle(dtSec) }
 func (m *smiManager) DeviceNow() float64      { return m.dev.Now() }
 func (m *smiManager) SamplingPeriod() float64 { return rocmsmi.SamplingPeriodSec }
 
@@ -255,5 +277,6 @@ func (m *raplManager) SampledEnergy(t0, t1 float64) float64 {
 	return e
 }
 
+func (m *raplManager) Sleep(dtSec float64)     { m.dev.AdvanceIdle(dtSec) }
 func (m *raplManager) DeviceNow() float64      { return m.dev.Now() }
 func (m *raplManager) SamplingPeriod() float64 { return rapl.SamplingPeriodSec }

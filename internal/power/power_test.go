@@ -7,6 +7,7 @@ import (
 )
 
 func TestManagerBackendsForBothVendors(t *testing.T) {
+	t.Parallel()
 	for _, spec := range []*hw.Spec{hw.V100(), hw.MI100(), hw.Xeon8160()} {
 		dev := hw.NewDevice(spec)
 		m, err := NewPrivilegedManager(dev)
@@ -32,6 +33,7 @@ func TestManagerBackendsForBothVendors(t *testing.T) {
 }
 
 func TestSetAndResetCoreFreqAcrossVendors(t *testing.T) {
+	t.Parallel()
 	for _, spec := range []*hw.Spec{hw.V100(), hw.MI100(), hw.Xeon8160()} {
 		dev := hw.NewDevice(spec)
 		m, err := NewPrivilegedManager(dev)
@@ -55,6 +57,7 @@ func TestSetAndResetCoreFreqAcrossVendors(t *testing.T) {
 }
 
 func TestSetCoreFreqRejectsUnsupported(t *testing.T) {
+	t.Parallel()
 	for _, spec := range []*hw.Spec{hw.V100(), hw.MI100(), hw.Xeon8160()} {
 		m, err := NewPrivilegedManager(hw.NewDevice(spec))
 		if err != nil {
@@ -67,6 +70,7 @@ func TestSetCoreFreqRejectsUnsupported(t *testing.T) {
 }
 
 func TestUnprivilegedManagerCannotScaleNVIDIA(t *testing.T) {
+	t.Parallel()
 	// On a production NVIDIA node without the plugin's privilege window,
 	// a regular user cannot change clocks (the motivation for §7).
 	dev := hw.NewDevice(hw.V100())
@@ -80,6 +84,7 @@ func TestUnprivilegedManagerCannotScaleNVIDIA(t *testing.T) {
 }
 
 func TestSampledEnergyMatchesDevice(t *testing.T) {
+	t.Parallel()
 	dev := hw.NewDevice(hw.V100())
 	m, err := NewPrivilegedManager(dev)
 	if err != nil {
@@ -97,6 +102,7 @@ func TestSampledEnergyMatchesDevice(t *testing.T) {
 }
 
 func TestSamplingPeriodsDifferByVendor(t *testing.T) {
+	t.Parallel()
 	nv, err := NewPrivilegedManager(hw.NewDevice(hw.V100()))
 	if err != nil {
 		t.Fatal(err)

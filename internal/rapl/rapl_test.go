@@ -22,12 +22,14 @@ func newPkg(t *testing.T) (*Package, *hw.Device) {
 }
 
 func TestNewRejectsGPUs(t *testing.T) {
+	t.Parallel()
 	if _, err := New(hw.NewDevice(hw.V100())); err == nil {
 		t.Fatal("GPU accepted by RAPL")
 	}
 }
 
 func TestLifecycle(t *testing.T) {
+	t.Parallel()
 	dev := hw.NewDevice(hw.Xeon8160())
 	p, err := New(dev)
 	if err != nil {
@@ -51,6 +53,7 @@ func TestLifecycle(t *testing.T) {
 }
 
 func TestEnergyCounterGrowsAndHasRAPLUnits(t *testing.T) {
+	t.Parallel()
 	p, dev := newPkg(t)
 	before, err := p.EnergyStatus()
 	if err != nil {
@@ -69,6 +72,7 @@ func TestEnergyCounterGrowsAndHasRAPLUnits(t *testing.T) {
 }
 
 func TestEnergyDeltaHandlesWrap(t *testing.T) {
+	t.Parallel()
 	// Counter wrap: after - before in uint32 arithmetic.
 	before := uint32(0xFFFFFF00)
 	after := uint32(0x00000100) // wrapped past zero: delta = 0x200 units
@@ -78,6 +82,7 @@ func TestEnergyDeltaHandlesWrap(t *testing.T) {
 }
 
 func TestGovernorAndFrequencyControl(t *testing.T) {
+	t.Parallel()
 	p, dev := newPkg(t)
 	user := User{Name: "u"}
 
@@ -121,6 +126,7 @@ func TestGovernorAndFrequencyControl(t *testing.T) {
 }
 
 func TestPowerLimitPL1(t *testing.T) {
+	t.Parallel()
 	p, dev := newPkg(t)
 	if err := p.SetPowerLimit(User{Name: "u"}, 100); !errors.Is(err, ErrNoPermission) {
 		t.Fatalf("unprivileged PL1: %v", err)
@@ -144,6 +150,7 @@ func TestPowerLimitPL1(t *testing.T) {
 }
 
 func TestXeonSpecShape(t *testing.T) {
+	t.Parallel()
 	s := hw.Xeon8160()
 	if s.Vendor != hw.Intel {
 		t.Fatal("Xeon is not Intel")

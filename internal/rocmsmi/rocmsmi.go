@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync"
 
+	"synergy/internal/fault"
 	"synergy/internal/hw"
 )
 
@@ -24,7 +25,22 @@ var (
 	ErrUninitialized = errors.New("rocmsmi: not initialized")
 	ErrInvalidArg    = errors.New("rocmsmi: invalid argument")
 	ErrNoPermission  = errors.New("rocmsmi: permission denied")
+	// ErrTimeout is the SMU failing to acknowledge a request in time —
+	// the transient failure mode of DPM writes under load.
+	ErrTimeout = errors.New("rocmsmi: operation timed out")
 )
+
+// Fault-injection sites exposed by this package (qualified per device by
+// the hw.Device label, or "gpu<i>" when unlabelled).
+const (
+	SiteSetClockLevel = "rocmsmi.set_clock_level"
+	SiteSetPerfAuto   = "rocmsmi.set_perf_auto"
+)
+
+func init() {
+	fault.RegisterError("rocmsmi.no_permission", ErrNoPermission)
+	fault.RegisterError("rocmsmi.timeout", ErrTimeout)
+}
 
 // PerfLevel is the rsmi_dev_perf_level setting.
 type PerfLevel int
@@ -123,6 +139,20 @@ func (l *Library) DeviceByIndex(i int) (*Device, error) {
 
 func (d *Device) hw() *hw.Device { return d.lib.devices[d.idx] }
 
+// checkFault consults the device's fault injector, applying injected
+// latency to the device timeline before returning any injected error.
+func (d *Device) checkFault(base string) error {
+	label := d.hw().Label()
+	if label == "" {
+		label = fmt.Sprintf("gpu%d", d.idx)
+	}
+	delay, err := d.hw().FaultInjector().Check(base + ":" + label)
+	if delay > 0 {
+		d.hw().AdvanceIdle(delay)
+	}
+	return err
+}
+
 func (d *Device) checkInit() error {
 	d.lib.mu.Lock()
 	defer d.lib.mu.Unlock()
@@ -191,6 +221,9 @@ func (d *Device) SetPerfLevelAuto(u User) error {
 	if err := d.checkInit(); err != nil {
 		return err
 	}
+	if err := d.checkFault(SiteSetPerfAuto); err != nil {
+		return fmt.Errorf("setting auto perf level: %w", err)
+	}
 	if !d.writable(u) {
 		return fmt.Errorf("%w: user %q may not change the performance level", ErrNoPermission, u.Name)
 	}
@@ -206,6 +239,9 @@ func (d *Device) SetPerfLevelAuto(u User) error {
 func (d *Device) SetClockLevel(u User, level int) error {
 	if err := d.checkInit(); err != nil {
 		return err
+	}
+	if err := d.checkFault(SiteSetClockLevel); err != nil {
+		return fmt.Errorf("setting DPM level: %w", err)
 	}
 	if !d.writable(u) {
 		return fmt.Errorf("%w: user %q may not set clock levels", ErrNoPermission, u.Name)

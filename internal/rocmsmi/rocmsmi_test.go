@@ -21,12 +21,14 @@ func newLib(t *testing.T) (*Library, *hw.Device) {
 }
 
 func TestNewRejectsNVIDIADevices(t *testing.T) {
+	t.Parallel()
 	if _, err := New(hw.NewDevice(hw.V100())); err == nil {
 		t.Fatal("NVIDIA device accepted by ROCm SMI")
 	}
 }
 
 func TestLifecycle(t *testing.T) {
+	t.Parallel()
 	dev := hw.NewDevice(hw.MI100())
 	lib, err := New(dev)
 	if err != nil {
@@ -48,6 +50,7 @@ func TestLifecycle(t *testing.T) {
 }
 
 func TestClockLevels(t *testing.T) {
+	t.Parallel()
 	lib, dev := newLib(t)
 	h, _ := lib.DeviceByIndex(0)
 	levels, err := h.ClockLevels()
@@ -68,6 +71,7 @@ func TestClockLevels(t *testing.T) {
 }
 
 func TestPerfLevelStartsAuto(t *testing.T) {
+	t.Parallel()
 	lib, dev := newLib(t)
 	h, _ := lib.DeviceByIndex(0)
 	lvl, err := h.PerfLevel()
@@ -80,6 +84,7 @@ func TestPerfLevelStartsAuto(t *testing.T) {
 }
 
 func TestSetClockLevelPermissionsAndValidation(t *testing.T) {
+	t.Parallel()
 	lib, dev := newLib(t)
 	h, _ := lib.DeviceByIndex(0)
 	user := User{Name: "bob"}
@@ -114,6 +119,7 @@ func TestSetClockLevelPermissionsAndValidation(t *testing.T) {
 }
 
 func TestSetPerfLevelAutoUnpins(t *testing.T) {
+	t.Parallel()
 	lib, dev := newLib(t)
 	h, _ := lib.DeviceByIndex(0)
 	if err := h.SetClockLevel(Root, 5); err != nil {
@@ -131,6 +137,7 @@ func TestSetPerfLevelAutoUnpins(t *testing.T) {
 }
 
 func TestPowerAndEnergyReads(t *testing.T) {
+	t.Parallel()
 	lib, dev := newLib(t)
 	h, _ := lib.DeviceByIndex(0)
 	p, err := h.PowerWatts()
@@ -152,6 +159,7 @@ func TestPowerAndEnergyReads(t *testing.T) {
 }
 
 func TestPowerCapAPI(t *testing.T) {
+	t.Parallel()
 	lib, dev := newLib(t)
 	h, _ := lib.DeviceByIndex(0)
 	if err := h.SetPowerCap(User{Name: "u"}, 200); !errors.Is(err, ErrNoPermission) {

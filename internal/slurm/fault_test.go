@@ -1,0 +1,265 @@
+package slurm
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"synergy/internal/fault"
+	"synergy/internal/hw"
+	"synergy/internal/nvml"
+	"synergy/internal/power"
+)
+
+// scaleJob submits the canonical frequency-scaling job of the §7 flow.
+func scaleJob(t *testing.T) *Job {
+	t.Helper()
+	return &Job{
+		Name: "scale", User: "alice", NumNodes: 1, Exclusive: true,
+		Gres: map[GRES]bool{GresNVGpuFreq: true},
+		Run:  gpuFreqJob(t, "alice", true),
+	}
+}
+
+// assertNodeClean fails the test unless every GPU of the node is back at
+// driver-default clocks with the privilege window closed.
+func assertNodeClean(t *testing.T, node *Node) {
+	t.Helper()
+	for _, g := range node.GPUs {
+		if g.AppClockMHz() != g.Spec().DefaultCoreMHz {
+			t.Errorf("%s left at %d MHz (default %d)", g.Label(), g.AppClockMHz(), g.Spec().DefaultCoreMHz)
+		}
+		pm, err := power.NewManager(g, "bob", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pm.SetCoreFreq(g.Spec().MinCoreMHz()); err == nil {
+			t.Errorf("%s: privilege leak — next user can scale clocks", g.Label())
+		}
+	}
+}
+
+// TestEpilogueAlwaysCleansUpUnderFaults is the tentpole robustness
+// table: whatever transient faults fire — during the prologue, the job,
+// the epilogue hooks, or the NVML cleanup calls themselves — a surviving
+// node always comes back with default clocks and no privilege window.
+func TestEpilogueAlwaysCleansUpUnderFaults(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name    string
+		rules   []fault.Rule
+		wantJob bool // job script expected to succeed
+	}{
+		{
+			name:    "no faults",
+			wantJob: true,
+		},
+		{
+			name: "transient clock-reset faults mid-epilogue",
+			rules: []fault.Rule{
+				{Site: nvml.SiteResetAppClocks, Count: 2, Err: nvml.ErrTimeout},
+			},
+			wantJob: true,
+		},
+		{
+			name: "transient restriction-restore faults mid-epilogue",
+			// After=1 skips each GPU's prologue lift; the fault then hits
+			// the epilogue's restore, twice, within the retry budget.
+			rules: []fault.Rule{
+				{Site: nvml.SiteSetAPIRestriction, After: 1, Count: 2, Err: nvml.ErrTimeout},
+			},
+			wantJob: true,
+		},
+		{
+			name: "epilogue hook crashes twice",
+			rules: []fault.Rule{
+				{Site: SiteEpilogue, Count: 2, Err: fault.ErrInjected},
+			},
+			wantJob: true,
+		},
+		{
+			name: "prologue hook crashes",
+			// The job never starts, so no privileges were ever granted.
+			rules: []fault.Rule{
+				{Site: SitePrologue, Count: 1, Err: fault.ErrInjected},
+			},
+			wantJob: false,
+		},
+		{
+			name: "prologue lift denied on second GPU",
+			// The prologue rolls the first GPU back before failing.
+			rules: []fault.Rule{
+				{Site: nvml.SiteSetAPIRestriction + ":r0/gpu1", Count: 1, Err: nvml.ErrTimeout},
+			},
+			wantJob: false,
+		},
+		{
+			name: "latency plus transient faults everywhere",
+			rules: []fault.Rule{
+				{Site: nvml.SiteSetAppClocks, DelaySec: 0.001},
+				{Site: nvml.SiteResetAppClocks, Count: 1, Err: nvml.ErrTimeout},
+				{Site: SiteEpilogue, Count: 1, Err: fault.ErrInjected},
+			},
+			wantJob: true,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			c := newV100Cluster(t, 1)
+			c.SetFaultInjector(fault.New(11, tc.rules...))
+			node := c.Nodes()[0]
+			res, err := c.Submit(scaleJob(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.wantJob && res.Err != nil {
+				t.Fatalf("job failed under transient faults: %v", res.Err)
+			}
+			if !tc.wantJob && res.Err == nil {
+				t.Fatal("job succeeded, want prologue failure")
+			}
+			assertNodeClean(t, node)
+		})
+	}
+}
+
+func TestPersistentEpilogueFaultIsReportedNotSwallowed(t *testing.T) {
+	t.Parallel()
+	// A sticky fault on the clock reset defeats the bounded retries: the
+	// failure must surface in the job result, while the independent
+	// privilege-restore step still completes.
+	c := newV100Cluster(t, 1)
+	c.SetFaultInjector(fault.New(3, fault.Rule{
+		Site: nvml.SiteResetAppClocks, Err: nvml.ErrTimeout,
+	}))
+	node := c.Nodes()[0]
+	res, err := c.Submit(scaleJob(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err == nil || !errors.Is(res.Err, nvml.ErrTimeout) {
+		t.Fatalf("persistent cleanup failure not reported: %v", res.Err)
+	}
+	for _, g := range node.GPUs {
+		// Clocks could not be reset — but the privilege window must be
+		// closed regardless.
+		pm, err := power.NewManager(g, "bob", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pm.SetCoreFreq(g.Spec().MinCoreMHz()); err == nil {
+			t.Errorf("%s: privilege leak despite failed clock reset", g.Label())
+		}
+	}
+}
+
+func TestNodeFailureRequeuesJobAndReviveCleansNode(t *testing.T) {
+	t.Parallel()
+	nodes := []*Node{
+		NewNode("n0", hw.V100(), 2, GresNVGpuFreq),
+		NewNode("n1", hw.V100(), 2, GresNVGpuFreq),
+	}
+	c := NewCluster(nodes...)
+	c.RegisterPlugin(&NVGpuFreqPlugin{Controller: c})
+	c.SetFaultInjector(fault.New(5, fault.Rule{
+		Site: SiteNodeFail + ":n0", Count: 1, Err: ErrNodeFailed,
+	}))
+	job := &Job{
+		Name: "resilient", User: "alice", NumNodes: 1, Exclusive: true,
+		Gres: map[GRES]bool{GresNVGpuFreq: true}, MaxRequeues: 1,
+		Run: gpuFreqJob(t, "alice", true),
+	}
+	h, err := c.SubmitAsync(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("requeued job failed: %v", res.Err)
+	}
+	if got := h.Requeues(); got != 1 {
+		t.Fatalf("requeues = %d, want 1", got)
+	}
+	if !nodes[0].Down() {
+		t.Fatal("failed node not marked down")
+	}
+	// The dead node may hold a leaked privilege window (its epilogue
+	// could not run); a reboot must clear it.
+	nodes[0].Revive()
+	if nodes[0].Down() {
+		t.Fatal("revived node still down")
+	}
+	assertNodeClean(t, nodes[0])
+	assertNodeClean(t, nodes[1])
+	// The revived node is allocatable again.
+	if err := nodes[0].allocate("probe", true); err != nil {
+		t.Fatalf("revived node not allocatable: %v", err)
+	}
+	nodes[0].release("probe")
+}
+
+func TestNodeFailureWithoutRequeueFailsJob(t *testing.T) {
+	t.Parallel()
+	c := newV100Cluster(t, 1)
+	c.SetFaultInjector(fault.New(5, fault.Rule{
+		Site: SiteNodeFail + ":r0", Count: 1, Err: ErrNodeFailed,
+	}))
+	res, err := c.Submit(scaleJob(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.Err, ErrNodeFailed) {
+		t.Fatalf("res.Err = %v, want ErrNodeFailed", res.Err)
+	}
+}
+
+func TestIdenticalSeedReproducesIdenticalFailureTrace(t *testing.T) {
+	t.Parallel()
+	// The determinism contract, asserted end-to-end at the scheduler
+	// level: the same scenario with the same seed yields the identical
+	// failure trace on two independent runs of the same workload.
+	scenario := func() []fault.Rule {
+		return []fault.Rule{
+			{Site: nvml.SiteSetAppClocks, Prob: 0.4, Err: nvml.ErrTimeout},
+			{Site: nvml.SiteResetAppClocks, Count: 1, Err: nvml.ErrTimeout},
+			{Site: SiteEpilogue, Prob: 0.5, Err: fault.ErrInjected},
+		}
+	}
+	run := func() []fault.Event {
+		c := newV100Cluster(t, 2)
+		in := fault.New(1234, scenario()...)
+		c.SetFaultInjector(in)
+		for i := 0; i < 3; i++ {
+			job := &Job{
+				Name: "trace", User: "alice", NumNodes: 2, Exclusive: true,
+				Gres: map[GRES]bool{GresNVGpuFreq: true},
+				Run: func(ctx *Allocation) error {
+					for _, g := range ctx.GPUs() {
+						pm, err := power.NewManager(g, "alice", false)
+						if err != nil {
+							return err
+						}
+						_ = pm.SetCoreFreq(g.Spec().MinCoreMHz())
+					}
+					return nil
+				},
+			}
+			if _, err := c.Submit(job); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return in.Trace()
+	}
+	first, second := run(), run()
+	if len(first) == 0 {
+		t.Fatal("scenario produced no fault events — trace comparison is vacuous")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("identical seed diverged:\nrun 1: %+v\nrun 2: %+v", first, second)
+	}
+}

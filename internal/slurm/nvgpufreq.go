@@ -78,15 +78,38 @@ func withNVML(node *Node, f func(lib *nvml.Library, devs []*nvml.Device) error) 
 	return f(lib, devs)
 }
 
-// Prologue implements Plugin.
+// cleanupAttempts bounds the per-step retry loops of the prologue
+// rollback and the epilogue cleanup: a transient (injected) failure of
+// one NVML call must not leave a node privileged or downclocked.
+const cleanupAttempts = 3
+
+// retryNVML retries one NVML cleanup step up to cleanupAttempts times.
+func retryNVML(step func() error) error {
+	var err error
+	for attempt := 0; attempt < cleanupAttempts; attempt++ {
+		if err = step(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// Prologue implements Plugin. If lowering the restriction fails on any
+// GPU, the ones already opened are re-restricted before the error is
+// returned — a half-privileged node never reaches the job.
 func (p *NVGpuFreqPlugin) Prologue(ctx *Allocation, node *Node) error {
 	ok, err := p.applies(ctx, node)
 	if err != nil || !ok {
 		return err
 	}
 	return withNVML(node, func(lib *nvml.Library, devs []*nvml.Device) error {
-		for _, d := range devs {
+		for i, d := range devs {
 			if err := d.SetAPIRestriction(nvml.Root, nvml.APISetApplicationClocks, false); err != nil {
+				for _, opened := range devs[:i] {
+					_ = retryNVML(func() error {
+						return opened.SetAPIRestriction(nvml.Root, nvml.APISetApplicationClocks, true)
+					})
+				}
 				return fmt.Errorf("nvgpufreq: lowering restriction: %w", err)
 			}
 		}
@@ -96,20 +119,28 @@ func (p *NVGpuFreqPlugin) Prologue(ctx *Allocation, node *Node) error {
 
 // Epilogue implements Plugin: full cleanup regardless of how the job
 // ended — restore default clocks and re-restrict the privileged APIs.
+// Every cleanup step runs on every GPU even when earlier steps fail, and
+// each step retries transient failures, so a fault mid-epilogue cannot
+// leave privileges raised on a GPU that can still be reached; the first
+// persistent error is still reported.
 func (p *NVGpuFreqPlugin) Epilogue(ctx *Allocation, node *Node) error {
 	ok, err := p.applies(ctx, node)
 	if err != nil || !ok {
 		return err
 	}
 	return withNVML(node, func(lib *nvml.Library, devs []*nvml.Device) error {
+		var firstErr error
 		for _, d := range devs {
-			if err := d.ResetApplicationsClocks(nvml.Root); err != nil {
-				return fmt.Errorf("nvgpufreq: resetting clocks: %w", err)
+			d := d
+			if err := retryNVML(func() error { return d.ResetApplicationsClocks(nvml.Root) }); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("nvgpufreq: resetting clocks: %w", err)
 			}
-			if err := d.SetAPIRestriction(nvml.Root, nvml.APISetApplicationClocks, true); err != nil {
-				return fmt.Errorf("nvgpufreq: restoring restriction: %w", err)
+			if err := retryNVML(func() error {
+				return d.SetAPIRestriction(nvml.Root, nvml.APISetApplicationClocks, true)
+			}); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("nvgpufreq: restoring restriction: %w", err)
 			}
 		}
-		return nil
+		return firstErr
 	})
 }

@@ -5,6 +5,14 @@ import (
 	"sync"
 )
 
+// Requeues reports how many times the scheduler has requeued the job
+// after a node failure.
+func (h *JobHandle) Requeues() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.requeues
+}
+
 // Asynchronous job queue: SubmitAsync enqueues like sbatch does, a
 // scheduler loop starts jobs as nodes free up — FIFO with opportunistic
 // backfill (a job further down the queue may start early when it fits
@@ -16,10 +24,11 @@ type JobHandle struct {
 	job  *Job
 	done chan struct{}
 
-	mu      sync.Mutex
-	started bool
-	res     *JobResult
-	err     error
+	mu       sync.Mutex
+	started  bool
+	requeues int
+	res      *JobResult
+	err      error
 }
 
 // Wait blocks until the job finishes and returns its accounting.
@@ -93,10 +102,25 @@ func (c *Cluster) kickScheduler() {
 		h.mu.Unlock()
 		go func(h *JobHandle, jobID string, alloc []*Node) {
 			res := c.executeAllocated(h.job, jobID, alloc)
+			// Node failures requeue the job (up to Job.MaxRequeues) rather
+			// than failing it: the next pass allocates around down nodes.
 			h.mu.Lock()
-			h.res = res
+			requeue := res.Err != nil && errors.Is(res.Err, ErrNodeFailed) &&
+				h.requeues < h.job.MaxRequeues
+			if requeue {
+				h.requeues++
+				h.started = false
+			} else {
+				h.res = res
+			}
 			h.mu.Unlock()
-			close(h.done)
+			if requeue {
+				c.mu.Lock()
+				c.queue = append(c.queue, h)
+				c.mu.Unlock()
+			} else {
+				close(h.done)
+			}
 			c.kickScheduler() // freed nodes: schedule the next jobs
 		}(h, jobID, alloc)
 	}

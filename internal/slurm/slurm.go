@@ -12,8 +12,26 @@ import (
 	"fmt"
 	"sync"
 
+	"synergy/internal/fault"
 	"synergy/internal/hw"
 )
+
+// ErrNodeFailed reports a node dying while a job held it.
+var ErrNodeFailed = errors.New("slurm: node failed")
+
+// Fault-injection sites exposed by this package, qualified per node
+// ("slurm.node_fail:node1"). Prologue/epilogue sites fire once per
+// (plugin, node) hook invocation; node_fail is consulted once per node
+// as the job launches.
+const (
+	SitePrologue = "slurm.prologue"
+	SiteEpilogue = "slurm.epilogue"
+	SiteNodeFail = "slurm.node_fail"
+)
+
+func init() {
+	fault.RegisterError("slurm.node_failed", ErrNodeFailed)
+}
 
 // GRES is a Generic RESource tag.
 type GRES string
@@ -35,6 +53,7 @@ type Node struct {
 	mu        sync.Mutex
 	exclusive string         // job ID holding the node exclusively
 	shared    map[string]int // job IDs sharing the node
+	down      bool           // node failed; excluded from allocation
 }
 
 // NewNode builds a node with n GPUs of the given spec. NVML is marked
@@ -47,7 +66,9 @@ func NewNode(name string, spec *hw.Spec, nGPUs int, gres ...GRES) *Node {
 		shared:        map[string]int{},
 	}
 	for i := 0; i < nGPUs; i++ {
-		n.GPUs = append(n.GPUs, hw.NewDevice(spec))
+		g := hw.NewDevice(spec)
+		g.SetLabel(fmt.Sprintf("%s/gpu%d", name, i))
+		n.GPUs = append(n.GPUs, g)
 	}
 	for _, g := range gres {
 		n.Gres[g] = true
@@ -58,12 +79,46 @@ func NewNode(name string, spec *hw.Spec, nGPUs int, gres ...GRES) *Node {
 // HasGres reports whether the node carries the tag.
 func (n *Node) HasGres(g GRES) bool { return n.Gres[g] }
 
+// Down reports whether the node is marked failed.
+func (n *Node) Down() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down
+}
+
+// MarkDown takes the node out of service (a crash: running jobs fail,
+// future allocations skip it). Epilogues cannot run on a dead node; its
+// driver state is only cleaned up by Revive.
+func (n *Node) MarkDown() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down = true
+}
+
+// Revive returns a failed node to service, as a reboot would: all
+// allocations are cleared and every GPU comes back with driver-default
+// clocks and cleared driver state (no privilege windows survive).
+func (n *Node) Revive() {
+	n.mu.Lock()
+	n.down = false
+	n.exclusive = ""
+	n.shared = map[string]int{}
+	n.mu.Unlock()
+	for _, g := range n.GPUs {
+		g.ResetAppClock()
+		g.ResetDriverFlags()
+	}
+}
+
 // allocate marks the node as used by the job; exclusive jobs require the
 // node to be completely free, shared jobs only require no exclusive
 // holder.
 func (n *Node) allocate(jobID string, exclusive bool) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.down {
+		return fmt.Errorf("slurm: node %s is down", n.Name)
+	}
 	if n.exclusive != "" {
 		return fmt.Errorf("slurm: node %s held exclusively by job %s", n.Name, n.exclusive)
 	}
@@ -111,6 +166,9 @@ type Job struct {
 	Exclusive bool
 	// Gres lists requested resources (--gres=nvgpufreq).
 	Gres map[GRES]bool
+	// MaxRequeues lets the async scheduler resubmit the job this many
+	// times when it fails with ErrNodeFailed (SLURM's --requeue).
+	MaxRequeues int
 	// Run is the job script; it receives the allocation.
 	Run func(ctx *Allocation) error
 }
@@ -162,6 +220,7 @@ type Cluster struct {
 	plugins []Plugin
 	nextID  int
 	queue   []*JobHandle // pending asynchronous jobs, FIFO
+	inj     *fault.Injector
 }
 
 func jobIDString(n int) string { return fmt.Sprintf("job-%d", n) }
@@ -169,6 +228,29 @@ func jobIDString(n int) string { return fmt.Sprintf("job-%d", n) }
 // NewCluster creates a cluster over the nodes.
 func NewCluster(nodes ...*Node) *Cluster {
 	return &Cluster{nodes: nodes}
+}
+
+// SetFaultInjector attaches a fault injector to the cluster and, for
+// convenience, to every GPU of every node (so one injector scripts
+// scheduler-level faults and device-level vendor-library faults
+// together). A nil injector detaches everywhere.
+func (c *Cluster) SetFaultInjector(in *fault.Injector) {
+	c.mu.Lock()
+	nodes := make([]*Node, len(c.nodes))
+	copy(nodes, c.nodes)
+	c.inj = in
+	c.mu.Unlock()
+	for _, n := range nodes {
+		for _, g := range n.GPUs {
+			g.SetFaultInjector(in)
+		}
+	}
+}
+
+func (c *Cluster) injector() *fault.Injector {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inj
 }
 
 // RegisterPlugin appends a prologue/epilogue plugin.
@@ -243,13 +325,20 @@ func (c *Cluster) executeAllocated(job *Job, jobID string, alloc []*Node) *JobRe
 		}
 	}
 
+	inj := c.injector()
+
 	// Prologue chain; a failure aborts the job but still runs the
 	// epilogues of the plugins that already ran, in reverse order.
+	// Injected prologue faults model the hook process crashing.
 	var ran []Plugin
 	var prologErr error
 	for _, p := range plugins {
 		for _, n := range alloc {
-			if err := p.Prologue(ctx, n); err != nil {
+			_, err := inj.Check(SitePrologue + ":" + n.Name)
+			if err == nil {
+				err = p.Prologue(ctx, n)
+			}
+			if err != nil {
 				prologErr = fmt.Errorf("slurm: plugin %s prologue on %s: %w", p.Name(), n.Name, err)
 				break
 			}
@@ -260,16 +349,46 @@ func (c *Cluster) executeAllocated(job *Job, jobID string, alloc []*Node) *JobRe
 		ran = append(ran, p)
 	}
 
+	// Node failure as the job launches: the node goes down, the job
+	// fails, and only the surviving nodes see epilogues (a dead node's
+	// cleanup happens at Revive, the reboot path).
 	var jobErr error
 	if prologErr == nil {
+		for _, n := range alloc {
+			if _, err := inj.Check(SiteNodeFail + ":" + n.Name); err != nil {
+				n.MarkDown()
+				jobErr = fmt.Errorf("slurm: node %s died during %s: %w", n.Name, jobID, ErrNodeFailed)
+			}
+		}
+	}
+	if prologErr == nil && jobErr == nil {
 		jobErr = job.Run(ctx)
-	} else {
+	} else if prologErr != nil {
 		jobErr = prologErr
 	}
 
+	// Epilogues run on every surviving node regardless of how the job
+	// ended; one hook failing (including injected epilogue faults) never
+	// stops the remaining hooks or nodes. A crashed hook is re-launched
+	// up to cleanupAttempts times (hooks are idempotent), so a transient
+	// mid-epilogue fault cannot leave a reachable node dirty; only a
+	// persistent failure is reported.
 	for i := len(ran) - 1; i >= 0; i-- {
 		for _, n := range alloc {
-			if err := ran[i].Epilogue(ctx, n); err != nil && jobErr == nil {
+			if n.Down() {
+				continue
+			}
+			var err error
+			for attempt := 0; attempt < cleanupAttempts; attempt++ {
+				_, err = inj.Check(SiteEpilogue + ":" + n.Name)
+				if err == nil {
+					err = ran[i].Epilogue(ctx, n)
+				}
+				if err == nil {
+					break
+				}
+			}
+			if err != nil && jobErr == nil {
 				jobErr = fmt.Errorf("slurm: plugin %s epilogue on %s: %w", ran[i].Name(), n.Name, err)
 			}
 		}

@@ -14,10 +14,24 @@ import (
 	"fmt"
 	"sync"
 
+	"synergy/internal/fault"
 	"synergy/internal/features"
 	"synergy/internal/hw"
 	"synergy/internal/kernelir"
 )
+
+// ErrSubmitFailed reports a command group the device rejected at launch
+// (the simulated analogue of a failed kernel submission).
+var ErrSubmitFailed = errors.New("sycl: kernel submission failed")
+
+// SiteSubmit is this package's fault-injection site, consulted on the
+// device thread immediately before each kernel starts (qualified per
+// device by the hw.Device label).
+const SiteSubmit = "sycl.submit"
+
+func init() {
+	fault.RegisterError("sycl.submit_failed", ErrSubmitFailed)
+}
 
 // Device represents one compute device (a simulated GPU).
 type Device struct {
@@ -289,6 +303,16 @@ func (q *Queue) SubmitPre(pre func() error, cg CommandGroup) (*Event, error) {
 		if pre != nil {
 			if err := pre(); err != nil {
 				q.finishWith(ev, hw.KernelRecord{}, err)
+				return
+			}
+		}
+		// Injected submit faults fire here, after the pre-action (the
+		// frequency change) and before the kernel occupies the device.
+		site := SiteSubmit + ":" + q.dev.hw.Label()
+		if delay, err := q.dev.hw.FaultInjector().Check(site); delay > 0 || err != nil {
+			q.dev.hw.AdvanceIdle(delay)
+			if err != nil {
+				q.finishWith(ev, hw.KernelRecord{}, fmt.Errorf("sycl: submitting %q: %w", h.kernel.Name, err))
 				return
 			}
 		}
