@@ -22,6 +22,7 @@ import (
 	"synergy/internal/model"
 	"synergy/internal/power"
 	"synergy/internal/report"
+	"synergy/internal/sweep"
 	"synergy/internal/sycl"
 )
 
@@ -419,4 +420,77 @@ func BenchmarkBaseline_OnlineGovernor(b *testing.B) {
 	}
 	b.ReportMetric(govOverhead, "governor_overhead_%")
 	b.ReportMetric(staticOverhead, "static_overhead_%")
+}
+
+// benchmarkSweepEngine drives one full-suite V100 characterisation
+// through a fresh engine per iteration so every sweep is a cache miss.
+func benchmarkSweepEngine(b *testing.B, newEngine func() *sweep.Engine) {
+	spec := hw.V100()
+	suite := benchsuite.All()
+	b.ResetTimer()
+	var evals int64
+	for i := 0; i < b.N; i++ {
+		eng := newEngine()
+		err := eng.ForEach(len(suite), func(j int) error {
+			_, err := eng.GroundTruth(spec, suite[j].Kernel, suite[j].CharItems)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		evals = eng.Evaluations()
+	}
+	b.ReportMetric(float64(evals), "sweeps")
+}
+
+// BenchmarkSweepSerial characterises the full suite on one worker: the
+// historical serial path the engine replaced.
+func BenchmarkSweepSerial(b *testing.B) {
+	benchmarkSweepEngine(b, func() *sweep.Engine {
+		return sweep.NewEngine(sweep.WithWorkers(1))
+	})
+}
+
+// BenchmarkSweepPooled characterises the full suite on the default
+// bounded worker pool (GOMAXPROCS workers).
+func BenchmarkSweepPooled(b *testing.B) {
+	benchmarkSweepEngine(b, func() *sweep.Engine { return sweep.NewEngine() })
+}
+
+// BenchmarkSweepMemoized re-requests an already-characterised suite:
+// after a warm-up pass, every request is a cache hit.
+func BenchmarkSweepMemoized(b *testing.B) {
+	spec := hw.V100()
+	suite := benchsuite.All()
+	eng := sweep.NewEngine()
+	if err := eng.Prefetch(spec, kernelsOf(suite), suite[0].CharItems); err != nil {
+		b.Fatal(err)
+	}
+	// Warm the per-benchmark launch sizes too.
+	for _, bm := range suite {
+		if _, err := eng.GroundTruth(spec, bm.Kernel, bm.CharItems); err != nil {
+			b.Fatal(err)
+		}
+	}
+	warm := eng.Evaluations()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, bm := range suite {
+			if _, err := eng.GroundTruth(spec, bm.Kernel, bm.CharItems); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if eng.Evaluations() != warm {
+		b.Fatalf("memoized pass evaluated %d new sweeps", eng.Evaluations()-warm)
+	}
+}
+
+func kernelsOf(suite []*benchsuite.Benchmark) []*kernelir.Kernel {
+	out := make([]*kernelir.Kernel, len(suite))
+	for i := range suite {
+		out[i] = suite[i].Kernel
+	}
+	return out
 }

@@ -2,6 +2,11 @@
 // frequency table and prints the speedup / normalised-energy
 // characterisation with the Pareto front (the data behind Figs. 2, 7, 8)
 // together with every standard energy-target selection.
+//
+// All ground truth flows through the shared sweep engine, so each
+// (device, benchmark) sweep is computed exactly once per process: the
+// characterisation and the target-selection section reuse the same
+// memoized sweep (historically they each recomputed it from scratch).
 package main
 
 import (
@@ -9,12 +14,13 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"sync"
 
 	"synergy/internal/benchsuite"
 	"synergy/internal/hw"
 	"synergy/internal/metrics"
-	"synergy/internal/model"
 	"synergy/internal/report"
+	"synergy/internal/sweep"
 )
 
 func main() {
@@ -36,6 +42,20 @@ func main() {
 		names = strings.Split(*benchArg, ",")
 	}
 
+	// Count engine evaluations per content key: the assertion below
+	// proves the duplicate-computation bug (characterisation + selections
+	// each sweeping) cannot reappear.
+	var (
+		mu    sync.Mutex
+		evals = map[sweep.Key]int{}
+	)
+	eng := sweep.Shared()
+	eng.SetHook(func(k sweep.Key) {
+		mu.Lock()
+		evals[k]++
+		mu.Unlock()
+	})
+
 	for _, name := range names {
 		c, err := report.BuildCharacterization(spec, name)
 		if err != nil {
@@ -52,26 +72,39 @@ func main() {
 		}
 		printSelections(spec, name)
 	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(evals) != len(names) {
+		log.Fatalf("sweep engine evaluated %d distinct sweeps for %d benchmarks", len(evals), len(names))
+	}
+	for k, n := range evals {
+		if n != 1 {
+			log.Fatalf("sweep %s evaluated %d times, want exactly once", k, n)
+		}
+	}
 }
 
+// printSelections reports the standard target selections. The sweep
+// request is a cache hit: the engine already computed it for the
+// characterisation of the same benchmark.
 func printSelections(spec *hw.Spec, name string) {
 	b, err := benchsuite.ByName(name)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sweep, err := model.GroundTruthSweep(spec, b.Kernel, b.CharItems)
+	sw, err := sweep.GroundTruth(spec, b.Kernel, b.CharItems)
 	if err != nil {
 		log.Fatal(err)
 	}
-	base := sweep.BaselinePoint()
 	fmt.Println("  target selections:")
 	for _, tgt := range metrics.StandardTargets {
-		p, err := sweep.Select(tgt)
+		p, err := sw.Select(tgt)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("    %-10s -> %4d MHz (saving %5.1f%%, loss %5.1f%%)\n",
-			tgt, p.FreqMHz, 100*(1-p.EnergyJ/base.EnergyJ), 100*(p.TimeSec/base.TimeSec-1))
+			tgt, p.FreqMHz, sw.EnergySavingPct(p), sw.PerfLossPct(p))
 	}
 	fmt.Println()
 }

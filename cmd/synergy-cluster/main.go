@@ -22,6 +22,7 @@ import (
 	"synergy/internal/model"
 	"synergy/internal/mpi"
 	"synergy/internal/slurm"
+	"synergy/internal/sweep"
 	"synergy/internal/trace"
 )
 
@@ -81,7 +82,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("Energy models trained on the micro-benchmark suite")
+	fmt.Printf("Energy models trained on the micro-benchmark suite (%d pooled sweeps)\n",
+		sweep.Shared().Evaluations())
 
 	defer func() {
 		if *traceOut == "" {

@@ -17,6 +17,7 @@ import (
 	"synergy/internal/metrics"
 	"synergy/internal/microbench"
 	"synergy/internal/model"
+	"synergy/internal/sweep"
 )
 
 func main() {
@@ -86,7 +87,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	gt, err := model.GroundTruthSweep(spec, bench.Kernel, bench.CharItems)
+	gt, err := sweep.GroundTruth(spec, bench.Kernel, bench.CharItems)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -114,7 +115,5 @@ func main() {
 		preObj, actObj, 100*ape)
 	base := gt.BaselinePoint()
 	fmt.Printf("    vs default (%d MHz): energy saving %.1f%%, perf loss %.1f%%\n",
-		base.FreqMHz,
-		100*(1-predPoint.EnergyJ/base.EnergyJ),
-		100*(predPoint.TimeSec/base.TimeSec-1))
+		base.FreqMHz, gt.EnergySavingPct(predPoint), gt.PerfLossPct(predPoint))
 }

@@ -59,6 +59,22 @@ func main() {
 		}
 	}
 
+	// Fig. 9 and Table 2 share one model evaluation (training four
+	// algorithms and sweeping the whole suite); build it once and reuse —
+	// with -all it used to be trained and evaluated twice over.
+	var modelEval *report.ModelEvaluation
+	evaluation := func() (*report.ModelEvaluation, error) {
+		if modelEval != nil {
+			return modelEval, nil
+		}
+		m, err := report.BuildModelEvaluation(hw.V100(), *stride)
+		if err != nil {
+			return nil, err
+		}
+		modelEval = m
+		return m, nil
+	}
+
 	figs := map[int]func() error{
 		1: func() error { return emit(report.BuildFig1()) },
 		2: func() error { return renderChars(report.BuildFig2, "Figure 2 (V100)") },
@@ -79,7 +95,7 @@ func main() {
 		7: func() error { return renderChars(report.BuildFig7, "Figure 7 (V100)") },
 		8: func() error { return renderChars(report.BuildFig8, "Figure 8 (MI100)") },
 		9: func() error {
-			m, err := report.BuildModelEvaluation(hw.V100(), *stride)
+			m, err := evaluation()
 			if err != nil {
 				return err
 			}
@@ -108,7 +124,7 @@ func main() {
 			return emit(t1)
 		},
 		2: func() error {
-			m, err := report.BuildModelEvaluation(hw.V100(), *stride)
+			m, err := evaluation()
 			if err != nil {
 				return err
 			}

@@ -16,6 +16,7 @@ import (
 	"synergy/internal/microbench"
 	"synergy/internal/ml"
 	"synergy/internal/model"
+	"synergy/internal/sweep"
 )
 
 func main() {
@@ -43,7 +44,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("Collected %d samples (T = (k, f, e, t, edp, ed2p))\n", len(ts.Samples))
+	fmt.Printf("Collected %d samples (T = (k, f, e, t, edp, ed2p)) via %d pooled sweeps\n",
+		len(ts.Samples), sweep.Shared().Evaluations())
 
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)

@@ -324,7 +324,12 @@ func mergeKernelStats(profiles [][]core.KernelStats) []core.KernelStats {
 	for _, name := range order {
 		out = append(out, *byName[name])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].EnergyJ > out[j].EnergyJ })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EnergyJ != out[j].EnergyJ {
+			return out[i].EnergyJ > out[j].EnergyJ
+		}
+		return out[i].Name < out[j].Name
+	})
 	return out
 }
 

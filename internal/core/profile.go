@@ -98,8 +98,21 @@ func (q *Queue) Profile() []KernelStats {
 		}
 		out = append(out, cp)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].EnergyJ > out[j].EnergyJ })
+	sortStats(out)
 	return out
+}
+
+// sortStats orders kernel statistics by descending energy, breaking
+// ties by name: the source map has no order of its own, and without the
+// tie-break equal-energy kernels would surface in map order — breaking
+// golden tests and diffs over the rendered profile.
+func sortStats(out []KernelStats) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EnergyJ != out[j].EnergyJ {
+			return out[i].EnergyJ > out[j].EnergyJ
+		}
+		return out[i].Name < out[j].Name
+	})
 }
 
 // RenderProfile formats kernel statistics as a text table.

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSortStatsDeterministicOnTies: kernels with identical energy used
+// to surface in map-iteration order, so repeated Profile() calls (and
+// golden diffs over the rendered table) flapped. Ties now break by name.
+func TestSortStatsDeterministicOnTies(t *testing.T) {
+	mk := func(name string, energy float64) KernelStats {
+		return KernelStats{Name: name, Launches: 1, TimeSec: 1, EnergyJ: energy,
+			FreqLaunches: map[int]int{1000: 1}}
+	}
+	// Two permutations of the same stats, with an energy tie in the middle.
+	a := []KernelStats{mk("zeta", 2), mk("alpha", 2), mk("mid", 5), mk("low", 1)}
+	b := []KernelStats{mk("low", 1), mk("mid", 5), mk("alpha", 2), mk("zeta", 2)}
+	sortStats(a)
+	sortStats(b)
+	wantOrder := []string{"mid", "alpha", "zeta", "low"}
+	for i, want := range wantOrder {
+		if a[i].Name != want {
+			t.Fatalf("permutation A: position %d = %s, want %s", i, a[i].Name, want)
+		}
+		if b[i].Name != want {
+			t.Fatalf("permutation B: position %d = %s, want %s", i, b[i].Name, want)
+		}
+	}
+}
+
+// TestRenderProfileFrequenciesSorted: the per-kernel frequency launch
+// counts come from a map; the rendering must list them in ascending
+// frequency order regardless of insertion order.
+func TestRenderProfileFrequenciesSorted(t *testing.T) {
+	stats := []KernelStats{{
+		Name: "k", Launches: 3, TimeSec: 1, EnergyJ: 1,
+		FreqLaunches: map[int]int{1380: 1, 600: 1, 990: 1},
+	}}
+	out := RenderProfile(stats)
+	if !strings.Contains(out, "600:1 990:1 1380:1") {
+		t.Fatalf("frequencies not in ascending order:\n%s", out)
+	}
+	// Determinism across repeated renders.
+	for i := 0; i < 10; i++ {
+		if got := RenderProfile(stats); got != out {
+			t.Fatalf("render %d differs from first render", i)
+		}
+	}
+}
+
+// TestProfileStableAcrossCalls: repeated Profile() on the same queue
+// returns the same ordering (the copied stats, re-sorted, must agree).
+func TestProfileStableAcrossCalls(t *testing.T) {
+	q, _ := newV100Queue(t)
+	q.EnableProfiling()
+	submitStream(t, q, 1<<12)
+	first := q.Profile()
+	for i := 0; i < 5; i++ {
+		again := q.Profile()
+		if len(again) != len(first) {
+			t.Fatalf("call %d: %d stats, want %d", i, len(again), len(first))
+		}
+		for j := range again {
+			if again[j].Name != first[j].Name {
+				t.Fatalf("call %d: order changed at %d: %s vs %s", i, j, again[j].Name, first[j].Name)
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"synergy/internal/hw"
 	"synergy/internal/kernelir"
 	"synergy/internal/metrics"
+	"synergy/internal/sweep"
 )
 
 // BenchCase is one evaluation subject: a benchmark kernel and its
@@ -22,24 +23,14 @@ type BenchCase struct {
 // time/energy of the kernel at every supported frequency. Points carry
 // per-item units: ns in TimeSec, nJ in EnergyJ — target selection is
 // invariant to this uniform scaling.
+//
+// It routes through the shared sweep engine: the frequency table is
+// evaluated on a worker pool and the result is memoized, so repeated
+// requests for the same (spec, kernel, items) are served from cache.
+// A non-positive launch size is rejected with a descriptive error
+// instead of poisoning the sweep with ±Inf/NaN per-item points.
 func GroundTruthSweep(spec *hw.Spec, k *kernelir.Kernel, items int64) (*metrics.Sweep, error) {
-	w, err := features.KernelWorkload(k, items)
-	if err != nil {
-		return nil, err
-	}
-	pts := make([]metrics.Point, len(spec.CoreFreqsMHz))
-	for i, f := range spec.CoreFreqsMHz {
-		m, err := spec.Evaluate(w, f)
-		if err != nil {
-			return nil, err
-		}
-		pts[i] = metrics.Point{
-			FreqMHz: f,
-			TimeSec: m.TimeSec / float64(items) * 1e9,
-			EnergyJ: m.EnergyJ / float64(items) * 1e9,
-		}
-	}
-	return metrics.NewSweep(pts, spec.BaselineCoreMHz())
+	return sweep.GroundTruth(spec, k, items)
 }
 
 // PredictionError is one Fig. 9 data point: for a benchmark, target and
@@ -61,6 +52,15 @@ type PredictionError struct {
 // EvaluateModels computes prediction errors for every (benchmark,
 // target) pair with one trained model bundle.
 func EvaluateModels(m *Models, cases []BenchCase, targets []metrics.Target) ([]PredictionError, error) {
+	// Warm the sweep engine across the cases: whole-sweep parallelism on
+	// the first pass, pure cache hits when BuildTable2 re-evaluates the
+	// same cases for each algorithm.
+	if err := sweep.ForEach(len(cases), func(i int) error {
+		_, err := sweep.GroundTruth(m.Spec, cases[i].Kernel, cases[i].Items)
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	var out []PredictionError
 	for _, c := range cases {
 		gt, err := GroundTruthSweep(m.Spec, c.Kernel, c.Items)

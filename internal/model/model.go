@@ -17,6 +17,7 @@ import (
 	"synergy/internal/kernelir"
 	"synergy/internal/metrics"
 	"synergy/internal/ml"
+	"synergy/internal/sweep"
 )
 
 // Sample is one training observation: a kernel's static features, a
@@ -42,16 +43,21 @@ type TrainingSet struct {
 	Samples []Sample
 }
 
-// trainingItems is the launch size used when measuring micro-benchmarks.
-const trainingItems = 1 << 22
+// TrainingItems is the launch size used when measuring micro-benchmarks.
+const TrainingItems = 1 << 22
 
 // CollectTraining sweeps every kernel over the device's frequency table
 // (subsampled by freqStride >= 1) and records per-item time and energy.
 // This is the measurement campaign of §6.1 step ② — on the simulator it
-// queries the device model directly.
+// queries the device model directly, through the shared sweep engine:
+// the kernels' full-resolution sweeps are computed concurrently (and
+// memoized for everyone else), then subsampled by the stride.
 func CollectTraining(spec *hw.Spec, kernels []*kernelir.Kernel, freqStride int) (*TrainingSet, error) {
 	if freqStride < 1 {
 		freqStride = 1
+	}
+	if err := sweep.Prefetch(spec, kernels, TrainingItems); err != nil {
+		return nil, err
 	}
 	ts := &TrainingSet{Device: spec.Name}
 	for _, k := range kernels {
@@ -59,22 +65,20 @@ func CollectTraining(spec *hw.Spec, kernels []*kernelir.Kernel, freqStride int) 
 		if err != nil {
 			return nil, err
 		}
-		w := features.Workload(k.Name, v, trainingItems)
-		if k.TrafficFactor > 0 {
-			w.GlobalBytes *= k.TrafficFactor
+		gt, err := sweep.GroundTruth(spec, k, TrainingItems)
+		if err != nil {
+			return nil, err
 		}
-		for i := 0; i < len(spec.CoreFreqsMHz); i += freqStride {
-			f := spec.CoreFreqsMHz[i]
-			m, err := spec.Evaluate(w, f)
-			if err != nil {
-				return nil, err
-			}
+		// Sweep points are in ascending frequency-table order and carry
+		// per-item ns/nJ, exactly the sample units of T.
+		for i := 0; i < len(gt.Points); i += freqStride {
+			p := gt.Points[i]
 			ts.Samples = append(ts.Samples, Sample{
 				Kernel:      k.Name,
 				Features:    v,
-				FreqMHz:     f,
-				TimeNs:      m.TimeSec / float64(trainingItems) * 1e9,
-				EnergyNanoJ: m.EnergyJ / float64(trainingItems) * 1e9,
+				FreqMHz:     p.FreqMHz,
+				TimeNs:      p.TimeSec,
+				EnergyNanoJ: p.EnergyJ,
 			})
 		}
 	}

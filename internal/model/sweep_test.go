@@ -1,0 +1,65 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"synergy/internal/benchsuite"
+	"synergy/internal/hw"
+	"synergy/internal/kernelir"
+	"synergy/internal/sweep"
+)
+
+// TestGroundTruthSweepRejectsNonPositiveItems is the regression test
+// for the silent ±Inf/NaN per-item normalisation: a non-positive launch
+// size must surface a descriptive error, not poisoned metrics.
+func TestGroundTruthSweepRejectsNonPositiveItems(t *testing.T) {
+	spec := hw.V100()
+	b, err := benchsuite.ByName("vec_add")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, items := range []int64{0, -1} {
+		_, err := GroundTruthSweep(spec, b.Kernel, items)
+		if err == nil {
+			t.Fatalf("items=%d: expected error", items)
+		}
+		if !strings.Contains(err.Error(), "launch size must be positive") {
+			t.Errorf("items=%d: undescriptive error %q", items, err)
+		}
+	}
+}
+
+// TestCollectTrainingMatchesGroundTruth proves the engine-backed
+// training campaign subsamples the exact per-item measurements a direct
+// ground-truth sweep yields: same frequencies, bit-identical ns/nJ.
+func TestCollectTrainingMatchesGroundTruth(t *testing.T) {
+	spec := hw.A100()
+	b, err := benchsuite.ByName("matmul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stride = 3
+	ts, err := CollectTraining(spec, []*kernelir.Kernel{b.Kernel}, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := sweep.GroundTruth(spec, b.Kernel, TrainingItems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []int
+	for i := 0; i < len(gt.Points); i += stride {
+		want = append(want, i)
+	}
+	if len(ts.Samples) != len(want) {
+		t.Fatalf("got %d samples, want %d", len(ts.Samples), len(want))
+	}
+	for si, pi := range want {
+		s, p := ts.Samples[si], gt.Points[pi]
+		if s.FreqMHz != p.FreqMHz || s.TimeNs != p.TimeSec || s.EnergyNanoJ != p.EnergyJ {
+			t.Errorf("sample %d: (%d MHz, %g ns, %g nJ) != ground-truth point %d (%d MHz, %g, %g)",
+				si, s.FreqMHz, s.TimeNs, s.EnergyNanoJ, pi, p.FreqMHz, p.TimeSec, p.EnergyJ)
+		}
+	}
+}

@@ -8,8 +8,8 @@ import (
 	"synergy/internal/core"
 	"synergy/internal/hw"
 	"synergy/internal/metrics"
-	"synergy/internal/model"
 	"synergy/internal/mpi"
+	"synergy/internal/sweep"
 )
 
 // Ablation compares the paper's central design choice (§2.2): coarse-
@@ -120,18 +120,27 @@ func BuildAblation(cfg AblationConfig) (*Ablation, error) {
 	out.FineEnergy = res.EnergyJ
 
 	// Oracle fine-grained: each kernel at its ground-truth MIN_EDP
-	// frequency (no model error).
+	// frequency (no model error). The sweeps run concurrently through
+	// the shared engine and stay memoized for other consumers.
 	oracle := apps.FreqPlan{}
-	for _, k := range cfg.App.Kernels {
-		gt, err := model.GroundTruthSweep(cfg.Spec, k, int64(cfg.LocalNx*cfg.LocalNy))
+	oracleFreqs := make([]int, len(cfg.App.Kernels))
+	err = sweep.ForEach(len(cfg.App.Kernels), func(i int) error {
+		gt, err := sweep.GroundTruth(cfg.Spec, cfg.App.Kernels[i], int64(cfg.LocalNx*cfg.LocalNy))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p, err := gt.Select(metrics.MinEDP)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		oracle[k.Name] = p.FreqMHz
+		oracleFreqs[i] = p.FreqMHz
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range cfg.App.Kernels {
+		oracle[k.Name] = oracleFreqs[i]
 	}
 	rc.Plan = oracle
 	res, err = apps.Run(cfg.App, rc)

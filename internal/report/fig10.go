@@ -10,6 +10,7 @@ import (
 	"synergy/internal/microbench"
 	"synergy/internal/model"
 	"synergy/internal/mpi"
+	"synergy/internal/sweep"
 )
 
 // Fig10Targets are the per-kernel energy targets plotted in Fig. 10
@@ -75,14 +76,24 @@ func BuildFig10(cfg Fig10Config) ([]Fig10Point, error) {
 
 	var out []Fig10Point
 	for _, app := range []*apps.App{apps.NewCloverLeaf(), apps.NewMiniWeather()} {
-		// Plans are per-kernel, independent of scale.
-		plans := map[string]apps.FreqPlan{}
-		for _, tgt := range Fig10Targets {
-			plan, err := apps.PlanFromAdvisor(app, adv, items, tgt)
+		// Plans are per-kernel, independent of scale — and independent of
+		// each other, so they are built concurrently on the sweep pool
+		// (model prediction is read-only after training).
+		byTarget := make([]apps.FreqPlan, len(Fig10Targets))
+		err := sweep.ForEach(len(Fig10Targets), func(i int) error {
+			plan, err := apps.PlanFromAdvisor(app, adv, items, Fig10Targets[i])
 			if err != nil {
-				return nil, err
+				return err
 			}
-			plans[tgt.String()] = plan
+			byTarget[i] = plan
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		plans := map[string]apps.FreqPlan{}
+		for i, tgt := range Fig10Targets {
+			plans[tgt.String()] = byTarget[i]
 		}
 		for _, nodes := range cfg.NodeCounts {
 			rc := apps.RunConfig{

@@ -16,6 +16,7 @@ import (
 	"synergy/internal/metrics"
 	"synergy/internal/microbench"
 	"synergy/internal/model"
+	"synergy/internal/sweep"
 )
 
 // table is a minimal text-table writer.
@@ -120,19 +121,20 @@ type Characterization struct {
 	BestSavingPct, LossAtBestPct float64
 }
 
-// BuildCharacterization sweeps one suite benchmark on a device.
+// BuildCharacterization sweeps one suite benchmark on a device through
+// the shared sweep engine.
 func BuildCharacterization(spec *hw.Spec, benchName string) (*Characterization, error) {
 	b, err := benchsuite.ByName(benchName)
 	if err != nil {
 		return nil, err
 	}
-	sweep, err := model.GroundTruthSweep(spec, b.Kernel, b.CharItems)
+	sw, err := sweep.GroundTruth(spec, b.Kernel, b.CharItems)
 	if err != nil {
 		return nil, err
 	}
-	char := sweep.Characterize()
-	frontPts := sweep.ParetoFront()
-	base := sweep.BaselinePoint()
+	char := sw.Characterize()
+	frontPts := sw.ParetoFront()
+	base := sw.BaselinePoint()
 	var front []metrics.CharPoint
 	for _, p := range frontPts {
 		front = append(front, metrics.CharPoint{
@@ -141,7 +143,7 @@ func BuildCharacterization(spec *hw.Spec, benchName string) (*Characterization, 
 			NormEnergy: p.EnergyJ / base.EnergyJ,
 		})
 	}
-	minE, err := sweep.Select(metrics.MinEnergy)
+	minE, err := sw.Select(metrics.MinEnergy)
 	if err != nil {
 		return nil, err
 	}
@@ -150,8 +152,8 @@ func BuildCharacterization(spec *hw.Spec, benchName string) (*Characterization, 
 		Benchmark:     benchName,
 		Points:        char,
 		Front:         front,
-		BestSavingPct: 100 * (1 - minE.EnergyJ/base.EnergyJ),
-		LossAtBestPct: 100 * (minE.TimeSec/base.TimeSec - 1),
+		BestSavingPct: sw.EnergySavingPct(minE),
+		LossAtBestPct: sw.PerfLossPct(minE),
 	}, nil
 }
 
@@ -192,13 +194,17 @@ func BuildFig8() ([]*Characterization, error) {
 }
 
 func buildChars(spec *hw.Spec, names []string) ([]*Characterization, error) {
-	out := make([]*Characterization, 0, len(names))
-	for _, n := range names {
-		c, err := BuildCharacterization(spec, n)
+	out := make([]*Characterization, len(names))
+	err := sweep.ForEach(len(names), func(i int) error {
+		c, err := BuildCharacterization(spec, names[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, c)
+		out[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -222,29 +228,29 @@ func BuildFig4() (*Fig4, error) {
 	if err != nil {
 		return nil, err
 	}
-	sweep, err := model.GroundTruthSweep(spec, b.Kernel, b.CharItems)
+	sw, err := sweep.GroundTruth(spec, b.Kernel, b.CharItems)
 	if err != nil {
 		return nil, err
 	}
 	f := &Fig4{Device: spec.Name}
-	for _, p := range sweep.Points {
+	for _, p := range sw.Points {
 		f.Freqs = append(f.Freqs, p.FreqMHz)
 		f.EDP = append(f.EDP, p.EDP())
 		f.ED2P = append(f.ED2P, p.ED2P())
 	}
-	edp, err := sweep.Select(metrics.MinEDP)
+	edp, err := sw.Select(metrics.MinEDP)
 	if err != nil {
 		return nil, err
 	}
-	ed2p, err := sweep.Select(metrics.MinED2P)
+	ed2p, err := sw.Select(metrics.MinED2P)
 	if err != nil {
 		return nil, err
 	}
-	mp, err := sweep.Select(metrics.MaxPerf)
+	mp, err := sw.Select(metrics.MaxPerf)
 	if err != nil {
 		return nil, err
 	}
-	me, err := sweep.Select(metrics.MinEnergy)
+	me, err := sw.Select(metrics.MinEnergy)
 	if err != nil {
 		return nil, err
 	}
@@ -289,26 +295,25 @@ func BuildFig5() (*Fig5, error) {
 	if err != nil {
 		return nil, err
 	}
-	sweep, err := model.GroundTruthSweep(spec, b.Kernel, b.CharItems)
+	sw, err := sweep.GroundTruth(spec, b.Kernel, b.CharItems)
 	if err != nil {
 		return nil, err
 	}
-	base := sweep.BaselinePoint()
 	f := &Fig5{Device: spec.Name}
 	targets := []metrics.Target{
 		metrics.ES(25), metrics.ES(50), metrics.ES(75),
 		metrics.PL(25), metrics.PL(50), metrics.PL(75),
 	}
 	for _, tgt := range targets {
-		p, err := sweep.Select(tgt)
+		p, err := sw.Select(tgt)
 		if err != nil {
 			return nil, err
 		}
 		f.Rows = append(f.Rows, Fig5Row{
 			Target:    tgt,
 			FreqMHz:   p.FreqMHz,
-			SavingPct: 100 * (1 - p.EnergyJ/base.EnergyJ),
-			LossPct:   100 * (p.TimeSec/base.TimeSec - 1),
+			SavingPct: sw.EnergySavingPct(p),
+			LossPct:   sw.PerfLossPct(p),
 		})
 	}
 	return f, nil

@@ -1,0 +1,317 @@
+// Package sweep provides the shared frequency-sweep engine: every
+// ground-truth evaluation of a (device spec × kernel × launch size)
+// triple across the device's frequency table goes through one
+// concurrency-safe service. The engine fans the per-frequency
+// evaluations out over a bounded worker pool, memoizes completed sweeps
+// under a content key, and de-duplicates concurrent requests for the
+// same sweep with singleflight semantics — so the figures, target
+// selections and ML training sets that are all derived from the same
+// sweeps share one computation instead of re-running it serially at
+// every call site.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"synergy/internal/features"
+	"synergy/internal/hw"
+	"synergy/internal/kernelir"
+	"synergy/internal/metrics"
+)
+
+// Key is the content key a memoized sweep is stored under: the device
+// identity, the kernel fingerprint (a hash of its full disassembly, so
+// any change to the instruction stream, parameters or traffic factor
+// yields a new key) and the launch size.
+type Key struct {
+	Device string
+	Kernel string
+	Items  int64
+}
+
+// String renders the key for diagnostics.
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s/%d", k.Device, k.Kernel, k.Items)
+}
+
+// fingerprints caches kernel fingerprints by pointer; kernels are
+// immutable static data, so the disassembly never changes under us.
+var fingerprints sync.Map // *kernelir.Kernel -> string
+
+// Fingerprint returns the content fingerprint of a kernel: the SHA-256
+// of its disassembly (name, parameters, body, locals, traffic factor).
+func Fingerprint(k *kernelir.Kernel) string {
+	if fp, ok := fingerprints.Load(k); ok {
+		return fp.(string)
+	}
+	sum := sha256.Sum256([]byte(k.Disassemble()))
+	fp := hex.EncodeToString(sum[:16])
+	fingerprints.Store(k, fp)
+	return fp
+}
+
+// specKey identifies a device spec: the name plus the shape of its
+// frequency table, so two specs sharing a name but different clock
+// tables cannot alias in the cache.
+func specKey(s *hw.Spec) string {
+	return fmt.Sprintf("%s/%d@%d-%d/base%d",
+		s.Name, len(s.CoreFreqsMHz), s.MinCoreMHz(), s.MaxCoreMHz(), s.BaselineCoreMHz())
+}
+
+// entry is one memoized (or in-flight) sweep. done is closed once sweep
+// and err are final; concurrent requesters of the same key block on it
+// instead of recomputing.
+type entry struct {
+	done  chan struct{}
+	sweep *metrics.Sweep
+	err   error
+}
+
+// Engine is a concurrency-safe, memoizing parallel sweep service.
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	workers int
+
+	mu      sync.Mutex
+	entries map[Key]*entry
+	hook    func(Key)
+
+	evals atomic.Int64
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers bounds the evaluation pool to n workers (n >= 1). One
+// worker reproduces the serial evaluation order exactly; the default is
+// GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n >= 1 {
+			e.workers = n
+		}
+	}
+}
+
+// WithHook registers fn to be called once per completed cache-miss
+// evaluation, with the evaluated key. Hooks observe how often the
+// engine really computes — the call-count assertion tools build on it.
+func WithHook(fn func(Key)) Option {
+	return func(e *Engine) { e.hook = fn }
+}
+
+// NewEngine constructs an engine with an empty cache.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{
+		workers: runtime.GOMAXPROCS(0),
+		entries: map[Key]*entry{},
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// shared is the process-wide engine used by the package-level helpers;
+// all production callers route through it, which is what makes repeated
+// sweeps of the same (spec, kernel, items) free across subsystems.
+var shared = NewEngine()
+
+// Shared returns the process-wide engine.
+func Shared() *Engine { return shared }
+
+// SetHook replaces the engine's evaluation hook (nil to remove). Meant
+// for diagnostics and call-count assertions on the shared engine.
+func (e *Engine) SetHook(fn func(Key)) {
+	e.mu.Lock()
+	e.hook = fn
+	e.mu.Unlock()
+}
+
+// Evaluations returns how many sweeps the engine has actually computed
+// (cache misses). Requests served from the cache do not count.
+func (e *Engine) Evaluations() int64 { return e.evals.Load() }
+
+// CacheSize returns the number of memoized sweeps.
+func (e *Engine) CacheSize() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.entries)
+}
+
+// Invalidate drops every memoized sweep. In-flight evaluations complete
+// normally but are not re-inserted for new requesters.
+func (e *Engine) Invalidate() {
+	e.mu.Lock()
+	e.entries = map[Key]*entry{}
+	e.mu.Unlock()
+}
+
+// KeyFor returns the content key the engine would use for a request.
+func KeyFor(spec *hw.Spec, k *kernelir.Kernel, items int64) Key {
+	return Key{Device: specKey(spec), Kernel: Fingerprint(k), Items: items}
+}
+
+// GroundTruth measures (through the device model) the per-item
+// time/energy of the kernel at every supported frequency. Points carry
+// per-item units: ns in TimeSec, nJ in EnergyJ — target selection is
+// invariant to this uniform scaling. Results are memoized; concurrent
+// callers of the same key share one computation. The returned sweep is
+// a private copy the caller may use freely.
+func (e *Engine) GroundTruth(spec *hw.Spec, k *kernelir.Kernel, items int64) (*metrics.Sweep, error) {
+	if spec == nil || k == nil {
+		return nil, fmt.Errorf("sweep: nil spec or kernel")
+	}
+	if items <= 0 {
+		return nil, fmt.Errorf("sweep: kernel %q: launch size must be positive, got %d items", k.Name, items)
+	}
+	key := KeyFor(spec, k, items)
+
+	e.mu.Lock()
+	if en, ok := e.entries[key]; ok {
+		e.mu.Unlock()
+		<-en.done
+		if en.err != nil {
+			return nil, en.err
+		}
+		return cloneSweep(en.sweep), nil
+	}
+	en := &entry{done: make(chan struct{})}
+	e.entries[key] = en
+	hook := e.hook
+	e.mu.Unlock()
+
+	en.sweep, en.err = e.evaluate(spec, k, items)
+	if en.err != nil {
+		// Failed sweeps are not memoized: a later request re-evaluates.
+		e.mu.Lock()
+		delete(e.entries, key)
+		e.mu.Unlock()
+	} else {
+		e.evals.Add(1)
+		if hook != nil {
+			hook(key)
+		}
+	}
+	close(en.done)
+	if en.err != nil {
+		return nil, en.err
+	}
+	return cloneSweep(en.sweep), nil
+}
+
+// evaluate computes one sweep, fanning the frequency table out over the
+// worker pool. The per-point arithmetic matches the historical serial
+// path exactly, so parallel results are bit-identical to serial ones.
+func (e *Engine) evaluate(spec *hw.Spec, k *kernelir.Kernel, items int64) (*metrics.Sweep, error) {
+	w, err := features.KernelWorkload(k, items)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]metrics.Point, len(spec.CoreFreqsMHz))
+	err = e.ForEach(len(pts), func(i int) error {
+		f := spec.CoreFreqsMHz[i]
+		m, err := spec.Evaluate(w, f)
+		if err != nil {
+			return err
+		}
+		pts[i] = metrics.Point{
+			FreqMHz: f,
+			TimeSec: m.TimeSec / float64(items) * 1e9,
+			EnergyJ: m.EnergyJ / float64(items) * 1e9,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return metrics.NewSweep(pts, spec.BaselineCoreMHz())
+}
+
+// ForEach runs fn(0..n-1) across the engine's worker pool and returns
+// the first error (remaining indices are skipped once an error occurs).
+// It is the bounded parallel-for the engine itself uses for frequency
+// fan-out, exported so batch callers (prefetching a benchmark suite,
+// characterising many kernels) can share the same bound.
+func (e *Engine) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+		failed  atomic.Bool
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstEr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}
+
+// Prefetch warms the cache with the sweeps of every kernel at one
+// launch size, computing whole sweeps concurrently. Subsequent
+// GroundTruth calls for these keys are cache hits.
+func (e *Engine) Prefetch(spec *hw.Spec, ks []*kernelir.Kernel, items int64) error {
+	return e.ForEach(len(ks), func(i int) error {
+		_, err := e.GroundTruth(spec, ks[i], items)
+		return err
+	})
+}
+
+// cloneSweep returns an independent copy so memoized points can never
+// be mutated by a caller.
+func cloneSweep(s *metrics.Sweep) *metrics.Sweep {
+	cp := *s
+	cp.Points = make([]metrics.Point, len(s.Points))
+	copy(cp.Points, s.Points)
+	return &cp
+}
+
+// GroundTruth evaluates through the process-wide shared engine.
+func GroundTruth(spec *hw.Spec, k *kernelir.Kernel, items int64) (*metrics.Sweep, error) {
+	return shared.GroundTruth(spec, k, items)
+}
+
+// Prefetch warms the process-wide shared engine.
+func Prefetch(spec *hw.Spec, ks []*kernelir.Kernel, items int64) error {
+	return shared.Prefetch(spec, ks, items)
+}
+
+// ForEach runs a bounded parallel-for on the shared engine's pool.
+func ForEach(n int, fn func(i int) error) error {
+	return shared.ForEach(n, fn)
+}
