@@ -1,0 +1,116 @@
+// Command synergy-lint runs the kernel IR static analyzer
+// (internal/kernelir/analysis) over suite benchmarks and .kir assembly
+// files: reaching definitions (uninitialized reads), dead stores / dead
+// code / unused parameters, interval-based local-memory bounds and the
+// static roofline classification against a device spec.
+//
+// Targets are benchmark names or paths ending in .kir (assembly as
+// printed by Kernel.Disassemble); with no targets the whole benchmark
+// suite is linted. The exit status is 1 when any kernel has
+// error-severity findings (or warnings under -strict), 2 on usage or
+// load failures.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"synergy/internal/benchsuite"
+	"synergy/internal/hw"
+	"synergy/internal/kernelir"
+	"synergy/internal/kernelir/analysis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("synergy-lint: ")
+	device := flag.String("device", "v100", "device spec for the roofline pass (v100, a100, mi100, xeon, none)")
+	asJSON := flag.Bool("json", false, "emit reports as a JSON array")
+	strict := flag.Bool("strict", false, "treat warnings as errors for the exit status")
+	quiet := flag.Bool("quiet", false, "only print kernels with findings")
+	flag.Parse()
+
+	var spec *hw.Spec
+	if *device != "none" {
+		s, err := hw.SpecByName(*device)
+		if err != nil {
+			log.Println(err)
+			os.Exit(2)
+		}
+		spec = s
+	}
+
+	kernels, err := loadTargets(flag.Args())
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+
+	opts := analysis.Options{Spec: spec}
+	reports := make([]*analysis.Report, 0, len(kernels))
+	bad := false
+	for _, k := range kernels {
+		r := analysis.Analyze(k, opts)
+		reports = append(reports, r)
+		if !r.Clean() || (*strict && !r.Quiet()) {
+			bad = true
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			log.Println(err)
+			os.Exit(2)
+		}
+	} else {
+		for _, r := range reports {
+			if *quiet && r.Quiet() {
+				continue
+			}
+			fmt.Print(r.Render())
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+// loadTargets resolves benchmark names and .kir files into kernels; no
+// targets means the full suite.
+func loadTargets(args []string) ([]*kernelir.Kernel, error) {
+	if len(args) == 0 {
+		all := benchsuite.All()
+		ks := make([]*kernelir.Kernel, len(all))
+		for i, b := range all {
+			ks[i] = b.Kernel
+		}
+		return ks, nil
+	}
+	ks := make([]*kernelir.Kernel, 0, len(args))
+	for _, arg := range args {
+		if strings.HasSuffix(arg, ".kir") {
+			text, err := os.ReadFile(arg)
+			if err != nil {
+				return nil, err
+			}
+			k, err := kernelir.Assemble(string(text))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", arg, err)
+			}
+			ks = append(ks, k)
+			continue
+		}
+		b, err := benchsuite.ByName(arg)
+		if err != nil {
+			return nil, err
+		}
+		ks = append(ks, b.Kernel)
+	}
+	return ks, nil
+}

@@ -1,0 +1,68 @@
+package benchsuite
+
+import (
+	"fmt"
+	"testing"
+
+	"synergy/internal/hw"
+	"synergy/internal/kernelir/analysis"
+)
+
+// TestSuiteLintsClean asserts every benchmark kernel passes the static
+// analyzer with no error-severity findings on every builtin device, and
+// pins the exact warning set: the only warnings in the whole suite are
+// median's eight discarded sorting-network lanes (a partial sorting
+// network computes more order statistics than the median needs; the spare
+// lanes are genuine dead stores and deliberately kept — the kernel's
+// feature vector is pinned by results goldens).
+func TestSuiteLintsClean(t *testing.T) {
+	t.Parallel()
+	medianDead := map[string]bool{
+		"46/f27": true, "49/f30": true, "52/f33": true, "54/f35": true,
+		"57/f38": true, "59/f40": true, "62/f43": true, "65/f46": true,
+	}
+	for _, device := range []string{"v100", "a100", "mi100", "xeon"} {
+		spec, err := hw.SpecByName(device)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bm := range All() {
+			r := analysis.Analyze(bm.Kernel, analysis.Options{Spec: spec})
+			if !r.Clean() {
+				t.Errorf("%s is not lint-clean on %s:\n%s", bm.Name, device, r.Render())
+				continue
+			}
+			if bm.Name != "median" {
+				if !r.Quiet() {
+					t.Errorf("%s has unexpected warnings on %s:\n%s", bm.Name, device, r.Render())
+				}
+				continue
+			}
+			got := map[string]bool{}
+			for _, d := range r.Diagnostics {
+				if d.Severity != analysis.Warning {
+					continue
+				}
+				if d.Pass != "dead-store" {
+					t.Errorf("median: unexpected %s warning on %s: %s", d.Pass, device, d.Message)
+					continue
+				}
+				var reg string
+				if _, err := fmt.Sscanf(d.Message, "register %s", &reg); err != nil {
+					t.Errorf("median: unparsable dead-store message: %q", d.Message)
+					continue
+				}
+				got[fmt.Sprintf("%d/%s", d.PC, reg)] = true
+			}
+			if len(got) != len(medianDead) {
+				t.Errorf("median dead stores on %s = %v, want %v", device, got, medianDead)
+				continue
+			}
+			for key := range medianDead {
+				if !got[key] {
+					t.Errorf("median: missing expected dead store %s on %s", key, device)
+				}
+			}
+		}
+	}
+}

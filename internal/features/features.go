@@ -124,23 +124,20 @@ func Extract(k *kernelir.Kernel) (Vector, error) {
 	if err := k.Validate(); err != nil {
 		return Vector{}, err
 	}
-	counts := [10]float64{}
-	mult := 1.0
-	var stack []float64
-	for _, in := range k.Body {
-		switch in.Op {
-		case kernelir.OpRepeatBegin:
-			stack = append(stack, mult)
-			mult *= in.Imm
-		case kernelir.OpRepeatEnd:
-			mult = stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-		default:
-			if f, ok := classify(in.Op); ok {
-				counts[f] += mult
-			}
-		}
+	// Validate guarantees matched Repeat nesting, so the loop tree cannot
+	// fail here. The tree's Walk supplies each instruction's per-item
+	// execution count (the product of enclosing trip counts) — the same
+	// normalization the interpreter and the static analyzer use.
+	tree, err := kernelir.BuildLoopTree(k.Body)
+	if err != nil {
+		return Vector{}, err
 	}
+	counts := [10]float64{}
+	tree.Walk(func(_ int, in kernelir.Instr, mult float64) {
+		if f, ok := classify(in.Op); ok {
+			counts[f] += mult
+		}
+	})
 	return Vector{
 		IntAdd: counts[0], IntMul: counts[1], IntDiv: counts[2], IntBw: counts[3],
 		FloatAdd: counts[4], FloatMul: counts[5], FloatDiv: counts[6], SF: counts[7],

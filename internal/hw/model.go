@@ -71,6 +71,12 @@ const (
 	ipcEff = 0.72
 )
 
+// SmoothMaxP exports the smooth-max exponent: with t = (tc^p + tm^p)^(1/p),
+// the predicted log-log slope of time against frequency (above the
+// bandwidth knee) is tc^p / (tc^p + tm^p), which the static roofline
+// classifier and the sweep-based one both rely on.
+const SmoothMaxP = smoothMaxP
+
 // Measurement is the outcome of evaluating a workload at a frequency.
 type Measurement struct {
 	// TimeSec is the kernel execution time (launch overhead included).
@@ -116,6 +122,20 @@ func (s *Spec) effectiveBandwidth(coreMHz int) float64 {
 	return s.MemBWBytes * math.Pow(f/knee, 0.82)
 }
 
+// PhaseTimes returns the two roofline phase times for workload w at core
+// frequency coreMHz — the compute-pipeline time and the DRAM time for
+// the whole launch, in seconds, before smooth-max combination, launch
+// overhead, noise and power capping. Exposed so the static roofline
+// classifier (internal/kernelir/analysis) labels kernels with exactly
+// the arithmetic the ground-truth model uses; coreMHz is not checked
+// against the frequency table.
+func (s *Spec) PhaseTimes(w Workload, coreMHz int) (compute, memory float64) {
+	fHz := float64(coreMHz) * 1e6
+	opsPerSec := float64(s.SMs) * float64(s.LanesPerSM) * fHz * ipcEff
+	items := float64(w.Items)
+	return items * w.TotalOps() / opsPerSec, items * w.GlobalBytes / s.effectiveBandwidth(coreMHz)
+}
+
 // Evaluate runs the analytic model: execution time and average power for
 // workload w at core frequency coreMHz. It is a pure function (plus the
 // deterministic per-(kernel,frequency) noise), so it can serve both the
@@ -128,12 +148,8 @@ func (s *Spec) Evaluate(w Workload, coreMHz int) (Measurement, error) {
 		return Measurement{}, fmt.Errorf("hw: %s does not support core frequency %d MHz", s.Name, coreMHz)
 	}
 
-	fHz := float64(coreMHz) * 1e6
-	opsPerSec := float64(s.SMs) * float64(s.LanesPerSM) * fHz * ipcEff
 	items := float64(w.Items)
-
-	tc := items * w.TotalOps() / opsPerSec
-	tm := items * w.GlobalBytes / s.effectiveBandwidth(coreMHz)
+	tc, tm := s.PhaseTimes(w, coreMHz)
 
 	// Smooth-max roofline: phases overlap, but the longer one dominates.
 	var t float64

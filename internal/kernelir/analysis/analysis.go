@@ -1,0 +1,256 @@
+// Package analysis implements a multi-pass dataflow static analyzer for
+// the kernel IR, plus the static roofline classifier behind
+// cmd/synergy-lint. All passes share one loop-tree normalization of the
+// Repeat structure (kernelir.BuildLoopTree — the same one the
+// interpreter and the feature-extraction pass use), which is what makes
+// them exact rather than conservative for this IR: the only control flow
+// is statically-bounded counted loops, so the first iteration of every
+// loop body executes in program order and every instruction's execution
+// count is a static product of trip counts. See DESIGN.md §9.
+package analysis
+
+import (
+	"fmt"
+
+	"synergy/internal/hw"
+	"synergy/internal/kernelir"
+)
+
+// Options configures Analyze.
+type Options struct {
+	// Spec enables the roofline pass against the given device; nil skips
+	// it.
+	Spec *hw.Spec
+}
+
+// Analyze runs the full pass pipeline over the kernel and returns a
+// report. It never panics on structurally sound input and is total: a
+// kernel failing kernelir.Validate still gets the dataflow passes (with
+// the failure surfaced as an error diagnostic) as long as its register
+// and parameter indices are in range.
+func Analyze(k *kernelir.Kernel, opts Options) *Report {
+	r := &Report{Kernel: k.Name}
+	a := &analyzer{k: k, report: r}
+
+	valid := true
+	if err := k.Validate(); err != nil {
+		valid = false
+		r.Diagnostics = append(r.Diagnostics, Diagnostic{
+			Pass: "validate", Severity: Error, PC: -1, Message: err.Error(),
+		})
+	}
+	if !a.structurallySound() {
+		// Out-of-range register or parameter indices: the dataflow
+		// passes cannot index their state safely, and Validate has
+		// already reported the defect.
+		return r
+	}
+	tree, err := kernelir.BuildLoopTree(k.Body)
+	if err != nil {
+		if valid {
+			// Unreachable when Validate passed; keep the report total.
+			r.Diagnostics = append(r.Diagnostics, Diagnostic{
+				Pass: "validate", Severity: Error, PC: -1, Message: err.Error(),
+			})
+		}
+		return r
+	}
+	a.tree = tree
+
+	a.uninitPass()
+	a.deadPass()
+	a.boundsPass()
+	if valid && opts.Spec != nil {
+		if rf, err := StaticRoofline(k, opts.Spec); err == nil {
+			r.Roofline = rf
+			a.diag("roofline", Info, -1, rf.Summary())
+		}
+	}
+	sortDiagnostics(r.Diagnostics)
+	return r
+}
+
+// analyzer carries the shared state of one Analyze call.
+type analyzer struct {
+	k      *kernelir.Kernel
+	tree   *kernelir.LoopTree
+	report *Report
+}
+
+func (a *analyzer) diag(pass string, sev Severity, pc int, format string, args ...any) {
+	d := Diagnostic{Pass: pass, Severity: sev, PC: pc, Message: fmt.Sprintf(format, args...)}
+	if pc >= 0 {
+		d.Line = a.k.InstrString(pc)
+	}
+	a.report.Diagnostics = append(a.report.Diagnostics, d)
+}
+
+// structurallySound reports whether every register and parameter index
+// is in range, the precondition for running the dataflow passes on a
+// kernel Validate rejected for other reasons.
+func (a *analyzer) structurallySound() bool {
+	k := a.k
+	reg := func(file kernelir.ScalarType, r int) bool {
+		limit := k.NumIntRegs
+		if file == kernelir.F32 {
+			limit = k.NumFloatRegs
+		}
+		return r >= 0 && r < limit
+	}
+	for _, in := range k.Body {
+		c := kernelir.InfoOf(in.Op)
+		if c.HasDst && !reg(c.DstFile, in.Dst) {
+			return false
+		}
+		if c.HasA && !reg(c.AFile, in.A) {
+			return false
+		}
+		if c.HasB && !reg(c.BFile, in.B) {
+			return false
+		}
+		if c.HasC && !reg(c.CFile, in.C) {
+			return false
+		}
+		if c.UsesBuf && (in.Buf < 0 || in.Buf >= len(k.Params)) {
+			return false
+		}
+	}
+	return true
+}
+
+// skippableTrip reports whether a Repeat body never executes. Validate
+// rejects such kernels, but the passes stay total over them: the body is
+// dead code, so defs inside must not count as reaching and reads inside
+// must not be reported.
+func skippableTrip(trip float64) bool { return trip < 1 }
+
+// uninitPass is the reaching-definitions pass over both register files.
+// Because the first iteration of every (non-zero-trip) Repeat body runs
+// in program order, a single linear scan computes exact reaching
+// definitions: a register read before any program-order write is read
+// uninitialized on the very first work-item, so the finding is an error,
+// not a may-warning. Zero-trip bodies are skipped conservatively (their
+// defs do not reach, their reads do not execute).
+func (a *analyzer) uninitPass() {
+	k := a.k
+	defI := make([]bool, k.NumIntRegs)
+	defF := make([]bool, k.NumFloatRegs)
+	defined := func(file kernelir.ScalarType, r int) *bool {
+		if file == kernelir.I32 {
+			return &defI[r]
+		}
+		return &defF[r]
+	}
+	for pc := 0; pc < len(k.Body); pc++ {
+		in := k.Body[pc]
+		if in.Op == kernelir.OpRepeatBegin && skippableTrip(in.Imm) {
+			pc = a.tree.Match(pc)
+			continue
+		}
+		c := kernelir.InfoOf(in.Op)
+		for _, u := range [...]struct {
+			has  bool
+			file kernelir.ScalarType
+			reg  int
+		}{
+			{c.HasA, c.AFile, in.A},
+			{c.HasB, c.BFile, in.B},
+			{c.HasC, c.CFile, in.C},
+		} {
+			if u.has && !*defined(u.file, u.reg) {
+				a.diag("uninit", Error, pc, "read of register %s%d before any write",
+					regPrefix(u.file), u.reg)
+				// Report each register once: the first bad read is the
+				// actionable one.
+				*defined(u.file, u.reg) = true
+			}
+		}
+		if c.HasDst {
+			*defined(c.DstFile, in.Dst) = true
+		}
+	}
+}
+
+// deadPass detects dead stores (registers written but never read), dead
+// code (zero-trip and empty Repeat bodies) and unused parameters. The
+// "never read anywhere" formulation is flow-insensitive on purpose: a
+// per-definition liveness would also flag the final writes of reduction
+// networks (e.g. the discarded max lane of a sorting-network exchange),
+// which are idiomatic in real kernels, while a register no instruction
+// ever reads is unambiguously dead.
+func (a *analyzer) deadPass() {
+	k := a.k
+	readI := make([]bool, k.NumIntRegs)
+	readF := make([]bool, k.NumFloatRegs)
+	paramRefs := make([]int, len(k.Params))
+	for _, in := range k.Body {
+		c := kernelir.InfoOf(in.Op)
+		if c.HasA {
+			markRead(readI, readF, c.AFile, in.A)
+		}
+		if c.HasB {
+			markRead(readI, readF, c.BFile, in.B)
+		}
+		if c.HasC {
+			markRead(readI, readF, c.CFile, in.C)
+		}
+		if c.UsesBuf {
+			paramRefs[in.Buf]++
+		}
+	}
+	// One diagnostic per dead register, at its first write.
+	seenI := make([]bool, k.NumIntRegs)
+	seenF := make([]bool, k.NumFloatRegs)
+	for pc, in := range k.Body {
+		c := kernelir.InfoOf(in.Op)
+		if !c.HasDst {
+			continue
+		}
+		read, seen := readF, seenF
+		if c.DstFile == kernelir.I32 {
+			read, seen = readI, seenI
+		}
+		if !read[in.Dst] && !seen[in.Dst] {
+			seen[in.Dst] = true
+			a.diag("dead-store", Warning, pc, "register %s%d is written but never read",
+				regPrefix(c.DstFile), in.Dst)
+		}
+	}
+	for i, p := range k.Params {
+		if paramRefs[i] == 0 {
+			a.diag("unused-param", Warning, -1, "parameter %q is never referenced", p.Name)
+		}
+	}
+	a.deadCode(a.tree.Root)
+}
+
+// deadCode flags Repeat bodies that cannot execute (zero or negative
+// trip counts) or contain no instructions.
+func (a *analyzer) deadCode(n *kernelir.LoopNode) {
+	for _, c := range n.Children {
+		if skippableTrip(c.Trip) {
+			a.diag("dead-code", Warning, c.Begin,
+				"repeat body never executes (trip count %v)", c.Trip)
+			continue // everything inside is already dead
+		}
+		if c.End == c.Begin+1 {
+			a.diag("dead-code", Warning, c.Begin, "empty repeat body")
+		}
+		a.deadCode(c)
+	}
+}
+
+func markRead(readI, readF []bool, file kernelir.ScalarType, r int) {
+	if file == kernelir.I32 {
+		readI[r] = true
+	} else {
+		readF[r] = true
+	}
+}
+
+func regPrefix(t kernelir.ScalarType) string {
+	if t == kernelir.I32 {
+		return "i"
+	}
+	return "f"
+}

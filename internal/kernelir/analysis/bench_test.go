@@ -1,0 +1,48 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"synergy/internal/benchsuite"
+	"synergy/internal/hw"
+	"synergy/internal/kernelir/analysis"
+)
+
+// BenchmarkAnalyze runs the full pass pipeline (uninit, dead, bounds,
+// roofline) over the largest suite kernel.
+func BenchmarkAnalyze(b *testing.B) {
+	spec, err := hw.SpecByName("v100")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bm, err := benchsuite.ByName("median")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := analysis.Options{Spec: spec}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := analysis.Analyze(bm.Kernel, opts); !r.Clean() {
+			b.Fatal("median should be error-free")
+		}
+	}
+}
+
+// BenchmarkAnalyzeSuite lints the whole 23-kernel suite per iteration —
+// the synergy-lint hot path.
+func BenchmarkAnalyzeSuite(b *testing.B) {
+	spec, err := hw.SpecByName("v100")
+	if err != nil {
+		b.Fatal(err)
+	}
+	suite := benchsuite.All()
+	opts := analysis.Options{Spec: spec}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, bm := range suite {
+			analysis.Analyze(bm.Kernel, opts)
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package analysis
+
+import (
+	"math"
+	"math/bits"
+	"strconv"
+
+	"synergy/internal/kernelir"
+)
+
+// The bounds pass runs a forward constant/range propagation on the int
+// register file (index arithmetic lives there; floats are not tracked)
+// over an interval lattice, then judges every memory index:
+//
+//   - a local access whose whole interval lies outside [0, LocalF32) is
+//     an error — it traps under kernelir.ExecuteChecked on every
+//     work-item, because every instruction of a valid kernel executes;
+//   - a local access that only may leave the window is a warning: the
+//     interpreter clamps, so this is defined (if suspicious) behavior;
+//   - a global access whose whole interval is negative is a warning.
+//     Clamped global indices are an intentional idiom (boundary-clamped
+//     stencils read in[gid-4]), so possible negatives stay silent and
+//     even definite ones never rank as errors.
+//
+// Loop bodies are iterated to a small fixpoint: a few join rounds catch
+// loop-invariant state, then registers still unstable are widened to ⊤
+// before one final reporting pass. Widening only ever grows intervals,
+// so the abstraction stays sound.
+
+// iInf and iNegInf are the interval infinities. Arithmetic saturates at
+// them (see sadd/smul); any computation that could overflow int64 range
+// widens to them rather than wrapping, keeping the domain sound.
+const (
+	iInf    = int64(math.MaxInt64)
+	iNegInf = int64(math.MinInt64)
+)
+
+// ival is an inclusive integer interval [lo, hi].
+type ival struct{ lo, hi int64 }
+
+func fullIval() ival            { return ival{iNegInf, iInf} }
+func constIval(v int64) ival    { return ival{v, v} }
+func (v ival) isConst() bool    { return v.lo == v.hi && v.lo != iInf && v.lo != iNegInf }
+func (v ival) nonNeg() bool     { return v.lo >= 0 }
+func (v ival) join(w ival) ival { return ival{min64(v.lo, w.lo), max64(v.hi, w.hi)} }
+
+// sadd is saturating addition on interval bounds.
+func sadd(a, b int64) int64 {
+	switch {
+	case a == iInf || b == iInf:
+		return iInf
+	case a == iNegInf || b == iNegInf:
+		return iNegInf
+	case b > 0 && a > iInf-b:
+		return iInf
+	case b < 0 && a < iNegInf-b:
+		return iNegInf
+	default:
+		return a + b
+	}
+}
+
+// smul is saturating multiplication on interval bounds, with 0·∞ = 0
+// (correct for interval corner products).
+func smul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	aInf := a == iInf || a == iNegInf
+	bInf := b == iInf || b == iNegInf
+	if aInf || bInf {
+		if (a > 0) == (b > 0) {
+			return iInf
+		}
+		return iNegInf
+	}
+	// Exact when both magnitudes are small; otherwise bound with float
+	// arithmetic and saturate well inside int64 range.
+	if abs64(a) < 1<<31 && abs64(b) < 1<<31 {
+		return a * b
+	}
+	if p := float64(a) * float64(b); p > 1e18 {
+		return iInf
+	} else if p < -1e18 {
+		return iNegInf
+	}
+	return a * b
+}
+
+func (v ival) add(w ival) ival { return ival{sadd(v.lo, w.lo), sadd(v.hi, w.hi)} }
+func (v ival) sub(w ival) ival { return ival{sadd(v.lo, -w.hi), sadd(v.hi, -w.lo)} }
+
+func (v ival) mul(w ival) ival {
+	c := [4]int64{smul(v.lo, w.lo), smul(v.lo, w.hi), smul(v.hi, w.lo), smul(v.hi, w.hi)}
+	out := ival{c[0], c[0]}
+	for _, x := range c[1:] {
+		out.lo, out.hi = min64(out.lo, x), max64(out.hi, x)
+	}
+	return out
+}
+
+// transfer applies one instruction's effect to the int-register state.
+// Every case must over-approximate the interpreter's semantics in
+// interp.go (including div/rem-by-zero yielding 0).
+func transfer(st []ival, in kernelir.Instr) {
+	c := kernelir.InfoOf(in.Op)
+	if !c.HasDst || c.DstFile != kernelir.I32 {
+		return
+	}
+	a, b := ival{}, ival{}
+	if c.HasA && c.AFile == kernelir.I32 {
+		a = st[in.A]
+	}
+	if c.HasB && c.BFile == kernelir.I32 {
+		b = st[in.B]
+	}
+	var out ival
+	switch in.Op {
+	case kernelir.OpConstI:
+		out = constIval(int64(in.Imm))
+	case kernelir.OpMoveI:
+		out = a
+	case kernelir.OpGlobalID, kernelir.OpGlobalIDX, kernelir.OpGlobalIDY:
+		out = ival{0, iInf}
+	case kernelir.OpAddI:
+		out = a.add(b)
+	case kernelir.OpSubI:
+		out = a.sub(b)
+	case kernelir.OpMulI:
+		out = a.mul(b)
+	case kernelir.OpDivI:
+		out = divIval(a, b)
+	case kernelir.OpRemI:
+		out = remIval(a, b)
+	case kernelir.OpMinI:
+		out = ival{min64(a.lo, b.lo), min64(a.hi, b.hi)}
+	case kernelir.OpMaxI:
+		out = ival{max64(a.lo, b.lo), max64(a.hi, b.hi)}
+	case kernelir.OpCmpLTI, kernelir.OpCmpEQI, kernelir.OpCmpLTF:
+		out = ival{0, 1}
+	case kernelir.OpSelI:
+		out = a.join(b)
+	case kernelir.OpAndI:
+		out = andIval(a, b)
+	case kernelir.OpOrI, kernelir.OpXorI:
+		out = orXorIval(a, b)
+	case kernelir.OpShrI:
+		if a.nonNeg() {
+			out = ival{0, a.hi} // shifting a non-negative right shrinks it
+		} else {
+			out = fullIval()
+		}
+	default:
+		// param.i, cvt.fi, ld.g.i, shl.i: unknown.
+		out = fullIval()
+	}
+	st[in.Dst] = out
+}
+
+// divIval handles trunc division; the interpreter defines x/0 = 0.
+func divIval(a, b ival) ival {
+	if b.isConst() && b.lo != 0 {
+		c := b.lo
+		lo, hi := sdivBound(a.lo, c), sdivBound(a.hi, c)
+		if c < 0 {
+			lo, hi = hi, lo
+		}
+		return ival{lo, hi}
+	}
+	return fullIval()
+}
+
+func sdivBound(x, c int64) int64 {
+	if x == iInf {
+		if c > 0 {
+			return iInf
+		}
+		return iNegInf
+	}
+	if x == iNegInf {
+		if c > 0 {
+			return iNegInf
+		}
+		return iInf
+	}
+	return x / c
+}
+
+// remIval: for a positive constant divisor c, the result lies in
+// [0, c-1] for non-negative dividends and [-(c-1), c-1] otherwise (Go's
+// % keeps the dividend's sign); x%0 = 0 in the interpreter.
+func remIval(a, b ival) ival {
+	if b.isConst() && b.lo > 0 {
+		c := b.lo
+		if a.nonNeg() {
+			return ival{0, c - 1}
+		}
+		return ival{-(c - 1), c - 1}
+	}
+	return fullIval()
+}
+
+// andIval: x & y with a non-negative operand is bounded by it.
+func andIval(a, b ival) ival {
+	switch {
+	case a.nonNeg() && b.nonNeg():
+		return ival{0, min64(a.hi, b.hi)}
+	case a.nonNeg():
+		return ival{0, a.hi}
+	case b.nonNeg():
+		return ival{0, b.hi}
+	default:
+		return fullIval()
+	}
+}
+
+// orXorIval: for non-negative operands the result stays below the next
+// power of two covering both.
+func orXorIval(a, b ival) ival {
+	if !a.nonNeg() || !b.nonNeg() {
+		return fullIval()
+	}
+	m := max64(a.hi, b.hi)
+	if m >= 1<<62 {
+		return ival{0, iInf}
+	}
+	return ival{0, int64(1)<<bits.Len64(uint64(m)) - 1}
+}
+
+// boundsPass runs the propagation and reports index findings.
+func (a *analyzer) boundsPass() {
+	st := make([]ival, a.k.NumIntRegs)
+	// Registers are zero-initialized by the interpreter, so [0,0] is the
+	// exact entry state, not an assumption.
+	a.boundsScan(0, len(a.k.Body), st, true)
+}
+
+// boundsScan interprets body span [lo, hi) abstractly, mutating st.
+// Diagnostics are emitted only when report is set (the fixpoint
+// iterations run silently; one final pass reports).
+func (a *analyzer) boundsScan(lo, hi int, st []ival, report bool) {
+	k := a.k
+	for pc := lo; pc < hi; pc++ {
+		in := k.Body[pc]
+		switch in.Op {
+		case kernelir.OpRepeatBegin:
+			end := a.tree.Match(pc)
+			if skippableTrip(in.Imm) {
+				// Dead body: state is unchanged, nothing inside runs.
+				pc = end
+				continue
+			}
+			a.boundsFix(pc+1, end, st)
+			a.boundsScan(pc+1, end, st, report)
+			pc = end
+		case kernelir.OpRepeatEnd:
+			// Unreachable: begins jump over their block.
+		default:
+			if report {
+				a.checkIndex(pc, in, st)
+			}
+			transfer(st, in)
+		}
+	}
+}
+
+// boundsFix brings st to a loop-invariant entry state for body [lo, hi):
+// a few silent join rounds for quickly-stabilizing loops, then widening
+// of every register the body writes to ⊤.
+func (a *analyzer) boundsFix(lo, hi int, st []ival) {
+	const rounds = 3
+	for i := 0; i < rounds; i++ {
+		exit := append([]ival(nil), st...)
+		a.boundsScan(lo, hi, exit, false)
+		changed := false
+		for r := range st {
+			j := st[r].join(exit[r])
+			if j != st[r] {
+				st[r] = j
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+	for pc := lo; pc < hi; pc++ {
+		in := a.k.Body[pc]
+		if c := kernelir.InfoOf(in.Op); c.HasDst && c.DstFile == kernelir.I32 {
+			st[in.Dst] = fullIval()
+		}
+	}
+}
+
+// checkIndex judges one instruction's memory index against st.
+func (a *analyzer) checkIndex(pc int, in kernelir.Instr, st []ival) {
+	c := kernelir.InfoOf(in.Op)
+	switch {
+	case c.IsLocal:
+		idx := st[in.A]
+		n := int64(a.k.LocalF32)
+		if idx.hi < 0 || idx.lo >= n {
+			a.diag("bounds", Error, pc,
+				"local access index i%d = [%s] is outside [0, %d) on every work-item",
+				in.A, idx, n)
+		} else if idx.lo < 0 || idx.hi >= n {
+			a.diag("bounds", Warning, pc,
+				"local access index i%d = [%s] may leave [0, %d) (interpreter clamps)",
+				in.A, idx, n)
+		}
+	case c.IsMemOp:
+		if idx := st[in.A]; idx.hi < 0 {
+			a.diag("bounds", Warning, pc,
+				"global access index i%d = [%s] is negative on every work-item (clamped to 0)",
+				in.A, idx)
+		}
+	}
+}
+
+// String renders the interval with ±inf bounds symbolically.
+func (v ival) String() string {
+	f := func(x int64) string {
+		switch x {
+		case iInf:
+			return "+inf"
+		case iNegInf:
+			return "-inf"
+		default:
+			return strconv.FormatInt(x, 10)
+		}
+	}
+	return f(v.lo) + ", " + f(v.hi)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func abs64(a int64) int64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity ranks diagnostics. Errors are findings the checked execution
+// mode (kernelir.ExecuteChecked) would trap on — uninitialized reads and
+// provably out-of-bounds local accesses — plus structural Validate
+// failures; warnings are likely-but-not-certain defects (dead stores,
+// unused parameters, possibly-out-of-range indices); infos are neutral
+// facts such as the roofline label.
+type Severity int
+
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+// String returns the lowercase severity name.
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// MarshalJSON renders the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON parses a severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "error":
+		*s = Error
+	case "warning":
+		*s = Warning
+	case "info":
+		*s = Info
+	default:
+		return fmt.Errorf("analysis: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Diagnostic is one analyzer finding, anchored to a body instruction.
+type Diagnostic struct {
+	// Pass names the pass that produced the finding ("validate",
+	// "uninit", "dead-store", "dead-code", "unused-param", "bounds",
+	// "roofline").
+	Pass     string   `json:"pass"`
+	Severity Severity `json:"severity"`
+	// PC is the body instruction index, or -1 for whole-kernel findings.
+	PC int `json:"pc"`
+	// Line is the disassembled instruction at PC ("" when PC is -1).
+	Line    string `json:"line,omitempty"`
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic as one line of text.
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s[%s]", d.Severity, d.Pass)
+	if d.PC >= 0 {
+		fmt.Fprintf(&b, " pc %d", d.PC)
+	}
+	if d.Line != "" {
+		fmt.Fprintf(&b, " `%s`", d.Line)
+	}
+	fmt.Fprintf(&b, ": %s", d.Message)
+	return b.String()
+}
+
+// Report is the result of analyzing one kernel.
+type Report struct {
+	Kernel      string       `json:"kernel"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	// Roofline is present when the roofline pass ran (a device spec was
+	// supplied and the kernel validated).
+	Roofline *Roofline `json:"roofline,omitempty"`
+}
+
+// Counts tallies diagnostics by severity.
+func (r *Report) Counts() (errors, warnings, infos int) {
+	for _, d := range r.Diagnostics {
+		switch d.Severity {
+		case Error:
+			errors++
+		case Warning:
+			warnings++
+		default:
+			infos++
+		}
+	}
+	return
+}
+
+// Clean reports whether the kernel has no error-severity findings.
+func (r *Report) Clean() bool {
+	e, _, _ := r.Counts()
+	return e == 0
+}
+
+// Quiet reports whether the kernel has no findings above Info.
+func (r *Report) Quiet() bool {
+	e, w, _ := r.Counts()
+	return e == 0 && w == 0
+}
+
+// Render formats the report as human-readable text, one header line for
+// the kernel and one line per diagnostic.
+func (r *Report) Render() string {
+	var b strings.Builder
+	e, w, _ := r.Counts()
+	switch {
+	case e == 0 && w == 0:
+		fmt.Fprintf(&b, "%s: clean", r.Kernel)
+	case e == 0:
+		fmt.Fprintf(&b, "%s: %d warning(s)", r.Kernel, w)
+	default:
+		fmt.Fprintf(&b, "%s: %d error(s), %d warning(s)", r.Kernel, e, w)
+	}
+	if r.Roofline != nil {
+		fmt.Fprintf(&b, " [%s]", r.Roofline.Summary())
+	}
+	b.WriteByte('\n')
+	for _, d := range r.Diagnostics {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}
+
+// sortDiagnostics orders findings by pc (whole-kernel first), then pass,
+// then message — a stable order for golden tests and diffable output.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		if ds[i].PC != ds[j].PC {
+			return ds[i].PC < ds[j].PC
+		}
+		if ds[i].Pass != ds[j].Pass {
+			return ds[i].Pass < ds[j].Pass
+		}
+		return ds[i].Message < ds[j].Message
+	})
+}

@@ -1,0 +1,95 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"synergy/internal/hw"
+	"synergy/internal/kernelir"
+	"synergy/internal/kernelir/analysis"
+)
+
+// FuzzAnalyze drives the analyzer with arbitrary instruction streams and
+// cross-checks it against checked execution, which runs the real
+// interpreter with use-before-def and local-bounds trapping enabled:
+//
+//   - Analyze must never panic, even on kernels Validate rejects.
+//   - Soundness: if ExecuteChecked runs the kernel cleanly, the analyzer
+//     must not report any error-severity finding (equivalently: every
+//     analyzer error — a definite uninitialized read or an access that is
+//     out of bounds on every work-item — must trap under checked
+//     execution).
+//
+// NOTE: ISSUE.md places this fuzz target "in internal/kernelir"; it lives
+// here instead because the oracle needs the analysis package, which
+// imports kernelir — the reverse placement would be an import cycle.
+func FuzzAnalyze(f *testing.F) {
+	f.Add([]byte{byte(kernelir.OpGlobalID), 0, 0, 0, 0,
+		byte(kernelir.OpConstF), 1, 0, 0, 3,
+		byte(kernelir.OpStoreGF), 0, 0, 1, 0})
+	f.Add([]byte{byte(kernelir.OpAddF), 1, 2, 3, 0,
+		byte(kernelir.OpStoreGF), 0, 1, 1, 0}) // uninit reads
+	f.Add([]byte{byte(kernelir.OpConstI), 0, 0, 0, 6,
+		byte(kernelir.OpStoreLF), 0, 0, 1, 0}) // definite local OOB
+	f.Add([]byte{byte(kernelir.OpRepeatBegin), 0, 0, 0, 4,
+		byte(kernelir.OpGlobalID), 1, 0, 0, 0,
+		byte(kernelir.OpLoadLF), 2, 1, 0, 0,
+		byte(kernelir.OpRepeatEnd), 0, 0, 0, 0}) // may-OOB inside a loop
+
+	spec, err := hw.SpecByName("v100")
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const numRegs = 4
+		opCount := int(kernelir.OpRepeatEnd) + 1
+		k := &kernelir.Kernel{
+			Name: "fuzz",
+			Params: []kernelir.Param{
+				{Name: "f", IsBuffer: true, Type: kernelir.F32, Access: kernelir.ReadWrite},
+				{Name: "i", IsBuffer: true, Type: kernelir.I32, Access: kernelir.ReadWrite},
+				{Name: "s", Type: kernelir.F32},
+			},
+			NumIntRegs:   numRegs,
+			NumFloatRegs: numRegs,
+			LocalF32:     2,
+		}
+		for i := 0; i+5 <= len(data) && len(k.Body) < 64; i += 5 {
+			in := kernelir.Instr{
+				Op:  kernelir.Op(int(data[i]) % opCount),
+				Dst: int(data[i+1]) % (numRegs + 2),
+				A:   int(data[i+2]) % (numRegs + 2),
+				B:   int(data[i+3]) % (numRegs + 2),
+				C:   int(data[i+3]) % (numRegs + 2),
+				Imm: float64(data[i+4]%8) + 1,
+				Buf: int(data[i+4]) % 4,
+			}
+			k.Body = append(k.Body, in)
+		}
+
+		// Must be total on arbitrary streams, including invalid ones.
+		r := analysis.Analyze(k, analysis.Options{Spec: spec})
+
+		if k.Validate() != nil {
+			return
+		}
+		// Bound the dynamic work (nested repeats multiply).
+		work := 0.0
+		if tree, err := kernelir.BuildLoopTree(k.Body); err == nil {
+			tree.Walk(func(_ int, _ kernelir.Instr, mult float64) { work += mult })
+		}
+		if work > 1<<16 {
+			return
+		}
+		args := kernelir.Args{
+			F32:     map[string][]float32{"f": {1, 2, 3, 4, 5, 6, 7, 8}},
+			I32:     map[string][]int32{"i": {8, 7, 6, 5, 4, 3, 2, 1}},
+			ScalarF: map[string]float64{"s": 1.5},
+		}
+		err := kernelir.ExecuteChecked(k, args, 4)
+		if err == nil && !r.Clean() {
+			t.Fatalf("analyzer reported errors for a kernel checked execution runs cleanly:\n%s\n%s",
+				r.Render(), k.Disassemble())
+		}
+	})
+}

@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"synergy/internal/features"
+	"synergy/internal/hw"
+	"synergy/internal/kernelir"
+	"synergy/internal/metrics"
+)
+
+// Bound labels a kernel's roofline regime on a device.
+type Bound int
+
+const (
+	// ComputeBound kernels scale ~1/f with the core clock: downclocking
+	// costs proportional time, so the energy-optimal frequency sits high.
+	ComputeBound Bound = iota
+	// MemoryBound kernels are limited by DRAM: above the bandwidth knee
+	// the runtime barely moves with the core clock, so large frequency
+	// reductions are nearly free.
+	MemoryBound
+)
+
+// String returns the label name.
+func (b Bound) String() string {
+	if b == ComputeBound {
+		return "compute-bound"
+	}
+	return "memory-bound"
+}
+
+// MarshalJSON renders the label as its name.
+func (b Bound) MarshalJSON() ([]byte, error) { return []byte(`"` + b.String() + `"`), nil }
+
+// UnmarshalJSON parses a label name.
+func (b *Bound) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"compute-bound"`:
+		*b = ComputeBound
+	case `"memory-bound"`:
+		*b = MemoryBound
+	default:
+		return fmt.Errorf("analysis: unknown roofline label %s", data)
+	}
+	return nil
+}
+
+// Roofline is the static classifier's verdict for one (kernel, device)
+// pair.
+type Roofline struct {
+	Device string `json:"device"`
+	Label  Bound  `json:"label"`
+	// OpsPerItem is the weighted per-item operation count and
+	// BytesPerItem the per-item DRAM traffic (traffic-factor adjusted).
+	OpsPerItem   float64 `json:"ops_per_item"`
+	BytesPerItem float64 `json:"bytes_per_item"`
+	// Intensity is arithmetic intensity in weighted ops per DRAM byte
+	// (infinite for kernels with no global traffic).
+	Intensity float64 `json:"intensity"`
+	// Alpha predicts the log-log slope of time against core frequency at
+	// the top of the clock table: t_c^p / (t_c^p + t_m^p) with the
+	// model's smooth-max exponent p. Compute-bound means alpha > 1/2,
+	// i.e. t_c > t_m.
+	Alpha float64 `json:"alpha"`
+	// KneeMHz is the lowest table frequency at which the memory phase
+	// dominates the compute phase — below it, downclocking costs real
+	// time even for memory-bound kernels. For compute-bound kernels (the
+	// compute phase dominates everywhere) it is the maximum frequency.
+	KneeMHz int `json:"knee_mhz"`
+}
+
+// Summary renders the verdict as one line.
+func (r *Roofline) Summary() string {
+	return fmt.Sprintf("%s on %s: alpha=%.3f, knee %d MHz, %.2f ops/B",
+		r.Label, r.Device, r.Alpha, r.KneeMHz, r.Intensity)
+}
+
+// StaticRoofline classifies the kernel on a device using only static
+// information: the §6.1 feature vector (via the same features.Workload
+// bridge the ground-truth model uses), the kernel's declared DRAM
+// traffic factor and the device spec. For this IR the classification is
+// exact, not heuristic: feature extraction is exact (straight-line
+// bodies, static trip counts), and the label compares the very
+// phase-time expressions (hw.Spec.PhaseTimes) the ground-truth model
+// combines, so static and sweep-derived labels can only disagree through
+// the model's ±1% measurement noise at an exact tie.
+func StaticRoofline(k *kernelir.Kernel, spec *hw.Spec) (*Roofline, error) {
+	v, err := features.Extract(k)
+	if err != nil {
+		return nil, err
+	}
+	// Per-item workload; the traffic factor scales DRAM bytes exactly as
+	// features.KernelWorkload does for the ground truth.
+	w := features.Workload(k.Name, v, 1)
+	if k.TrafficFactor > 0 {
+		w.GlobalBytes *= k.TrafficFactor
+	}
+	r := &Roofline{
+		Device:       spec.Name,
+		OpsPerItem:   w.TotalOps(),
+		BytesPerItem: w.GlobalBytes,
+		Intensity:    math.Inf(1),
+	}
+	if w.GlobalBytes > 0 {
+		r.Intensity = w.TotalOps() / w.GlobalBytes
+	}
+	// The label compares the phase times at the representative frequency
+	// of the regime a measured sweep characterizes: the log-midpoint of
+	// the top 15% of the un-capped clock range (sqrt(0.85) of the
+	// predicted throttle onset). Evaluating at fmax instead would
+	// mislabel ridge kernels whose t_c = t_m crossover falls inside the
+	// capped band, where no measurement can see it.
+	fRef := int(math.Sqrt(0.85)*float64(throttleOnsetMHz(spec, w)) + 0.5)
+	tc, tm := spec.PhaseTimes(w, fRef)
+	if tc < tm {
+		r.Label = MemoryBound
+	}
+	r.Alpha = alpha(tc, tm)
+	r.KneeMHz = spec.MaxCoreMHz()
+	for _, f := range spec.CoreFreqsMHz {
+		if c, m := spec.PhaseTimes(w, f); m >= c {
+			r.KneeMHz = f
+			break
+		}
+	}
+	return r, nil
+}
+
+// throttleOnsetMHz predicts the highest table frequency the device can
+// sustain without TDP capping for this workload, evaluated at a large
+// canonical launch so the launch overhead is negligible (power
+// utilisation is item-count independent in that limit). Falls back to
+// the maximum frequency if the whole table is capped.
+func throttleOnsetMHz(spec *hw.Spec, w hw.Workload) int {
+	wBig := w
+	wBig.Items = 1 << 22
+	for i := len(spec.CoreFreqsMHz) - 1; i >= 0; i-- {
+		f := spec.CoreFreqsMHz[i]
+		m, err := spec.Evaluate(wBig, f)
+		if err != nil {
+			break
+		}
+		if !m.Throttled {
+			return f
+		}
+	}
+	return spec.MaxCoreMHz()
+}
+
+// alpha is the predicted log-log slope d ln t / d ln f (negated) of the
+// smooth-max roofline above the bandwidth knee.
+func alpha(tc, tm float64) float64 {
+	switch {
+	case tc == 0 && tm == 0:
+		return 0
+	case tm == 0:
+		return 1
+	case tc == 0:
+		return 0
+	}
+	cp := math.Pow(tc, hw.SmoothMaxP)
+	mp := math.Pow(tm, hw.SmoothMaxP)
+	return cp / (cp + mp)
+}
+
+// ClassifySweep derives the same label from a measured (or simulated)
+// frequency sweep with no knowledge of the device model: a least-squares
+// fit of the log-log slope of time against frequency over the top of the
+// un-throttled clock range. Compute-bound kernels have t proportional to
+// 1/f (slope ~ -1); memory-bound kernels are flat (slope ~ 0); the
+// smooth-max roofline puts the static t_c = t_m crossover exactly at
+// slope -1/2. Returns the label and the fitted alpha (negated slope).
+//
+// Two measured regimes would corrupt the fit and are excluded:
+//
+//   - TDP power capping flattens (even inverts) the slope at the top of
+//     the table. Capped points are detectable from the sweep alone: the
+//     board regulates average power to exactly the TDP, so two or more
+//     points sharing the sweep's maximum power (to within rounding) are
+//     capped and dropped.
+//   - Below the bandwidth knee, DRAM bandwidth degrades with the core
+//     clock and memory-bound kernels stop being flat. The fit therefore
+//     keeps only f >= 0.85 of the highest un-capped frequency, which
+//     stays above the knee of every builtin device (throttle onset is
+//     >= 0.83 fmax everywhere, knees at <= 0.78 fmax).
+func ClassifySweep(sw *metrics.Sweep) (Bound, float64) {
+	pts := capFiltered(sw.Points)
+	ftop := float64(pts[len(pts)-1].FreqMHz)
+	var xs, ys []float64
+	for _, p := range pts {
+		if float64(p.FreqMHz) >= 0.85*ftop {
+			xs = append(xs, math.Log(float64(p.FreqMHz)))
+			ys = append(ys, math.Log(p.TimeSec))
+		}
+	}
+	a := -slope(xs, ys)
+	if a >= 0.5 {
+		return ComputeBound, a
+	}
+	return MemoryBound, a
+}
+
+// capFiltered drops TDP-capped points: the capped region shares one
+// exact average power (the TDP), so when at least two points sit within
+// rounding error of the sweep's maximum power they are the capped
+// plateau. A single maximum is an ordinary un-capped top point (power
+// rises strictly with frequency below the cap) and is kept.
+func capFiltered(pts []metrics.Point) []metrics.Point {
+	const tol = 1e-9
+	pmax := 0.0
+	for _, p := range pts {
+		if pw := p.EnergyJ / p.TimeSec; pw > pmax {
+			pmax = pw
+		}
+	}
+	atMax := 0
+	for _, p := range pts {
+		if pw := p.EnergyJ / p.TimeSec; pw >= pmax*(1-tol) {
+			atMax++
+		}
+	}
+	if atMax < 2 {
+		return pts
+	}
+	kept := make([]metrics.Point, 0, len(pts))
+	for _, p := range pts {
+		if pw := p.EnergyJ / p.TimeSec; pw < pmax*(1-tol) {
+			kept = append(kept, p)
+		}
+	}
+	if len(kept) < 2 {
+		// Essentially the whole table is power-capped; fall back to the
+		// raw points rather than fitting nothing.
+		return pts
+	}
+	return kept
+}
+
+// slope is the least-squares slope of y against x.
+func slope(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}

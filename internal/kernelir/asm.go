@@ -54,6 +54,9 @@ func Assemble(text string) (*Kernel, error) {
 			if err != nil {
 				return nil, fail("bad repeat count %q", body)
 			}
+			if n < 1 || n > MaxRepeatTrip {
+				return nil, fail("repeat trip count %d outside [1, %d]", n, MaxRepeatTrip)
+			}
 			k.Body = append(k.Body, Instr{Op: OpRepeatBegin, Imm: float64(n)})
 			depth++
 		default:

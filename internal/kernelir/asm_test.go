@@ -69,6 +69,9 @@ func TestAssembleRejectsMalformedInput(t *testing.T) {
 		strings.Replace(good, "f3 = mul.f f0, f1", "f3 = mul.f f0", 1),
 		strings.Replace(good, "f3 = mul.f f0, f1", "f3 = mul.f i0, f1", 1),
 		strings.Replace(good, "repeat 3 {", "repeat three {", 1),
+		strings.Replace(good, "repeat 3 {", "repeat 0 {", 1),
+		strings.Replace(good, "repeat 3 {", "repeat -3 {", 1),
+		strings.Replace(good, "repeat 3 {", "repeat 1048577 {", 1), // MaxRepeatTrip + 1
 		strings.TrimSuffix(good, "}\n"),
 		good + "trailing garbage",
 	}

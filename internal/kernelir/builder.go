@@ -338,8 +338,8 @@ func (b *Builder) StoreLocal(idx IntReg, v FloatReg) {
 // Repeat executes body count times. The trip count must be statically
 // known — the property that makes feature extraction exact.
 func (b *Builder) Repeat(count int, body func()) {
-	if count < 1 {
-		panic(fmt.Sprintf("kernelir: repeat count %d must be >= 1", count))
+	if count < 1 || count > MaxRepeatTrip {
+		panic(fmt.Sprintf("kernelir: repeat count %d outside [1, %d]", count, MaxRepeatTrip))
 	}
 	b.emit(Instr{Op: OpRepeatBegin, Imm: float64(count)})
 	b.repeats++

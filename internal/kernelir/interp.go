@@ -68,30 +68,6 @@ func bind(k *Kernel, a Args) (*boundArgs, error) {
 	return b, nil
 }
 
-// repeat bookkeeping precomputed per kernel: matching end for each begin.
-func matchRepeats(body []Instr) ([]int, error) {
-	match := make([]int, len(body))
-	var stack []int
-	for pc, in := range body {
-		switch in.Op {
-		case OpRepeatBegin:
-			stack = append(stack, pc)
-		case OpRepeatEnd:
-			if len(stack) == 0 {
-				return nil, fmt.Errorf("kernelir: unmatched repeat end at %d", pc)
-			}
-			begin := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			match[begin] = pc
-			match[pc] = begin
-		}
-	}
-	if len(stack) != 0 {
-		return nil, fmt.Errorf("kernelir: unclosed repeat block")
-	}
-	return match, nil
-}
-
 func clampIdx(i int64, n int) int {
 	if i < 0 {
 		return 0
@@ -124,10 +100,13 @@ func ExecuteGrid(k *Kernel, a Args, items, nx int) error {
 	if err != nil {
 		return err
 	}
-	match, err := matchRepeats(k.Body)
+	// The loop tree is the shared structured-control normalization; the
+	// interpreter only needs its begin/end matching.
+	tree, err := BuildLoopTree(k.Body)
 	if err != nil {
 		return err
 	}
+	match := tree.match
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > items {

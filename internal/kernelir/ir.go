@@ -176,6 +176,13 @@ func (o Op) String() string {
 	return fmt.Sprintf("op(%d)", int(o))
 }
 
+// MaxRepeatTrip bounds static Repeat trip counts. The limit is far above
+// anything a real kernel needs (the suite tops out in the hundreds) but
+// keeps a single malformed count from turning the interpreter, the
+// feature pass or a frequency sweep into an unbounded loop. Assemble,
+// Validate and Builder.Repeat all enforce the same bound.
+const MaxRepeatTrip = 1 << 20
+
 // Instr is one instruction of the register machine.
 type Instr struct {
 	Op      Op
@@ -356,6 +363,9 @@ func (k *Kernel) Validate() error {
 		case OpRepeatBegin:
 			if in.Imm < 1 || in.Imm != float64(int(in.Imm)) {
 				return fail("repeat trip count %v must be a positive integer", in.Imm)
+			}
+			if in.Imm > MaxRepeatTrip {
+				return fail("repeat trip count %v exceeds the maximum %d", in.Imm, MaxRepeatTrip)
 			}
 			depth++
 		case OpRepeatEnd:

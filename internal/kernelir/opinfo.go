@@ -1,0 +1,43 @@
+package kernelir
+
+// OperandInfo describes which register operands an opcode reads and
+// writes and how it touches memory — the per-opcode metadata the static
+// analyzer (internal/kernelir/analysis) keys its dataflow passes on. It
+// is a public view of the same internal table Validate, the interpreter
+// helpers and the disassembler use, so the analyzer can never disagree
+// with execution about what an instruction reads.
+type OperandInfo struct {
+	HasDst  bool
+	DstFile ScalarType
+	HasA    bool
+	AFile   ScalarType
+	HasB    bool
+	BFile   ScalarType
+	HasC    bool
+	CFile   ScalarType
+	// UsesBuf reports that Instr.Buf references Params.
+	UsesBuf bool
+	// IsScalarParam, IsMemOp and IsLocal distinguish scalar parameter
+	// reads, global buffer accesses and local scratch accesses.
+	IsScalarParam bool
+	IsMemOp       bool
+	IsLocal       bool
+	// BufElem is the element type for memory/parameter ops.
+	BufElem ScalarType
+}
+
+// InfoOf returns the operand metadata for op.
+func InfoOf(op Op) OperandInfo {
+	c := class(op)
+	return OperandInfo{
+		HasDst: c.hasDst, DstFile: c.dstFile,
+		HasA: c.hasA, AFile: c.aFile,
+		HasB: c.hasB, BFile: c.bFile,
+		HasC: c.hasC, CFile: c.cFile,
+		UsesBuf:       c.usesBuf,
+		IsScalarParam: c.isScalar,
+		IsMemOp:       c.isBufOp,
+		IsLocal:       c.isLocal,
+		BufElem:       c.bufKind,
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"synergy/internal/benchsuite"
 	"synergy/internal/features"
 	"synergy/internal/hw"
+	"synergy/internal/kernelir/analysis"
 	"synergy/internal/metrics"
 	"synergy/internal/microbench"
 	"synergy/internal/model"
@@ -119,6 +120,10 @@ type Characterization struct {
 	// BestSavingPct is the deepest energy saving on the sweep, and
 	// LossAtBestPct the performance loss there.
 	BestSavingPct, LossAtBestPct float64
+	// Roofline is the static analyzer's compute/memory classification of
+	// the kernel on this device; it predicts the sweep's shape (memory-
+	// bound kernels have deep, cheap savings above the knee).
+	Roofline *analysis.Roofline
 }
 
 // BuildCharacterization sweeps one suite benchmark on a device through
@@ -147,6 +152,10 @@ func BuildCharacterization(spec *hw.Spec, benchName string) (*Characterization, 
 	if err != nil {
 		return nil, err
 	}
+	rf, err := analysis.StaticRoofline(b.Kernel, spec)
+	if err != nil {
+		return nil, err
+	}
 	return &Characterization{
 		Device:        spec.Name,
 		Benchmark:     benchName,
@@ -154,6 +163,7 @@ func BuildCharacterization(spec *hw.Spec, benchName string) (*Characterization, 
 		Front:         front,
 		BestSavingPct: sw.EnergySavingPct(minE),
 		LossAtBestPct: sw.PerfLossPct(minE),
+		Roofline:      rf,
 	}, nil
 }
 
@@ -162,6 +172,10 @@ func (c *Characterization) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s on %s: max saving %.1f%% (perf loss %.1f%%), Pareto front %d points\n",
 		c.Benchmark, c.Device, c.BestSavingPct, c.LossAtBestPct, len(c.Front))
+	if c.Roofline != nil {
+		fmt.Fprintf(&b, "  static roofline: %s (alpha %.3f, knee %d MHz)\n",
+			c.Roofline.Label, c.Roofline.Alpha, c.Roofline.KneeMHz)
+	}
 	t := &table{header: []string{"FreqMHz", "Speedup", "NormEnergy"}}
 	stride := len(c.Points)/16 + 1
 	for i := 0; i < len(c.Points); i += stride {

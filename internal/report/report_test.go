@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"synergy/internal/hw"
+	"synergy/internal/kernelir/analysis"
 	"synergy/internal/metrics"
 )
 
@@ -50,12 +51,20 @@ func TestBuildFig2Shapes(t *testing.T) {
 		t.Errorf("Fig. 2 contrast lost: lin_reg saves %.1f%%, median %.1f%%",
 			lin.BestSavingPct, med.BestSavingPct)
 	}
+	// The static roofline explains the contrast: the shallow saver is
+	// compute-bound, the deep saver memory-bound.
+	if lin.Roofline == nil || lin.Roofline.Label != analysis.ComputeBound {
+		t.Errorf("lin_reg_coeff roofline = %+v, want compute-bound", lin.Roofline)
+	}
+	if med.Roofline == nil || med.Roofline.Label != analysis.MemoryBound {
+		t.Errorf("median roofline = %+v, want memory-bound", med.Roofline)
+	}
 	for _, c := range chars {
 		if len(c.Front) == 0 || len(c.Points) == 0 {
 			t.Errorf("%s: empty series", c.Benchmark)
 		}
-		if c.Render() == "" {
-			t.Errorf("%s: empty render", c.Benchmark)
+		if !strings.Contains(c.Render(), "static roofline:") {
+			t.Errorf("%s: render lacks roofline line", c.Benchmark)
 		}
 	}
 }
