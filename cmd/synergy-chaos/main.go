@@ -1,0 +1,75 @@
+// Command synergy-chaos runs the seeded chaos soak against the
+// simulated cluster stack: every episode throws a randomized-but-
+// reproducible fault scenario (node death, denial storms, link jitter,
+// dying ranks, epilogue crashes) at a full SLURM+MPI+SYnergy run and
+// checks the resilience invariants — termination within the deadline,
+// seed determinism, energy conservation, bounded retries, goroutine
+// hygiene and closed privilege windows. Any violation exits non-zero,
+// printing the episode seed needed to replay it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"synergy/internal/chaos"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("synergy-chaos: ")
+	seed := flag.Int64("seed", 1, "soak seed (derives every episode's scenario)")
+	episodes := flag.Int("episodes", 25, "number of chaos episodes")
+	nodes := flag.Int("nodes", 3, "cluster node count")
+	jobNodes := flag.Int("job-nodes", 2, "nodes requested per job (headroom allows requeues)")
+	gpus := flag.Int("gpus", 2, "GPUs per node")
+	steps := flag.Int("steps", 3, "application timesteps per run")
+	requeues := flag.Int("requeues", 2, "max scheduler requeues after node failures")
+	deadline := flag.Duration("deadline", 30*time.Second, "real wall-clock deadline per attempt")
+	verbose := flag.Bool("v", true, "print one line per episode")
+	flag.Parse()
+
+	cfg := chaos.Config{
+		Seed:        *seed,
+		Episodes:    *episodes,
+		Nodes:       *nodes,
+		JobNodes:    *jobNodes,
+		GPUsPerNode: *gpus,
+		Steps:       *steps,
+		MaxRequeues: *requeues,
+		Deadline:    *deadline,
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	}
+	fmt.Printf("chaos soak: %d episodes, seed %d, %d nodes x %d GPUs, jobs on %d nodes\n",
+		*episodes, *seed, *nodes, *gpus, *jobNodes)
+
+	start := time.Now()
+	rep, err := chaos.Soak(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	viols := rep.Violations()
+	fmt.Printf("\n%d episodes, %d injected faults, archetypes %v, %v elapsed\n",
+		len(rep.Episodes), rep.Faults(), rep.Archetypes(), time.Since(start).Round(time.Millisecond))
+	if len(viols) == 0 {
+		fmt.Println("all resilience invariants held")
+		return
+	}
+	fmt.Printf("%d INVARIANT VIOLATIONS:\n", len(viols))
+	for _, v := range viols {
+		fmt.Printf("  %s\n", v)
+		for _, ep := range rep.Episodes {
+			if ep.Episode == v.Episode {
+				fmt.Printf("    replay: -seed %d -episodes 1 (scenario: %s)\n",
+					ep.Seed, ep.Archetypes)
+				break
+			}
+		}
+	}
+	os.Exit(1)
+}

@@ -9,6 +9,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -19,6 +20,7 @@ import (
 	"synergy/internal/metrics"
 	"synergy/internal/mpi"
 	"synergy/internal/power"
+	"synergy/internal/resilience"
 	"synergy/internal/sycl"
 )
 
@@ -107,6 +109,11 @@ type RunConfig struct {
 	// running under SLURM instead inherit the cluster's injector through
 	// the allocated devices.
 	Fault *fault.Injector
+	// Health optionally attaches the per-device circuit-breaker registry:
+	// each rank's queue consults the breaker named after its device label
+	// before spending clock-set retries, and runs at default clocks while
+	// the device is unhealthy (recorded as a DegradationEvent).
+	Health *resilience.Registry
 }
 
 func (c *RunConfig) validate() error {
@@ -152,6 +159,13 @@ type RunResult struct {
 // per GPU, 1-D domain decomposition, per-kernel frequency scaling
 // through the SYnergy queue.
 func Run(app *App, cfg RunConfig) (*RunResult, error) {
+	return RunContext(context.Background(), app, cfg)
+}
+
+// RunContext is Run with cancellation: the context propagates into the
+// MPI fabric (blocked ranks unblock with the context error) and stops
+// further timesteps from being scheduled on every rank.
+func RunContext(ctx context.Context, app *App, cfg RunConfig) (*RunResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -201,7 +215,7 @@ func Run(app *App, cfg RunConfig) (*RunResult, error) {
 	degraded := make([][]core.DegradationEvent, ranks)
 	items := cfg.LocalNx * cfg.LocalNy
 
-	err = world.Run(func(r *mpi.Rank) error {
+	err = world.RunContext(ctx, func(r *mpi.Rank) error {
 		dev := devices[r.Rank()]
 		var pm power.Manager
 		var err error
@@ -217,6 +231,13 @@ func Run(app *App, cfg RunConfig) (*RunResult, error) {
 		// a device that ran earlier jobs.
 		r.AdvanceTo(dev.Now())
 		q := core.NewQueue(sycl.WrapDevice(dev), pm)
+		if cfg.Health != nil {
+			label := dev.Label()
+			if label == "" {
+				label = fmt.Sprintf("rank%d", r.Rank())
+			}
+			q.SetBreaker(cfg.Health.Breaker(label))
+		}
 		if cfg.Profile {
 			q.EnableProfiling()
 		}
@@ -237,6 +258,9 @@ func Run(app *App, cfg RunConfig) (*RunResult, error) {
 		st := app.NewState(cfg.LocalNx, stateNy)
 
 		for step := 0; step < cfg.Steps; step++ {
+			if err := r.Context().Err(); err != nil {
+				return fmt.Errorf("apps: %s: rank %d canceled before step %d: %w", app.Name, r.Rank(), step, err)
+			}
 			for _, k := range app.Kernels {
 				args, ok := st.Args[k.Name]
 				if !ok {
@@ -265,13 +289,17 @@ func Run(app *App, cfg RunConfig) (*RunResult, error) {
 			}
 			// ...and a small global diagnostic reduction.
 			diag := []float64{1, float64(step)}
-			r.AllreduceSum(diag)
+			if err := r.AllreduceSum(diag); err != nil {
+				return err
+			}
 			// The device idles while the host communicates.
 			if gap := r.Now() - dev.Now(); gap > 0 {
 				dev.AdvanceIdle(gap)
 			}
 		}
-		r.Barrier()
+		if _, err := r.Barrier(); err != nil {
+			return err
+		}
 		times[r.Rank()] = r.Now()
 		if cfg.Profile {
 			profiles[r.Rank()] = q.Profile()

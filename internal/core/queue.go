@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"synergy/internal/kernelir"
 	"synergy/internal/metrics"
 	"synergy/internal/power"
+	"synergy/internal/resilience"
 	"synergy/internal/sycl"
 )
 
@@ -50,6 +52,7 @@ type Queue struct {
 	pinned  int // core MHz pinned at construction (0 = none)
 	advisor FrequencyAdvisor
 	retry   governor.RetryPolicy
+	breaker *resilience.Breaker
 	degr    []DegradationEvent
 	prof    profiler
 }
@@ -99,6 +102,17 @@ func (q *Queue) SetRetryPolicy(pol governor.RetryPolicy) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.retry = pol
+}
+
+// SetBreaker attaches this device's circuit breaker from the health
+// registry: pre-kernel clock changes consult it before spending the
+// retry budget, and while the device is unhealthy submissions degrade
+// to current clocks with a recorded DegradationEvent. A nil breaker
+// (the default) disables the guard.
+func (q *Queue) SetBreaker(br *resilience.Breaker) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.breaker = br
 }
 
 // Degradations returns the submissions that ran at current clocks
@@ -181,6 +195,7 @@ func (q *Queue) SubmitWithTarget(target metrics.Target, cg sycl.CommandGroup) (*
 func (q *Queue) submitAt(coreMHz int, cg sycl.CommandGroup) (*sycl.Event, error) {
 	q.mu.Lock()
 	pol := q.retry
+	br := q.breaker
 	q.mu.Unlock()
 	if pol.MaxAttempts == 0 {
 		pol = governor.DefaultRetryPolicy()
@@ -189,7 +204,7 @@ func (q *Queue) submitAt(coreMHz int, cg sycl.CommandGroup) (*sycl.Event, error)
 		if q.pm.CurrentCoreFreq() == coreMHz {
 			return nil
 		}
-		res := governor.ApplyFrequency(q.pm, coreMHz, pol)
+		res := governor.ApplyFrequencyGuarded(q.pm, coreMHz, pol, br)
 		if res.Applied {
 			return nil
 		}
@@ -218,6 +233,36 @@ func (q *Queue) submitAt(coreMHz int, cg sycl.CommandGroup) (*sycl.Event, error)
 
 // Wait blocks until all submitted work completes.
 func (q *Queue) Wait() { q.q.Wait() }
+
+// WaitContext blocks until all submitted work completes or the context
+// is canceled.
+func (q *Queue) WaitContext(ctx context.Context) error { return q.q.WaitContext(ctx) }
+
+// SubmitContext is Submit with cancellation: a canceled context fails
+// fast before enqueueing (already-enqueued work always completes — the
+// simulated device never abandons a running kernel).
+func (q *Queue) SubmitContext(ctx context.Context, cg sycl.CommandGroup) (*sycl.Event, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return q.Submit(cg)
+}
+
+// SubmitWithFreqContext is SubmitWithFreq with cancellation.
+func (q *Queue) SubmitWithFreqContext(ctx context.Context, memMHz, coreMHz int, cg sycl.CommandGroup) (*sycl.Event, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return q.SubmitWithFreq(memMHz, coreMHz, cg)
+}
+
+// SubmitWithTargetContext is SubmitWithTarget with cancellation.
+func (q *Queue) SubmitWithTargetContext(ctx context.Context, target metrics.Target, cg sycl.CommandGroup) (*sycl.Event, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return q.SubmitWithTarget(target, cg)
+}
 
 // SetFunctionalCap bounds per-launch interpreted work-items (see
 // sycl.Queue.SetFunctionalCap); the energy/time model is unaffected.

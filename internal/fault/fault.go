@@ -234,7 +234,11 @@ func (in *Injector) Trace() []Event {
 	out := make([]Event, len(in.trace))
 	copy(out, in.trace)
 	in.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool {
+	// Stable: two rules firing on the same Check call tie on every key
+	// below (Rule records the configured site, which may be identical);
+	// their in-trace order is the deterministic rule-index order, which
+	// an unstable sort would scramble.
+	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Site != out[j].Site {
 			return out[i].Site < out[j].Site
 		}

@@ -263,3 +263,35 @@ func TestTraceIsSortedUnderConcurrency(t *testing.T) {
 
 // close_ sends one completion token (the channel is used as a counter).
 func close_(ch chan struct{}) { ch <- struct{}{} }
+
+// TestTraceOrderStableForTiedEvents: two rules configured on the same
+// base site fire on the same call — the trace entries tie on every sort
+// key (Rule records the configured site, identical here), so the sort
+// must keep their deterministic rule-index order. An unstable sort
+// makes byte-exact trace comparison across identical runs flaky.
+func TestTraceOrderStableForTiedEvents(t *testing.T) {
+	t.Parallel()
+	errA, errB := errors.New("first rule"), errors.New("second rule")
+	render := func() []Event {
+		in := New(3,
+			Rule{Site: "nvml.set_app_clocks", Err: errA},
+			Rule{Site: "nvml.set_app_clocks", Err: errB},
+		)
+		for i := 0; i < 50; i++ {
+			in.Check("nvml.set_app_clocks:gpu0")
+			in.Check("nvml.set_app_clocks:gpu1")
+		}
+		return in.Trace()
+	}
+	first := render()
+	for run := 0; run < 20; run++ {
+		if got := render(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d: tied trace events reordered:\n%v\nvs\n%v", run, got, first)
+		}
+	}
+	for i := 0; i+1 < len(first); i += 2 {
+		if first[i].Err != errA.Error() || first[i+1].Err != errB.Error() {
+			t.Fatalf("event pair %d not in rule-index order: %v then %v", i, first[i].Err, first[i+1].Err)
+		}
+	}
+}

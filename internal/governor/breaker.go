@@ -1,0 +1,42 @@
+package governor
+
+import (
+	"fmt"
+
+	"synergy/internal/power"
+	"synergy/internal/resilience"
+)
+
+// ApplyFrequencyGuarded is ApplyFrequency behind a per-device circuit
+// breaker. When the breaker is open the governor does not burn the
+// retry budget at all: the call degrades immediately (the queue runs at
+// current clocks and records the forfeited saving) with zero SetCoreFreq
+// attempts and zero backoff. Otherwise the attempt sequence runs as
+// usual and its outcome feeds the breaker — only an applied clock set
+// counts as healthy; a denial (degraded) or an exhausted retry budget
+// counts as a failure, so denial storms and flaky drivers both trip the
+// breaker and stop consuming attempts while the device is unhealthy.
+//
+// Breaker time is the device's virtual clock (power.Manager.DeviceNow),
+// so cool-downs elapse with simulated work, never wall time. A nil
+// breaker makes this exactly ApplyFrequency.
+func ApplyFrequencyGuarded(pm power.Manager, coreMHz int, pol RetryPolicy, br *resilience.Breaker) ApplyResult {
+	if br == nil {
+		return ApplyFrequency(pm, coreMHz, pol)
+	}
+	if !br.Allow(pm.DeviceNow()) {
+		return ApplyResult{
+			Degraded: true,
+			Err: fmt.Errorf("governor: pinning %d MHz skipped, device %q unhealthy: %w",
+				coreMHz, br.Name(), resilience.ErrOpen),
+		}
+	}
+	res := ApplyFrequency(pm, coreMHz, pol)
+	now := pm.DeviceNow()
+	if res.Applied {
+		br.RecordSuccess(now)
+	} else {
+		br.RecordFailure(now)
+	}
+	return res
+}

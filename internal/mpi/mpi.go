@@ -5,9 +5,16 @@
 // advances each rank's virtual clock. Ranks synchronise their virtual
 // clocks at communication points, which is how weak-scaling curves pick
 // up communication overhead.
+//
+// The fabric is deadline-aware: a rank that blocks on a peer which has
+// left the job (its body returned, with or without an error) does not
+// hang — it waits the reliable-transport retransmit timeout in virtual
+// time and fails with ErrDeadline. Cancellation propagates through
+// RunContext: every blocking operation also honours the run context.
 package mpi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -19,6 +26,11 @@ import (
 // retransmit attempt (injected faults exhausted the retry budget).
 var ErrMessageLost = errors.New("mpi: message lost after retransmit attempts")
 
+// ErrDeadline reports a blocking operation abandoned because the peer
+// (or the rest of the world) left the job: the caller waited one
+// retransmit timeout of virtual time and gave up instead of hanging.
+var ErrDeadline = errors.New("mpi: deadline exceeded waiting for peer")
+
 // Fault-injection sites exposed by this package (qualified per sending
 // rank: "mpi.send:r3").
 const SiteSend = "mpi.send"
@@ -29,6 +41,7 @@ const maxSendAttempts = 4
 
 func init() {
 	fault.RegisterError("mpi.message_lost", ErrMessageLost)
+	fault.RegisterError("mpi.deadline", ErrDeadline)
 }
 
 // NetworkModel describes the interconnect cost model.
@@ -63,6 +76,15 @@ func (nm NetworkModel) transferTime(bytes int, sameNode bool) float64 {
 	return t
 }
 
+// barRelease is one barrier round: waiters block on ch, which closes
+// when the last rank arrives (failed=false) or when a departure makes
+// completion impossible (failed=true).
+type barRelease struct {
+	ch     chan struct{}
+	max    float64
+	failed bool
+}
+
 // World is one simulated MPI job: a fixed set of ranks with mailboxes
 // and a reusable clock-synchronising barrier.
 type World struct {
@@ -73,12 +95,11 @@ type World struct {
 	mu    sync.Mutex
 	boxes map[mailKey]chan message
 
-	barMu         sync.Mutex
-	barCond       *sync.Cond
-	barCount      int
-	barGen        int
-	barMax        float64
-	barReleaseMax float64
+	barMu    sync.Mutex
+	barCount int
+	cur      *barRelease
+	departed int             // ranks whose body has returned this run
+	gone     []chan struct{} // gone[r] closes when rank r departs
 
 	reduceMu     sync.Mutex
 	reduceAcc    []float64
@@ -116,8 +137,16 @@ func NewWorld(size, ranksPerNode int, net NetworkModel) (*World, error) {
 		ranksPerNode: ranksPerNode,
 		boxes:        map[mailKey]chan message{},
 	}
-	w.barCond = sync.NewCond(&w.barMu)
+	w.gone = freshGone(size)
 	return w, nil
+}
+
+func freshGone(size int) []chan struct{} {
+	gone := make([]chan struct{}, size)
+	for i := range gone {
+		gone[i] = make(chan struct{})
+	}
+	return gone
 }
 
 // Size returns the number of ranks.
@@ -140,30 +169,88 @@ func (w *World) injector() *fault.Injector {
 
 // RetransmitTimeoutSec is the virtual time a sender waits before
 // retransmitting a dropped message (a reliable-transport timeout, far
-// above the fabric latency).
+// above the fabric latency). It is also the virtual time a blocked
+// operation charges before failing with ErrDeadline when its peer has
+// left the job.
 func (w *World) RetransmitTimeoutSec() float64 {
 	return 1000 * w.net.LatencySec
 }
 
-// Run executes body on every rank concurrently and returns the first
-// error (all ranks are joined before returning).
+// resetRunState clears per-run communication state so a world can host
+// consecutive runs (the chaos harness reuses worlds across episodes).
+func (w *World) resetRunState() {
+	w.mu.Lock()
+	w.boxes = map[mailKey]chan message{}
+	w.mu.Unlock()
+	w.barMu.Lock()
+	w.barCount = 0
+	w.cur = nil
+	w.departed = 0
+	w.gone = freshGone(w.size)
+	w.barMu.Unlock()
+	w.reduceMu.Lock()
+	w.reduceAcc = nil
+	w.reduceResult = nil
+	w.reduceMu.Unlock()
+	w.bcastMu.Lock()
+	w.bcastNext = nil
+	w.bcastData = nil
+	w.bcastMu.Unlock()
+}
+
+// Run executes body on every rank concurrently, joins all ranks, and
+// returns every non-nil rank error combined with errors.Join (nil when
+// all ranks succeed).
 func (w *World) Run(body func(r *Rank) error) error {
+	return w.RunContext(context.Background(), body)
+}
+
+// RunContext is Run with cancellation: the context is visible to every
+// rank (Rank.Context) and unblocks the fabric's blocking operations —
+// a canceled rank's pending Send/Recv/collective returns the context
+// error instead of waiting for peers.
+func (w *World) RunContext(ctx context.Context, body func(r *Rank) error) error {
+	w.resetRunState()
 	errs := make([]error, w.size)
 	var wg sync.WaitGroup
 	for i := 0; i < w.size; i++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			errs[rank] = body(&Rank{world: w, rank: rank})
+			defer w.depart(rank)
+			errs[rank] = body(&Rank{world: w, rank: rank, ctx: ctx})
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	return errors.Join(errs...)
+}
+
+// depart marks a rank as having left the job (its body returned, with
+// or without an error). Blocked peers observe the departure: a barrier
+// that can no longer complete releases its waiters in a failed state.
+func (w *World) depart(rank int) {
+	w.barMu.Lock()
+	w.departed++
+	close(w.gone[rank])
+	if w.cur != nil && w.barCount >= w.size-w.departed {
+		rel := w.cur
+		rel.failed = true
+		w.barCount = 0
+		w.cur = nil
+		close(rel.ch)
 	}
-	return nil
+	w.barMu.Unlock()
+}
+
+// goneChan returns the channel that closes when the rank departs (nil —
+// blocking forever in a select — for worlds built outside NewWorld).
+func (w *World) goneChan(rank int) <-chan struct{} {
+	w.barMu.Lock()
+	defer w.barMu.Unlock()
+	if rank < 0 || rank >= len(w.gone) {
+		return nil
+	}
+	return w.gone[rank]
 }
 
 func (w *World) box(from, to, tag int) chan message {
@@ -189,6 +276,7 @@ type Rank struct {
 	world *World
 	rank  int
 	now   float64
+	ctx   context.Context
 }
 
 // Rank returns this rank's index.
@@ -202,6 +290,23 @@ func (r *Rank) Node() int { return r.rank / r.world.ranksPerNode }
 
 // Now returns this rank's virtual time.
 func (r *Rank) Now() float64 { return r.now }
+
+// Context returns the run context (context.Background for plain Run).
+func (r *Rank) Context() context.Context {
+	if r.ctx == nil {
+		return context.Background()
+	}
+	return r.ctx
+}
+
+// done returns the context's cancellation channel (nil, blocking
+// forever in a select, when there is no cancelable context).
+func (r *Rank) done() <-chan struct{} {
+	if r.ctx == nil {
+		return nil
+	}
+	return r.ctx.Done()
+}
 
 // AdvanceTo moves the rank's clock forward to t (no-op if in the past).
 func (r *Rank) AdvanceTo(t float64) {
@@ -218,8 +323,20 @@ func (r *Rank) Advance(dt float64) {
 	r.now += dt
 }
 
+// deadlineErr charges the retransmit timeout to the rank's clock and
+// builds the typed deadline error. Both failure paths (peer already
+// departed; departure observed while waiting) share this, so the error
+// text and the clock advance are identical regardless of real-time
+// arrival order — a determinism requirement of the chaos harness.
+func (r *Rank) deadlineErr(op string) error {
+	r.Advance(r.world.RetransmitTimeoutSec())
+	return fmt.Errorf("mpi: rank %d: %s: %w", r.rank, op, ErrDeadline)
+}
+
 // Send delivers data to the destination rank under a tag. The send is
-// buffered: it returns after the local injection cost.
+// buffered: it returns after the local injection cost. A send that
+// blocks on a full mailbox whose owner has departed fails with
+// ErrDeadline after one retransmit timeout of virtual time.
 func (r *Rank) Send(to, tag int, data []float32) error {
 	if to < 0 || to >= r.world.size {
 		return fmt.Errorf("mpi: rank %d: send to invalid rank %d", r.rank, to)
@@ -249,18 +366,71 @@ func (r *Rank) Send(to, tag int, data []float32) error {
 		}
 		r.now += w.RetransmitTimeoutSec()
 	}
-	w.box(r.rank, to, tag) <- message{data: buf, sentAt: r.now}
-	return nil
+	msg := message{data: buf, sentAt: r.now}
+	box := w.box(r.rank, to, tag)
+	// Fast path: buffered delivery. Blocking is rare (64-deep boxes) and
+	// only sustained when the receiver is gone or the run is canceled.
+	select {
+	case box <- msg:
+		return nil
+	default:
+	}
+	select {
+	case box <- msg:
+		return nil
+	case <-w.goneChan(to):
+	case <-r.done():
+		select {
+		case box <- msg:
+			return nil
+		default:
+			return fmt.Errorf("mpi: rank %d: send to %d canceled: %w", r.rank, to, r.ctx.Err())
+		}
+	}
+	// The receiver departed. Drain-biased retry: if space opened
+	// concurrently, delivery wins deterministically.
+	select {
+	case box <- msg:
+		return nil
+	default:
+		return r.deadlineErr(fmt.Sprintf("send to %d", to))
+	}
 }
 
 // Recv blocks until a message with the tag arrives from the source rank,
 // copies it into data (lengths must match), and synchronises the virtual
-// clock: the message cannot be consumed before its send completed.
+// clock: the message cannot be consumed before its send completed. If
+// the sender departs without a matching message in flight, Recv charges
+// one retransmit timeout of virtual time and returns ErrDeadline
+// instead of hanging.
 func (r *Rank) Recv(from, tag int, data []float32) error {
 	if from < 0 || from >= r.world.size {
 		return fmt.Errorf("mpi: rank %d: recv from invalid rank %d", r.rank, from)
 	}
-	msg := <-r.world.box(from, r.rank, tag)
+	box := r.world.box(from, r.rank, tag)
+	var msg message
+	select {
+	case msg = <-box:
+	default:
+		select {
+		case msg = <-box:
+		case <-r.world.goneChan(from):
+			// The sender departed. Any message it sent before departing
+			// happened-before the close of its gone channel, so one final
+			// non-blocking drain deterministically finds it.
+			select {
+			case msg = <-box:
+			default:
+				return r.deadlineErr(fmt.Sprintf("recv from %d", from))
+			}
+		case <-r.done():
+			select {
+			case msg = <-box:
+			default:
+				return fmt.Errorf("mpi: rank %d: recv from %d canceled: %w", r.rank, from, r.ctx.Err())
+			}
+		}
+	}
 	if len(msg.data) != len(data) {
 		return fmt.Errorf("mpi: rank %d: recv size %d, message has %d", r.rank, len(data), len(msg.data))
 	}
@@ -279,30 +449,35 @@ func (r *Rank) SendRecv(partner, tag int, send, recv []float32) error {
 }
 
 // Barrier synchronises all ranks' clocks to the maximum plus one fabric
-// latency, and returns the released time.
-func (r *Rank) Barrier() float64 {
+// latency, and returns the released time. If any rank has departed the
+// barrier cannot complete: it charges one retransmit timeout and
+// returns ErrDeadline.
+func (r *Rank) Barrier() (float64, error) {
 	return r.world.rendezvous(r, nil, nil)
 }
 
 // AllreduceSum sums the slice element-wise across all ranks; every rank
 // receives the result in place. Clocks synchronise to the maximum plus
-// the cost of a log2(P)-deep reduction tree.
-func (r *Rank) AllreduceSum(data []float64) {
+// the cost of a log2(P)-deep reduction tree. Mismatched slice lengths
+// across ranks are an error (the offending rank fails; its peers then
+// observe ErrDeadline at the rendezvous).
+func (r *Rank) AllreduceSum(data []float64) error {
 	w := r.world
 	w.reduceMu.Lock()
 	if w.reduceAcc == nil {
 		w.reduceAcc = make([]float64, len(data))
 	}
 	if len(w.reduceAcc) != len(data) {
+		n := len(w.reduceAcc)
 		w.reduceMu.Unlock()
-		panic("mpi: mismatched allreduce lengths")
+		return fmt.Errorf("mpi: rank %d: allreduce length %d, accumulator has %d", r.rank, len(data), n)
 	}
 	for i, v := range data {
 		w.reduceAcc[i] += v
 	}
 	w.reduceMu.Unlock()
 
-	w.rendezvous(r, func() {
+	_, err := w.rendezvous(r, func() {
 		w.reduceMu.Lock()
 		w.reduceResult = w.reduceAcc
 		w.reduceAcc = nil
@@ -312,45 +487,75 @@ func (r *Rank) AllreduceSum(data []float64) {
 		copy(data, w.reduceResult)
 		w.reduceMu.Unlock()
 	})
+	if err != nil {
+		return err
+	}
 
 	depth := 0
 	for p := 1; p < w.size; p *= 2 {
 		depth++
 	}
 	r.Advance(float64(depth) * w.net.transferTime(8*len(data), false))
+	return nil
 }
 
 // rendezvous implements the reusable full-world barrier with
 // virtual-clock max-synchronisation. last runs (under the barrier lock)
 // when the final rank arrives; after runs on every rank once released.
-func (w *World) rendezvous(r *Rank, last, after func()) float64 {
+//
+// A rendezvous that can never complete — some rank already departed, or
+// departs while others wait — fails on every participant with
+// ErrDeadline after charging the retransmit timeout. Both orderings
+// produce the identical clock advance and error, so the outcome is
+// independent of real-time scheduling.
+func (w *World) rendezvous(r *Rank, last, after func()) (float64, error) {
 	w.barMu.Lock()
+	if w.departed > 0 {
+		w.barMu.Unlock()
+		return r.now, r.deadlineErr("barrier")
+	}
+	if w.cur == nil {
+		w.cur = &barRelease{ch: make(chan struct{})}
+	}
+	rel := w.cur
 	w.barCount++
-	if r.now > w.barMax {
-		w.barMax = r.now
+	if r.now > rel.max {
+		rel.max = r.now
 	}
 	if w.barCount == w.size {
 		if last != nil {
 			last()
 		}
 		w.barCount = 0
-		w.barGen++
-		w.barReleaseMax = w.barMax
-		w.barMax = 0
-		w.barCond.Broadcast()
+		w.cur = nil
+		close(rel.ch)
+		w.barMu.Unlock()
 	} else {
-		gen := w.barGen
-		for w.barGen == gen {
-			w.barCond.Wait()
+		w.barMu.Unlock()
+		select {
+		case <-rel.ch:
+		case <-r.done():
+			// Canceled while waiting: withdraw from the round if it has
+			// not been released concurrently; otherwise honour the
+			// release (deterministic tie-break toward completion).
+			w.barMu.Lock()
+			if w.cur == rel {
+				w.barCount--
+				w.barMu.Unlock()
+				return r.now, fmt.Errorf("mpi: rank %d: barrier canceled: %w", r.rank, r.ctx.Err())
+			}
+			w.barMu.Unlock()
+			<-rel.ch
 		}
 	}
-	release := w.barReleaseMax
-	w.barMu.Unlock()
-	r.AdvanceTo(release + w.net.LatencySec)
+	if rel.failed {
+		return r.now, r.deadlineErr("barrier")
+	}
+	r.AdvanceTo(rel.max + w.net.LatencySec)
 	if after != nil {
 		after()
 	}
-	return r.now
+	return r.now, nil
 }
 
 // Bcast distributes root's data to every rank in place; clocks
@@ -368,7 +573,7 @@ func (r *Rank) Bcast(root int, data []float32) error {
 		w.bcastMu.Unlock()
 	}
 	mismatch := false
-	w.rendezvous(r, func() {
+	_, err := w.rendezvous(r, func() {
 		// Publish under the barrier: every rank of the previous round
 		// has already copied, and no rank of the next round can have
 		// staged yet.
@@ -385,6 +590,9 @@ func (r *Rank) Bcast(root int, data []float32) error {
 		}
 		w.bcastMu.Unlock()
 	})
+	if err != nil {
+		return err
+	}
 	if mismatch {
 		return fmt.Errorf("mpi: rank %d: bcast size mismatch", r.rank)
 	}

@@ -1,7 +1,9 @@
 package mpi
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -107,7 +109,10 @@ func TestBarrierSynchronisesToSlowest(t *testing.T) {
 	w, _ := NewWorld(8, 4, EDRFabric())
 	err := w.Run(func(r *Rank) error {
 		r.Advance(float64(r.Rank()) * 0.1) // rank 7 is slowest: 0.7
-		after := r.Barrier()
+		after, err := r.Barrier()
+		if err != nil {
+			return err
+		}
 		if after < 0.7 {
 			t.Errorf("rank %d released at %v, want >= 0.7", r.Rank(), after)
 		}
@@ -124,7 +129,9 @@ func TestBarrierReusable(t *testing.T) {
 	err := w.Run(func(r *Rank) error {
 		for i := 0; i < 20; i++ {
 			r.Advance(0.001 * float64(r.Rank()+1))
-			r.Barrier()
+			if _, err := r.Barrier(); err != nil {
+				return err
+			}
 		}
 		return nil
 	})
@@ -139,7 +146,9 @@ func TestAllreduceSum(t *testing.T) {
 	var checks int32
 	err := w.Run(func(r *Rank) error {
 		data := []float64{float64(r.Rank()), 1}
-		r.AllreduceSum(data)
+		if err := r.AllreduceSum(data); err != nil {
+			return err
+		}
 		// sum of 0..5 = 15; sum of ones = 6
 		if data[0] != 15 || data[1] != 6 {
 			t.Errorf("rank %d: allreduce = %v", r.Rank(), data)
@@ -161,7 +170,9 @@ func TestAllreduceRepeated(t *testing.T) {
 	err := w.Run(func(r *Rank) error {
 		for round := 1; round <= 5; round++ {
 			data := []float64{float64(round)}
-			r.AllreduceSum(data)
+			if err := r.AllreduceSum(data); err != nil {
+				return err
+			}
 			if data[0] != float64(4*round) {
 				t.Errorf("round %d: got %v", round, data[0])
 			}
@@ -241,8 +252,51 @@ func TestRunPropagatesErrors(t *testing.T) {
 		}
 		return nil
 	})
-	if err != errTest {
+	// Run joins rank errors with errors.Join: match with errors.Is.
+	if !errors.Is(err, errTest) {
 		t.Fatalf("Run returned %v", err)
+	}
+}
+
+// TestRunJoinsAllRankErrors: every failing rank's error is represented
+// in the joined result, not just the first.
+func TestRunJoinsAllRankErrors(t *testing.T) {
+	t.Parallel()
+	w, _ := NewWorld(4, 4, EDRFabric())
+	errA := errors.New("rank 1 exploded")
+	errB := errors.New("rank 3 exploded")
+	err := w.Run(func(r *Rank) error {
+		switch r.Rank() {
+		case 1:
+			return errA
+		case 3:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Fatalf("joined error %v missing a rank error", err)
+	}
+}
+
+// TestAllreduceLengthMismatchReturnsError: mismatched slice lengths are
+// an error on the offending rank (not a panic), and its peers observe
+// ErrDeadline rather than hanging.
+func TestAllreduceLengthMismatchReturnsError(t *testing.T) {
+	t.Parallel()
+	w, _ := NewWorld(3, 4, EDRFabric())
+	err := w.Run(func(r *Rank) error {
+		n := 2
+		if r.Rank() == 2 {
+			n = 5 // disagrees with the others
+		}
+		return r.AllreduceSum(make([]float64, n))
+	})
+	if err == nil {
+		t.Fatal("mismatched allreduce succeeded")
+	}
+	if !strings.Contains(err.Error(), "allreduce length") {
+		t.Errorf("no length-mismatch diagnosis in %v", err)
 	}
 }
 

@@ -1,0 +1,172 @@
+package mpi
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"synergy/internal/fault"
+)
+
+// settleGoroutines waits for the process goroutine count to fall back
+// to the baseline (goleak-style before/after assertion). These tests
+// deliberately do not run in parallel so the count is meaningful.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			m := runtime.Stack(buf, true)
+			t.Fatalf("goroutines %d > baseline %d; stacks:\n%s", n, base, buf[:m])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRankDeathMidRecvReturnsDeadline is the headline regression test:
+// a receiver whose peer dies before sending must not deadlock — it
+// charges exactly one retransmit timeout of virtual time and returns
+// the typed ErrDeadline.
+func TestRankDeathMidRecvReturnsDeadline(t *testing.T) {
+	w, err := NewWorld(2, 2, EDRFabric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errBoom := errors.New("rank 1 died")
+	timeout := w.RetransmitTimeoutSec()
+	var recvErr error
+	var recvClock float64
+	err = w.Run(func(r *Rank) error {
+		if r.Rank() == 1 {
+			return errBoom // dies without ever sending
+		}
+		recvErr = r.Recv(1, 0, make([]float32, 4))
+		recvClock = r.Now()
+		return recvErr
+	})
+	if !errors.Is(err, errBoom) {
+		t.Errorf("joined error %v missing the dead rank's error", err)
+	}
+	if !errors.Is(recvErr, ErrDeadline) {
+		t.Fatalf("recv from dead rank: err = %v, want ErrDeadline", recvErr)
+	}
+	// The wait is bounded by the retransmit timeout in virtual time —
+	// not an unbounded hang, not a silent zero-cost failure.
+	if recvClock < timeout || recvClock > timeout*1.001 {
+		t.Errorf("recv abandoned at virtual time %v, want ~%v (one retransmit timeout)", recvClock, timeout)
+	}
+}
+
+// TestRankDeathMidBarrierReleasesWaiters: a barrier that can never
+// complete releases every waiter with ErrDeadline (and leaks nothing —
+// checked by the goroutine baseline).
+func TestRankDeathMidBarrierReleasesWaiters(t *testing.T) {
+	base := runtime.NumGoroutine()
+	w, _ := NewWorld(4, 4, EDRFabric())
+	errBoom := errors.New("rank 3 died")
+	err := w.Run(func(r *Rank) error {
+		if r.Rank() == 3 {
+			return errBoom
+		}
+		if _, err := r.Barrier(); !errors.Is(err, ErrDeadline) {
+			t.Errorf("rank %d: barrier err = %v, want ErrDeadline", r.Rank(), err)
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Errorf("joined error %v missing the dead rank's error", err)
+	}
+	settleGoroutines(t, base)
+}
+
+// TestRankDeathMidAllreduceReleasesWaiters: same for the reduction.
+func TestRankDeathMidAllreduceReleasesWaiters(t *testing.T) {
+	base := runtime.NumGoroutine()
+	w, _ := NewWorld(3, 4, EDRFabric())
+	errBoom := errors.New("rank 0 died")
+	err := w.Run(func(r *Rank) error {
+		if r.Rank() == 0 {
+			return errBoom
+		}
+		if err := r.AllreduceSum([]float64{1, 2}); !errors.Is(err, ErrDeadline) {
+			t.Errorf("rank %d: allreduce err = %v, want ErrDeadline", r.Rank(), err)
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Errorf("joined error %v missing the dead rank's error", err)
+	}
+	settleGoroutines(t, base)
+}
+
+// TestCancelUnblocksBlockedRanks: canceling the run context releases
+// ranks parked in Recv and in the barrier, the joined error carries the
+// context error, and no rank goroutine leaks.
+func TestCancelUnblocksBlockedRanks(t *testing.T) {
+	base := runtime.NumGoroutine()
+	w, _ := NewWorld(4, 4, EDRFabric())
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	err := w.RunContext(ctx, func(r *Rank) error {
+		if r.Rank() == 0 {
+			// Blocks forever absent cancellation: rank 1 never sends.
+			return r.Recv(1, 9, make([]float32, 1))
+		}
+		_, err := r.Barrier()
+		return err
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled run returned %v, want context.Canceled", err)
+	}
+	settleGoroutines(t, base)
+	cancel()
+}
+
+// TestDeadlineCascadeTerminates: one dead rank in a ring of SendRecv
+// exchanges must cascade deadline errors around the ring instead of
+// deadlocking anywhere.
+func TestDeadlineCascadeTerminates(t *testing.T) {
+	base := runtime.NumGoroutine()
+	w, _ := NewWorld(6, 2, EDRFabric())
+	errBoom := errors.New("rank 2 died")
+	err := w.Run(func(r *Rank) error {
+		if r.Rank() == 2 {
+			return errBoom
+		}
+		right := (r.Rank() + 1) % r.Size()
+		buf := make([]float32, 8)
+		for step := 0; step < 3; step++ {
+			if err := r.SendRecv(right, step, buf, buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) || !errors.Is(err, ErrDeadline) {
+		t.Fatalf("cascade error %v, want both the root cause and ErrDeadline", err)
+	}
+	settleGoroutines(t, base)
+}
+
+// TestDeadlineRegisteredForScenarios: the chaos layer references the
+// typed deadline error by name in scenario files.
+func TestDeadlineRegisteredForScenarios(t *testing.T) {
+	t.Parallel()
+	e, ok := fault.NamedError("mpi.deadline")
+	if !ok {
+		t.Fatal("mpi.deadline not registered")
+	}
+	if !errors.Is(e, ErrDeadline) {
+		t.Fatalf("registered error = %v, want ErrDeadline", e)
+	}
+}

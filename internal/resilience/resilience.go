@@ -1,0 +1,303 @@
+// Package resilience provides the cluster resilience primitives the
+// long-running service layer is built on: per-device circuit breakers
+// with virtual-time cool-down and a process-wide health registry.
+//
+// A breaker guards a failure-prone dependency (a vendor management
+// library on one device, a scheduler endpoint). Repeated failures trip
+// it open; while open the caller skips the dependency entirely — no
+// retry budget, no backoff — and degrades (the SYnergy queue runs the
+// kernel at current clocks and records the forfeited saving). After a
+// cool-down in *virtual* device time the breaker half-opens and lets
+// probe calls through; enough consecutive probe successes close it
+// again.
+//
+// # Determinism contract
+//
+// Breakers carry no wall-clock state: every transition is driven by an
+// explicit virtual timestamp supplied by the caller (the device
+// timeline). In this codebase each breaker is only ever exercised from
+// one goroutine at a time (the device thread of its queue), so two runs
+// of the same seeded workload produce byte-identical transition logs —
+// the chaos harness folds them into the fault trace it compares across
+// replays.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrOpen reports a call short-circuited because the circuit breaker
+// guarding the dependency is open.
+var ErrOpen = errors.New("resilience: circuit breaker open")
+
+// State is the breaker state machine position.
+type State int
+
+const (
+	// Closed: the dependency is healthy; calls pass through.
+	Closed State = iota
+	// Open: the dependency is failing; calls are short-circuited until
+	// the cool-down elapses.
+	Open
+	// HalfOpen: the cool-down elapsed; probe calls pass through and
+	// decide whether the breaker closes or re-opens.
+	HalfOpen
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Config parameterises one breaker.
+type Config struct {
+	// FailureThreshold is the number of consecutive failures that trips
+	// a closed breaker open (>= 1).
+	FailureThreshold int
+	// CooldownSec is the virtual time an open breaker waits before
+	// half-opening.
+	CooldownSec float64
+	// HalfOpenSuccesses is the number of consecutive successful probes
+	// that close a half-open breaker (>= 1).
+	HalfOpenSuccesses int
+}
+
+// DefaultConfig mirrors a production device-health daemon: three
+// strikes open the breaker, the cool-down is long relative to a kernel
+// but short relative to a job, and two clean probes restore service.
+func DefaultConfig() Config {
+	return Config{
+		FailureThreshold:  3,
+		CooldownSec:       0.5,
+		HalfOpenSuccesses: 2,
+	}
+}
+
+func (c Config) sanitized() Config {
+	if c.FailureThreshold < 1 {
+		c.FailureThreshold = 1
+	}
+	if c.HalfOpenSuccesses < 1 {
+		c.HalfOpenSuccesses = 1
+	}
+	if c.CooldownSec < 0 {
+		c.CooldownSec = 0
+	}
+	return c
+}
+
+// Transition is one recorded breaker state change. Transitions are
+// timestamped in virtual time and sequence-numbered per breaker, so a
+// sorted transition log is a deterministic function of the workload.
+type Transition struct {
+	// Breaker is the breaker (device) name.
+	Breaker string
+	// Seq is the 1-based transition index within this breaker.
+	Seq int
+	// From, To are the states.
+	From, To State
+	// AtSec is the virtual time of the transition.
+	AtSec float64
+	// Reason is a short human-readable cause.
+	Reason string
+}
+
+// String renders the transition for trace comparison (stable format).
+func (t Transition) String() string {
+	return fmt.Sprintf("breaker %s #%d %s->%s at=%.9fs reason=%q",
+		t.Breaker, t.Seq, t.From, t.To, t.AtSec, t.Reason)
+}
+
+// Breaker is one circuit breaker. All methods take the current virtual
+// time explicitly; the breaker holds no clock of its own.
+type Breaker struct {
+	name string
+	cfg  Config
+
+	mu          sync.Mutex
+	state       State
+	fails       int // consecutive failures while closed
+	successes   int // consecutive probe successes while half-open
+	openedAt    float64
+	transitions []Transition
+}
+
+// NewBreaker creates a closed breaker.
+func NewBreaker(name string, cfg Config) *Breaker {
+	return &Breaker{name: name, cfg: cfg.sanitized()}
+}
+
+// Name returns the breaker name.
+func (b *Breaker) Name() string { return b.name }
+
+// transitionLocked records a state change (caller holds b.mu).
+func (b *Breaker) transitionLocked(to State, nowSec float64, reason string) {
+	b.transitions = append(b.transitions, Transition{
+		Breaker: b.name,
+		Seq:     len(b.transitions) + 1,
+		From:    b.state,
+		To:      to,
+		AtSec:   nowSec,
+		Reason:  reason,
+	})
+	b.state = to
+}
+
+// Allow reports whether a call may proceed at virtual time nowSec. An
+// open breaker whose cool-down has elapsed half-opens as a side effect
+// (the caller's call is the probe).
+func (b *Breaker) Allow(nowSec float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed, HalfOpen:
+		return true
+	default: // Open
+		if nowSec >= b.openedAt+b.cfg.CooldownSec {
+			b.successes = 0
+			b.transitionLocked(HalfOpen, nowSec, "cool-down elapsed")
+			return true
+		}
+		return false
+	}
+}
+
+// RecordSuccess reports a successful call at virtual time nowSec.
+func (b *Breaker) RecordSuccess(nowSec float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.fails = 0
+	case HalfOpen:
+		b.successes++
+		if b.successes >= b.cfg.HalfOpenSuccesses {
+			b.fails = 0
+			b.transitionLocked(Closed, nowSec,
+				fmt.Sprintf("%d successful probes", b.successes))
+		}
+	}
+}
+
+// RecordFailure reports a failed call at virtual time nowSec.
+func (b *Breaker) RecordFailure(nowSec float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			b.openedAt = nowSec
+			b.transitionLocked(Open, nowSec,
+				fmt.Sprintf("%d consecutive failures", b.fails))
+		}
+	case HalfOpen:
+		b.openedAt = nowSec
+		b.transitionLocked(Open, nowSec, "probe failed")
+	}
+}
+
+// Current returns the breaker's state as of its last recorded event
+// (an open breaker past its cool-down still reports Open until a call
+// probes it through Allow).
+func (b *Breaker) Current() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Transitions returns a copy of the transition log in occurrence order.
+func (b *Breaker) Transitions() []Transition {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Transition, len(b.transitions))
+	copy(out, b.transitions)
+	return out
+}
+
+// Registry is a process-wide device-health view: one breaker per named
+// device, created on first use with a shared configuration.
+type Registry struct {
+	cfg Config
+
+	mu sync.Mutex
+	m  map[string]*Breaker
+}
+
+// NewRegistry creates a registry whose breakers use cfg.
+func NewRegistry(cfg Config) *Registry {
+	return &Registry{cfg: cfg.sanitized(), m: map[string]*Breaker{}}
+}
+
+// Breaker returns the named breaker, creating it closed on first use.
+func (g *Registry) Breaker(name string) *Breaker {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b, ok := g.m[name]
+	if !ok {
+		b = NewBreaker(name, g.cfg)
+		g.m[name] = b
+	}
+	return b
+}
+
+// Names returns the registered breaker names, sorted.
+func (g *Registry) Names() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.m))
+	for name := range g.m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Unhealthy returns the names of breakers not currently closed, sorted.
+func (g *Registry) Unhealthy() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []string
+	for name, b := range g.m {
+		if b.Current() != Closed {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Transitions returns every breaker's transitions merged and sorted by
+// (breaker, sequence) — a stable order under goroutine interleaving, so
+// identical seeded runs yield logs that compare equal element-wise.
+func (g *Registry) Transitions() []Transition {
+	g.mu.Lock()
+	breakers := make([]*Breaker, 0, len(g.m))
+	for _, b := range g.m {
+		breakers = append(breakers, b)
+	}
+	g.mu.Unlock()
+	var out []Transition
+	for _, b := range breakers {
+		out = append(out, b.Transitions()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Breaker != out[j].Breaker {
+			return out[i].Breaker < out[j].Breaker
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}

@@ -1,0 +1,142 @@
+package resilience
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	t.Parallel()
+	b := NewBreaker("gpu0", Config{FailureThreshold: 3, CooldownSec: 1, HalfOpenSuccesses: 2})
+	for i := 0; i < 2; i++ {
+		b.RecordFailure(float64(i))
+		if b.Current() != Closed {
+			t.Fatalf("breaker opened after %d failures", i+1)
+		}
+	}
+	if !b.Allow(2) {
+		t.Fatal("closed breaker denied a call")
+	}
+	b.RecordFailure(2)
+	if b.Current() != Open {
+		t.Fatalf("breaker %v after threshold failures, want open", b.Current())
+	}
+	if b.Allow(2.5) {
+		t.Fatal("open breaker allowed a call inside the cool-down")
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	t.Parallel()
+	b := NewBreaker("gpu0", Config{FailureThreshold: 2, CooldownSec: 1, HalfOpenSuccesses: 1})
+	b.RecordFailure(0)
+	b.RecordSuccess(1) // streak broken
+	b.RecordFailure(2)
+	if b.Current() != Closed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+	b.RecordFailure(3)
+	if b.Current() != Open {
+		t.Fatal("consecutive failures did not trip the breaker")
+	}
+}
+
+func TestBreakerHalfOpenAndRecovery(t *testing.T) {
+	t.Parallel()
+	b := NewBreaker("gpu0", Config{FailureThreshold: 1, CooldownSec: 2, HalfOpenSuccesses: 2})
+	b.RecordFailure(10)
+	if b.Allow(11.9) {
+		t.Fatal("cool-down not enforced")
+	}
+	if !b.Allow(12) {
+		t.Fatal("elapsed cool-down did not half-open the breaker")
+	}
+	if b.Current() != HalfOpen {
+		t.Fatalf("state %v, want half-open", b.Current())
+	}
+	b.RecordSuccess(12.1)
+	if b.Current() != HalfOpen {
+		t.Fatal("breaker closed before enough probe successes")
+	}
+	b.RecordSuccess(12.2)
+	if b.Current() != Closed {
+		t.Fatal("breaker did not close after probe successes")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	t.Parallel()
+	b := NewBreaker("gpu0", Config{FailureThreshold: 1, CooldownSec: 1, HalfOpenSuccesses: 1})
+	b.RecordFailure(0)
+	if !b.Allow(1) {
+		t.Fatal("probe not allowed after cool-down")
+	}
+	b.RecordFailure(1.5)
+	if b.Current() != Open {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+	// The new cool-down starts at the reopen time.
+	if b.Allow(2.4) {
+		t.Fatal("reopened breaker ignored its fresh cool-down")
+	}
+	if !b.Allow(2.6) {
+		t.Fatal("reopened breaker never recovers")
+	}
+}
+
+func TestTransitionsAreRecordedInOrder(t *testing.T) {
+	t.Parallel()
+	b := NewBreaker("gpu1", Config{FailureThreshold: 1, CooldownSec: 1, HalfOpenSuccesses: 1})
+	b.RecordFailure(5)
+	b.Allow(6)
+	b.RecordSuccess(6.5)
+	tr := b.Transitions()
+	if len(tr) != 3 {
+		t.Fatalf("transitions = %d, want 3", len(tr))
+	}
+	wantTo := []State{Open, HalfOpen, Closed}
+	for i, w := range wantTo {
+		if tr[i].To != w || tr[i].Seq != i+1 || tr[i].Breaker != "gpu1" {
+			t.Errorf("transition %d = %+v, want to=%v seq=%d", i, tr[i], w, i+1)
+		}
+	}
+	if !strings.Contains(tr[0].String(), "gpu1 #1 closed->open at=5.000000000s") {
+		t.Errorf("unstable transition rendering: %s", tr[0])
+	}
+}
+
+func TestRegistrySharedBreakersAndMergedLog(t *testing.T) {
+	t.Parallel()
+	reg := NewRegistry(Config{FailureThreshold: 1, CooldownSec: 1, HalfOpenSuccesses: 1})
+	if reg.Breaker("a") != reg.Breaker("a") {
+		t.Fatal("registry returned distinct breakers for one name")
+	}
+	reg.Breaker("b").RecordFailure(2)
+	reg.Breaker("a").RecordFailure(1)
+	if got := reg.Unhealthy(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("unhealthy = %v, want [a b]", got)
+	}
+	if got := reg.Names(); len(got) != 2 || got[0] != "a" {
+		t.Fatalf("names = %v, want [a b]", got)
+	}
+	tr := reg.Transitions()
+	if len(tr) != 2 || tr[0].Breaker != "a" || tr[1].Breaker != "b" {
+		t.Fatalf("merged transitions = %v, want sorted by breaker", tr)
+	}
+}
+
+func TestConfigSanitized(t *testing.T) {
+	t.Parallel()
+	b := NewBreaker("x", Config{FailureThreshold: 0, CooldownSec: -5, HalfOpenSuccesses: 0})
+	b.RecordFailure(1)
+	if b.Current() != Open {
+		t.Fatal("threshold floor of 1 not applied")
+	}
+	if !b.Allow(1) {
+		t.Fatal("negative cool-down not clamped to zero")
+	}
+	b.RecordSuccess(1)
+	if b.Current() != Closed {
+		t.Fatal("half-open successes floor of 1 not applied")
+	}
+}

@@ -1,7 +1,9 @@
 package slurm
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sync"
 )
 
@@ -37,6 +39,25 @@ func (h *JobHandle) Wait() (*JobResult, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.res, h.err
+}
+
+// WaitContext blocks until the job finishes or the context is canceled.
+// The job itself keeps running (there is no preemption in the simulated
+// scheduler); a deadline here bounds how long the caller is willing to
+// watch — the chaos harness's no-hang invariant.
+func (h *JobHandle) WaitContext(ctx context.Context) (*JobResult, error) {
+	select {
+	case <-h.done:
+		return h.Wait()
+	case <-ctx.Done():
+		// Deterministic tie-break toward completion.
+		select {
+		case <-h.done:
+			return h.Wait()
+		default:
+			return nil, fmt.Errorf("slurm: waiting for job: %w", ctx.Err())
+		}
+	}
 }
 
 // Started reports whether the scheduler has started the job.

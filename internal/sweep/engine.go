@@ -3,14 +3,16 @@
 // triple across the device's frequency table goes through one
 // concurrency-safe service. The engine fans the per-frequency
 // evaluations out over a bounded worker pool, memoizes completed sweeps
-// under a content key, and de-duplicates concurrent requests for the
-// same sweep with singleflight semantics — so the figures, target
-// selections and ML training sets that are all derived from the same
-// sweeps share one computation instead of re-running it serially at
-// every call site.
+// under a content key (bounded LRU), and de-duplicates concurrent
+// requests for the same sweep with singleflight semantics — so the
+// figures, target selections and ML training sets that are all derived
+// from the same sweeps share one computation instead of re-running it
+// serially at every call site.
 package sweep
 
 import (
+	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -23,6 +25,12 @@ import (
 	"synergy/internal/kernelir"
 	"synergy/internal/metrics"
 )
+
+// DefaultCacheCap is the default memo-cache entry cap. It is far above
+// anything the benchmark suite or the report pipeline allocates (a few
+// hundred keys), so bounded eviction never perturbs existing flows; it
+// exists to stop a long-running service from growing without bound.
+const DefaultCacheCap = 4096
 
 // Key is the content key a memoized sweep is stored under: the device
 // identity, the kernel fingerprint (a hash of its full disassembly, so
@@ -65,23 +73,30 @@ func specKey(s *hw.Spec) string {
 
 // entry is one memoized (or in-flight) sweep. done is closed once sweep
 // and err are final; concurrent requesters of the same key block on it
-// instead of recomputing.
+// instead of recomputing. elem is the entry's position in the LRU list
+// (nil once evicted). Evicting an in-flight entry is safe: waiters hold
+// the pointer and still see the result; only future requesters miss.
 type entry struct {
+	key   Key
 	done  chan struct{}
 	sweep *metrics.Sweep
 	err   error
+	elem  *list.Element
 }
 
 // Engine is a concurrency-safe, memoizing parallel sweep service.
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	workers int
+	workers  int
+	cacheCap int
 
 	mu      sync.Mutex
 	entries map[Key]*entry
+	order   *list.List // front = most recently used; values are *entry
 	hook    func(Key)
 
-	evals atomic.Int64
+	evals     atomic.Int64
+	evictions atomic.Int64
 }
 
 // Option configures an Engine.
@@ -98,6 +113,12 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithCacheCap bounds the memo cache to n entries with LRU eviction
+// (n <= 0 removes the bound). The default is DefaultCacheCap.
+func WithCacheCap(n int) Option {
+	return func(e *Engine) { e.cacheCap = n }
+}
+
 // WithHook registers fn to be called once per completed cache-miss
 // evaluation, with the evaluated key. Hooks observe how often the
 // engine really computes — the call-count assertion tools build on it.
@@ -108,8 +129,10 @@ func WithHook(fn func(Key)) Option {
 // NewEngine constructs an engine with an empty cache.
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
-		workers: runtime.GOMAXPROCS(0),
-		entries: map[Key]*entry{},
+		workers:  runtime.GOMAXPROCS(0),
+		cacheCap: DefaultCacheCap,
+		entries:  map[Key]*entry{},
+		order:    list.New(),
 	}
 	for _, o := range opts {
 		o(e)
@@ -137,6 +160,9 @@ func (e *Engine) SetHook(fn func(Key)) {
 // (cache misses). Requests served from the cache do not count.
 func (e *Engine) Evaluations() int64 { return e.evals.Load() }
 
+// Evictions returns how many memoized sweeps the LRU bound has evicted.
+func (e *Engine) Evictions() int64 { return e.evictions.Load() }
+
 // CacheSize returns the number of memoized sweeps.
 func (e *Engine) CacheSize() int {
 	e.mu.Lock()
@@ -145,11 +171,44 @@ func (e *Engine) CacheSize() int {
 }
 
 // Invalidate drops every memoized sweep. In-flight evaluations complete
-// normally but are not re-inserted for new requesters.
+// normally but are not re-inserted for new requesters. Invalidation is
+// not eviction: the Evictions counter is untouched.
 func (e *Engine) Invalidate() {
 	e.mu.Lock()
+	for _, en := range e.entries {
+		en.elem = nil
+	}
 	e.entries = map[Key]*entry{}
+	e.order = list.New()
 	e.mu.Unlock()
+}
+
+// removeLocked unlinks an entry from the cache (caller holds e.mu).
+func (e *Engine) removeLocked(en *entry) {
+	delete(e.entries, en.key)
+	if en.elem != nil {
+		e.order.Remove(en.elem)
+		en.elem = nil
+	}
+}
+
+// insertLocked links a fresh entry at the MRU position and evicts from
+// the LRU end while over cap (caller holds e.mu).
+func (e *Engine) insertLocked(en *entry) {
+	e.entries[en.key] = en
+	en.elem = e.order.PushFront(en)
+	if e.cacheCap <= 0 {
+		return
+	}
+	for len(e.entries) > e.cacheCap {
+		back := e.order.Back()
+		if back == nil {
+			return
+		}
+		victim := back.Value.(*entry)
+		e.removeLocked(victim)
+		e.evictions.Add(1)
+	}
 }
 
 // KeyFor returns the content key the engine would use for a request.
@@ -164,33 +223,55 @@ func KeyFor(spec *hw.Spec, k *kernelir.Kernel, items int64) Key {
 // callers of the same key share one computation. The returned sweep is
 // a private copy the caller may use freely.
 func (e *Engine) GroundTruth(spec *hw.Spec, k *kernelir.Kernel, items int64) (*metrics.Sweep, error) {
+	return e.GroundTruthContext(context.Background(), spec, k, items)
+}
+
+// GroundTruthContext is GroundTruth with cancellation: a canceled
+// context abandons the request (waiters stop waiting; a canceled
+// evaluation stops scheduling its remaining frequency points and is not
+// memoized).
+func (e *Engine) GroundTruthContext(ctx context.Context, spec *hw.Spec, k *kernelir.Kernel, items int64) (*metrics.Sweep, error) {
 	if spec == nil || k == nil {
 		return nil, fmt.Errorf("sweep: nil spec or kernel")
 	}
 	if items <= 0 {
 		return nil, fmt.Errorf("sweep: kernel %q: launch size must be positive, got %d items", k.Name, items)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	key := KeyFor(spec, k, items)
 
 	e.mu.Lock()
 	if en, ok := e.entries[key]; ok {
+		if en.elem != nil {
+			e.order.MoveToFront(en.elem)
+		}
 		e.mu.Unlock()
-		<-en.done
+		select {
+		case <-en.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 		if en.err != nil {
 			return nil, en.err
 		}
 		return cloneSweep(en.sweep), nil
 	}
-	en := &entry{done: make(chan struct{})}
-	e.entries[key] = en
+	en := &entry{key: key, done: make(chan struct{})}
+	e.insertLocked(en)
 	hook := e.hook
 	e.mu.Unlock()
 
-	en.sweep, en.err = e.evaluate(spec, k, items)
+	en.sweep, en.err = e.evaluate(ctx, spec, k, items)
 	if en.err != nil {
 		// Failed sweeps are not memoized: a later request re-evaluates.
+		// Guard by identity — the slot may already hold a successor
+		// (eviction plus re-request while we were computing).
 		e.mu.Lock()
-		delete(e.entries, key)
+		if cur, ok := e.entries[key]; ok && cur == en {
+			e.removeLocked(en)
+		}
 		e.mu.Unlock()
 	} else {
 		e.evals.Add(1)
@@ -208,13 +289,13 @@ func (e *Engine) GroundTruth(spec *hw.Spec, k *kernelir.Kernel, items int64) (*m
 // evaluate computes one sweep, fanning the frequency table out over the
 // worker pool. The per-point arithmetic matches the historical serial
 // path exactly, so parallel results are bit-identical to serial ones.
-func (e *Engine) evaluate(spec *hw.Spec, k *kernelir.Kernel, items int64) (*metrics.Sweep, error) {
+func (e *Engine) evaluate(ctx context.Context, spec *hw.Spec, k *kernelir.Kernel, items int64) (*metrics.Sweep, error) {
 	w, err := features.KernelWorkload(k, items)
 	if err != nil {
 		return nil, err
 	}
 	pts := make([]metrics.Point, len(spec.CoreFreqsMHz))
-	err = e.ForEach(len(pts), func(i int) error {
+	err = e.ForEachContext(ctx, len(pts), func(i int) error {
 		f := spec.CoreFreqsMHz[i]
 		m, err := spec.Evaluate(w, f)
 		if err != nil {
@@ -239,8 +320,15 @@ func (e *Engine) evaluate(spec *hw.Spec, k *kernelir.Kernel, items int64) (*metr
 // fan-out, exported so batch callers (prefetching a benchmark suite,
 // characterising many kernels) can share the same bound.
 func (e *Engine) ForEach(n int, fn func(i int) error) error {
+	return e.ForEachContext(context.Background(), n, fn)
+}
+
+// ForEachContext is ForEach with cancellation: once the context is
+// canceled no further indices are scheduled, in-flight callbacks finish,
+// and the context error is returned (unless a callback failed first).
+func (e *Engine) ForEachContext(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	workers := e.workers
 	if workers > n {
@@ -248,6 +336,9 @@ func (e *Engine) ForEach(n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -266,6 +357,9 @@ func (e *Engine) ForEach(n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
 					return
@@ -279,7 +373,10 @@ func (e *Engine) ForEach(n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	return firstEr
+	if firstEr != nil {
+		return firstEr
+	}
+	return ctx.Err()
 }
 
 // Prefetch warms the cache with the sweeps of every kernel at one

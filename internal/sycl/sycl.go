@@ -10,6 +10,7 @@
 package sycl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -353,4 +354,30 @@ func (q *Queue) Wait() {
 		<-last
 	}
 	q.pending.Wait()
+}
+
+// WaitContext blocks until every submitted command group has completed
+// or the context is canceled, whichever comes first. The device work
+// itself is not interrupted — the simulated device always finishes a
+// submitted kernel — so the watcher goroutine it spawns terminates once
+// the queue drains regardless of the context's fate.
+func (q *Queue) WaitContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sycl: waiting for queue: %w", err)
+	}
+	if ctx.Done() == nil {
+		q.Wait()
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		q.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("sycl: waiting for queue: %w", ctx.Err())
+	}
 }
