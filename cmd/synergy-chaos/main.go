@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"synergy/internal/chaos"
+	"synergy/internal/telemetry"
 )
 
 func main() {
@@ -30,8 +31,13 @@ func main() {
 	requeues := flag.Int("requeues", 2, "max scheduler requeues after node failures")
 	deadline := flag.Duration("deadline", 30*time.Second, "real wall-clock deadline per attempt")
 	verbose := flag.Bool("v", true, "print one line per episode")
+	metricsOut := flag.String("metrics-out", "", "write the soak's telemetry exposition (episode/fault/violation counters) to this file")
 	flag.Parse()
 
+	var reg *telemetry.Registry
+	if *metricsOut != "" {
+		reg = telemetry.NewRegistry()
+	}
 	cfg := chaos.Config{
 		Seed:        *seed,
 		Episodes:    *episodes,
@@ -41,6 +47,7 @@ func main() {
 		Steps:       *steps,
 		MaxRequeues: *requeues,
 		Deadline:    *deadline,
+		Telemetry:   reg,
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
@@ -56,6 +63,19 @@ func main() {
 	viols := rep.Violations()
 	fmt.Printf("\n%d episodes, %d injected faults, archetypes %v, %v elapsed\n",
 		len(rep.Episodes), rep.Faults(), rep.Archetypes(), time.Since(start).Round(time.Millisecond))
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := reg.WriteText(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry exposition written to %s\n", *metricsOut)
+	}
 	if len(viols) == 0 {
 		fmt.Println("all resilience invariants held")
 		return

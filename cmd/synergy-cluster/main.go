@@ -23,6 +23,7 @@ import (
 	"synergy/internal/mpi"
 	"synergy/internal/slurm"
 	"synergy/internal/sweep"
+	"synergy/internal/telemetry"
 	"synergy/internal/trace"
 )
 
@@ -40,7 +41,18 @@ func main() {
 		"comma-separated energy targets")
 	traceOut := flag.String("trace", "", "write a Chrome-trace JSON of the first node's GPU timelines to this file")
 	profile := flag.Bool("profile", false, "print the per-kernel energy profile of every run")
+	metricsOut := flag.String("metrics-out", "", "write the full telemetry exposition of the experiment to this file")
 	flag.Parse()
+
+	// With -metrics-out, one registry observes the whole experiment:
+	// scheduler, sweep engine, and (through the run config) every job's
+	// governor, fabric and span tree. It also augments -trace with the
+	// span hierarchy.
+	var reg *telemetry.Registry
+	if *metricsOut != "" {
+		reg = telemetry.NewRegistry()
+		sweep.Shared().SetTelemetry(reg)
+	}
 
 	spec := hw.V100()
 	var appList []*apps.App
@@ -70,6 +82,7 @@ func main() {
 	}
 	cluster := slurm.NewCluster(nodes...)
 	cluster.RegisterPlugin(&slurm.NVGpuFreqPlugin{Controller: cluster})
+	cluster.SetTelemetry(reg)
 	fmt.Printf("Cluster: %d nodes x %d %s GPUs, nvgpufreq plugin active\n",
 		*maxNodes, *gpusPerNode, spec.Name)
 
@@ -86,6 +99,19 @@ func main() {
 		sweep.Shared().Evaluations())
 
 	defer func() {
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := reg.WriteText(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\nTelemetry exposition written to %s\n", *metricsOut)
+		}
 		if *traceOut == "" {
 			return
 		}
@@ -97,7 +123,7 @@ func main() {
 		for i, g := range nodes[0].GPUs {
 			tds = append(tds, trace.Device{Label: fmt.Sprintf("%s/gpu%d", nodes[0].Name, i), Dev: g})
 		}
-		if err := trace.Export(f, tds); err != nil {
+		if err := trace.ExportWith(f, tds, reg.Spans()); err != nil {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -118,14 +144,14 @@ func main() {
 			plans[tgt.String()] = plan
 		}
 		for n := 1; n <= *maxNodes; n *= 2 {
-			baseline, err := submitRun(cluster, app, spec, n, *gpusPerNode, *nx, *ny, *steps, nil, *profile)
+			baseline, err := submitRun(cluster, app, spec, n, *gpusPerNode, *nx, *ny, *steps, nil, *profile, reg)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("%-12s %-8s %5d %12.4f %14.1f %9s\n",
 				app.Name, "default", baseline.Ranks, baseline.TimeSec, baseline.EnergyJ, "-")
 			for _, tgt := range targets {
-				res, err := submitRun(cluster, app, spec, n, *gpusPerNode, *nx, *ny, *steps, plans[tgt.String()], *profile)
+				res, err := submitRun(cluster, app, spec, n, *gpusPerNode, *nx, *ny, *steps, plans[tgt.String()], *profile, reg)
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -143,7 +169,8 @@ func main() {
 // submitRun submits one exclusive, GRES-tagged SLURM job running the
 // application across the allocation's GPUs as a regular user.
 func submitRun(cluster *slurm.Cluster, app *apps.App, spec *hw.Spec,
-	nodes, gpusPerNode, nx, ny, steps int, plan apps.FreqPlan, profile bool) (*apps.RunResult, error) {
+	nodes, gpusPerNode, nx, ny, steps int, plan apps.FreqPlan, profile bool,
+	reg *telemetry.Registry) (*apps.RunResult, error) {
 	var result *apps.RunResult
 	jobRes, err := cluster.Submit(&slurm.Job{
 		Name:      fmt.Sprintf("%s-%dn", app.Name, nodes),
@@ -166,6 +193,7 @@ func submitRun(cluster *slurm.Cluster, app *apps.App, spec *hw.Spec,
 				Devices:       alloc.GPUs(),
 				User:          "researcher",
 				Profile:       profile,
+				Telemetry:     reg,
 			}
 			res, err := apps.Run(app, cfg)
 			if err != nil {

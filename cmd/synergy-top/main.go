@@ -1,0 +1,218 @@
+// Command synergy-top runs one seeded cluster workload with the
+// unified telemetry layer attached everywhere — scheduler, governor,
+// MPI fabric, vendor shims and devices — and renders the resulting
+// registry. The default output is a top-style per-device table derived
+// entirely from the telemetry snapshot (the table is itself a consumer
+// of the metrics, not a second accounting path); -metrics switches to
+// the Prometheus-style text exposition, -json to the full canonical
+// snapshot (metrics + spans), and -trace additionally writes a Chrome
+// trace with the span hierarchy injected as its own process.
+//
+// Every run is deterministic: the stack advances device virtual time
+// only, so repeated invocations with the same flags produce
+// byte-identical -metrics and -json output.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"synergy/internal/apps"
+	"synergy/internal/hw"
+	"synergy/internal/metrics"
+	"synergy/internal/microbench"
+	"synergy/internal/model"
+	"synergy/internal/mpi"
+	"synergy/internal/slurm"
+	"synergy/internal/sweep"
+	"synergy/internal/telemetry"
+	"synergy/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("synergy-top: ")
+	appArg := flag.String("app", "cloverleaf", "application: cloverleaf or miniweather")
+	nodes := flag.Int("nodes", 2, "cluster node count")
+	gpus := flag.Int("gpus", 2, "GPUs per node")
+	steps := flag.Int("steps", 4, "application timesteps")
+	nx := flag.Int("nx", 4096, "per-rank virtual grid width")
+	ny := flag.Int("ny", 4096, "per-rank virtual grid height")
+	targetArg := flag.String("target", "MIN_EDP",
+		"energy target for per-kernel frequency scaling, or 'none' for default clocks")
+	stride := flag.Int("stride", 8, "training-sweep frequency stride")
+	showMetrics := flag.Bool("metrics", false, "print the Prometheus-style text exposition instead of the table")
+	showJSON := flag.Bool("json", false, "print the canonical telemetry snapshot (metrics + spans) as JSON")
+	traceOut := flag.String("trace", "", "write a span-augmented Chrome-trace JSON to this file")
+	flag.Parse()
+	if *showMetrics && *showJSON {
+		log.Fatal("-metrics and -json are mutually exclusive")
+	}
+
+	var app *apps.App
+	switch *appArg {
+	case "cloverleaf":
+		app = apps.NewCloverLeaf()
+	case "miniweather":
+		app = apps.NewMiniWeather()
+	default:
+		log.Fatalf("unknown app %q", *appArg)
+	}
+
+	spec := hw.V100()
+	reg := telemetry.NewRegistry()
+	sweep.Shared().SetTelemetry(reg)
+
+	// Train the energy models and plan the run, unless scaling is off.
+	var plan apps.FreqPlan
+	if *targetArg != "none" {
+		tgt, err := metrics.ParseTarget(*targetArg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kernels, err := microbench.Kernels(microbench.DefaultSet())
+		if err != nil {
+			log.Fatal(err)
+		}
+		adv, err := model.DefaultAdvisor(spec, kernels, *stride)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err = apps.PlanFromAdvisor(app, adv, *nx**ny, tgt)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Build the cluster with the plugin installed and the registry
+	// attached: the scheduler, every GPU, and (through RunConfig) the
+	// governor, MPI fabric and span tree all record into it.
+	var clusterNodes []*slurm.Node
+	for i := 0; i < *nodes; i++ {
+		clusterNodes = append(clusterNodes, slurm.NewNode(fmt.Sprintf("r%03d", i), spec, *gpus, slurm.GresNVGpuFreq))
+	}
+	cluster := slurm.NewCluster(clusterNodes...)
+	cluster.RegisterPlugin(&slurm.NVGpuFreqPlugin{Controller: cluster})
+	cluster.SetTelemetry(reg)
+
+	var result *apps.RunResult
+	var devices []*hw.Device
+	jobRes, err := cluster.Submit(&slurm.Job{
+		Name:      fmt.Sprintf("%s-top", app.Name),
+		User:      "researcher",
+		NumNodes:  *nodes,
+		Exclusive: true,
+		Gres:      map[slurm.GRES]bool{slurm.GresNVGpuFreq: true},
+		Run: func(alloc *slurm.Allocation) error {
+			devices = alloc.GPUs()
+			res, err := apps.Run(app, apps.RunConfig{
+				Spec:          spec,
+				Nodes:         *nodes,
+				GPUsPerNode:   *gpus,
+				LocalNx:       *nx,
+				LocalNy:       *ny,
+				Steps:         *steps,
+				StateRows:     8,
+				FunctionalCap: 512,
+				Plan:          plan,
+				Net:           mpi.EDRFabric(),
+				Devices:       devices,
+				User:          "researcher",
+				Telemetry:     reg,
+			})
+			if err != nil {
+				return err
+			}
+			result = res
+			return nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jobRes.Err != nil {
+		log.Fatal(jobRes.Err)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var tds []trace.Device
+		for _, d := range devices {
+			tds = append(tds, trace.Device{Label: d.Label(), Dev: d})
+		}
+		if err := trace.ExportWith(f, tds, reg.Spans()); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	snap := reg.Snapshot()
+	switch {
+	case *showMetrics:
+		if err := snap.WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	case *showJSON:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		printTable(snap, result, devices, app.Name, *targetArg)
+	}
+	if *traceOut != "" && !*showMetrics && !*showJSON {
+		fmt.Printf("\nChrome trace written to %s\n", *traceOut)
+	}
+}
+
+// printTable renders the top-style view. Every number comes out of the
+// telemetry snapshot (counters, gauges, spans); the run result only
+// supplies the headline job line.
+func printTable(snap telemetry.Snapshot, res *apps.RunResult, devices []*hw.Device, appName, target string) {
+	fmt.Printf("synergy-top: %s, %d ranks, target %s\n", appName, res.Ranks, target)
+	fmt.Printf("job: time %.4f s  energy %.1f J  clock sets %d  degradations %d\n\n",
+		res.TimeSec, res.EnergyJ, res.ClockSets,
+		snap.CounterTotal("synergy_degradations_total"))
+
+	fmt.Printf("%-12s %8s %8s %7s %10s %12s %8s\n",
+		"DEVICE", "KERNELS", "CLKSETS", "RETRIES", "TIME(s)", "ENERGY(J)", "AVG(W)")
+	for _, d := range devices {
+		label := d.Label()
+		kernels := snap.CounterValue("synergy_kernels_total", "device", label)
+		clkSets := snap.CounterValue("synergy_clock_sets_applied_total", "device", label)
+		retries := snap.CounterValue("synergy_clock_set_retries_total", "device", label)
+		timeS := snap.GaugeValue("synergy_device_time_seconds", "device", label)
+		energy := snap.GaugeValue("synergy_device_energy_joules", "device", label)
+		avgW := 0.0
+		if timeS > 0 {
+			avgW = energy / timeS
+		}
+		fmt.Printf("%-12s %8d %8d %7d %10.4f %12.1f %8.1f\n",
+			label, kernels, clkSets, retries, timeS, energy, avgW)
+	}
+
+	fmt.Printf("\nmpi: %d sends, %d retransmits, %d barriers, %d allreduces\n",
+		snap.CounterTotal("synergy_mpi_sends_total"),
+		snap.CounterTotal("synergy_mpi_send_retransmits_total"),
+		snap.CounterTotal("synergy_mpi_barriers_total"),
+		snap.CounterTotal("synergy_mpi_allreduces_total"))
+	fmt.Printf("sweep: %d hits, %d misses, %d evictions\n",
+		snap.CounterValue("synergy_sweep_requests_total", "result", "hit"),
+		snap.CounterValue("synergy_sweep_requests_total", "result", "miss"),
+		snap.CounterTotal("synergy_sweep_evictions_total"))
+	kinds := map[string]int64{}
+	for _, s := range snap.Spans {
+		kinds[s.Kind]++
+	}
+	fmt.Printf("spans: %d job, %d rank, %d kernel, %d total\n",
+		kinds["job"], kinds["rank"], kinds["kernel"], int64(len(snap.Spans)))
+}

@@ -22,6 +22,7 @@ import (
 	"synergy/internal/power"
 	"synergy/internal/resilience"
 	"synergy/internal/sycl"
+	"synergy/internal/telemetry"
 )
 
 // State is the per-rank simulation state: argument bindings for each
@@ -114,6 +115,15 @@ type RunConfig struct {
 	// before spending clock-set retries, and runs at default clocks while
 	// the device is unhealthy (recorded as a DegradationEvent).
 	Health *resilience.Registry
+	// Telemetry optionally attaches a telemetry registry to the whole
+	// run: the MPI fabric and every device (supplied or fresh) record
+	// into it, the job and each rank get hierarchical spans
+	// (job → rank → kernel → queue-wait/clock-set/execute), and on
+	// success per-device energy/time gauges are published. Jobs running
+	// under SLURM instead inherit the cluster's registry through the
+	// allocated devices (fabric counters and spans then need an explicit
+	// Telemetry here).
+	Telemetry *telemetry.Registry
 }
 
 func (c *RunConfig) validate() error {
@@ -192,6 +202,13 @@ func RunContext(ctx context.Context, app *App, cfg RunConfig) (*RunResult, error
 			d.SetFaultInjector(cfg.Fault)
 		}
 	}
+	tel := cfg.Telemetry
+	if tel != nil {
+		world.SetTelemetry(tel)
+		for _, d := range devices {
+			d.SetTelemetry(tel)
+		}
+	}
 	// Synchronise all devices to a common job-start epoch (devices that
 	// ran earlier jobs are ahead in virtual time; the others idle until
 	// the job launches everywhere).
@@ -215,6 +232,16 @@ func RunContext(ctx context.Context, app *App, cfg RunConfig) (*RunResult, error
 	degraded := make([][]core.DegradationEvent, ranks)
 	items := cfg.LocalNx * cfg.LocalNy
 
+	// The job span opens at the common epoch and closes at the slowest
+	// rank's finish; each rank's span nests under it on the device-label
+	// track, and kernel spans nest under the rank (see core.Queue). A
+	// failed run leaves the spans un-ended, which drops them from the
+	// canonical span output — exactly like the run's other results.
+	var jobSpan *telemetry.SpanHandle
+	if tel != nil {
+		jobSpan = tel.StartSpan("job", app.Name, "job", epoch, nil)
+	}
+
 	err = world.RunContext(ctx, func(r *mpi.Rank) error {
 		dev := devices[r.Rank()]
 		var pm power.Manager
@@ -227,16 +254,21 @@ func RunContext(ctx context.Context, app *App, cfg RunConfig) (*RunResult, error
 		if err != nil {
 			return err
 		}
+		label := dev.Label()
+		if label == "" {
+			label = fmt.Sprintf("rank%d", r.Rank())
+		}
 		// Device time may not start at zero when the scheduler hands us
 		// a device that ran earlier jobs.
 		r.AdvanceTo(dev.Now())
 		q := core.NewQueue(sycl.WrapDevice(dev), pm)
 		if cfg.Health != nil {
-			label := dev.Label()
-			if label == "" {
-				label = fmt.Sprintf("rank%d", r.Rank())
-			}
 			q.SetBreaker(cfg.Health.Breaker(label))
+		}
+		var rankSpan *telemetry.SpanHandle
+		if tel != nil {
+			rankSpan = tel.StartSpan(label, fmt.Sprintf("rank %d", r.Rank()), "rank", r.Now(), jobSpan)
+			q.SetSpanParent(rankSpan)
 		}
 		if cfg.Profile {
 			q.EnableProfiling()
@@ -301,6 +333,7 @@ func RunContext(ctx context.Context, app *App, cfg RunConfig) (*RunResult, error
 			return err
 		}
 		times[r.Rank()] = r.Now()
+		rankSpan.End(r.Now())
 		if cfg.Profile {
 			profiles[r.Rank()] = q.Profile()
 		}
@@ -316,9 +349,19 @@ func RunContext(ctx context.Context, app *App, cfg RunConfig) (*RunResult, error
 		if dt := times[i] - epoch; dt > res.TimeSec {
 			res.TimeSec = dt
 		}
-		res.EnergyJ += d.EnergyBetween(0, d.Now()) - startE[i]
+		energy := d.EnergyBetween(0, d.Now()) - startE[i]
+		res.EnergyJ += energy
 		res.ClockSets += d.ClockSetCount() - startSets[i]
+		if tel != nil {
+			label := d.Label()
+			if label == "" {
+				label = fmt.Sprintf("rank%d", i)
+			}
+			tel.Gauge("synergy_device_energy_joules", "device", label).Set(energy)
+			tel.Gauge("synergy_device_time_seconds", "device", label).Set(times[i] - epoch)
+		}
 	}
+	jobSpan.End(epoch + res.TimeSec)
 	if cfg.Profile {
 		res.Kernels = mergeKernelStats(profiles)
 	}

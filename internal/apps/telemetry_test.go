@@ -1,0 +1,279 @@
+package apps
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"synergy/internal/fault"
+	"synergy/internal/hw"
+	"synergy/internal/nvml"
+	"synergy/internal/resilience"
+	"synergy/internal/telemetry"
+)
+
+// telemetryScenario makes the telemetry numbers non-trivial without
+// failing the run: sporadic transient driver timeouts exercise the
+// governor's retry path, and a deterministic denial burst (calls 11-19
+// at each device's clock-set site) trips the circuit breaker so
+// degradations, short-circuits and breaker transitions all occur.
+const telemetryScenario = `
+nvml.set_app_clocks p=0.15 err=nvml.timeout
+nvml.set_app_clocks after=10 count=9 err=nvml.not_permitted
+`
+
+// telemetryRun is one fully-seeded run with telemetry attached
+// everywhere; everything it returns is a deterministic function of the
+// seed.
+type telemetryRun struct {
+	reg     *telemetry.Registry
+	res     *RunResult
+	inj     *fault.Injector
+	health  *resilience.Registry
+	devices []*hw.Device
+	cfg     RunConfig
+	app     *App
+}
+
+func runWithTelemetry(t *testing.T, seed int64) *telemetryRun {
+	t.Helper()
+	sc, err := fault.ParseScenario("telemetry", telemetryScenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := NewCloverLeaf()
+	cfg := smallCfg(2, 2)
+	ranks := cfg.Nodes * cfg.GPUsPerNode
+
+	devices := make([]*hw.Device, ranks)
+	for i := range devices {
+		devices[i] = hw.NewDevice(cfg.Spec)
+		devices[i].SetLabel(fmt.Sprintf("rank%d", i))
+	}
+	cfg.Devices = devices
+	cfg.Fault = fault.NewFromScenario(seed, sc)
+	// A short cool-down relative to the kernels lets the breaker cycle
+	// open → half-open → closed within the run.
+	cfg.Health = resilience.NewRegistry(resilience.Config{
+		FailureThreshold: 3, CooldownSec: 5e-5, HalfOpenSuccesses: 2,
+	})
+	reg := telemetry.NewRegistry()
+	cfg.Health.SetTelemetry(reg)
+	cfg.Telemetry = reg
+
+	// Alternate two pinned frequencies so nearly every submission goes
+	// through the governor.
+	freqs := cfg.Spec.CoreFreqsMHz
+	plan := FreqPlan{}
+	for i, k := range app.Kernels {
+		plan[k.Name] = freqs[i%2]
+	}
+	cfg.Plan = plan
+
+	res, err := Run(app, cfg)
+	if err != nil {
+		t.Fatalf("seeded run failed (pick a different seed): %v", err)
+	}
+	return &telemetryRun{reg: reg, res: res, inj: cfg.Fault, health: cfg.Health,
+		devices: devices, cfg: cfg, app: app}
+}
+
+// TestTelemetryCrossValidation is the headline harness: every metric
+// the registry reports must equal the same quantity derived from an
+// independent source of truth — the device timelines, the run result,
+// the breaker transition log and the fault-injection trace.
+func TestTelemetryCrossValidation(t *testing.T) {
+	t.Parallel()
+	run := runWithTelemetry(t, 7)
+	snap := run.reg.Snapshot()
+	ranks := run.cfg.Nodes * run.cfg.GPUsPerNode
+
+	// Kernel counter vs the hw.Device timelines (fresh devices, so the
+	// lifetime count is the run's count) and the analytic expectation.
+	var hwKernels int64
+	for _, d := range run.devices {
+		hwKernels += d.KernelCount()
+	}
+	wantKernels := int64(ranks * run.cfg.Steps * len(run.app.Kernels))
+	if hwKernels != wantKernels {
+		t.Errorf("device timelines executed %d kernels, want %d", hwKernels, wantKernels)
+	}
+	if got := snap.CounterTotal("synergy_kernels_total"); got != hwKernels {
+		t.Errorf("synergy_kernels_total = %d, device timelines say %d", got, hwKernels)
+	}
+	for i, d := range run.devices {
+		got := snap.CounterValue("synergy_kernels_total", "device", fmt.Sprintf("rank%d", i))
+		if got != d.KernelCount() {
+			t.Errorf("rank%d kernel counter = %d, device says %d", i, got, d.KernelCount())
+		}
+	}
+
+	// Every executed kernel contributes exactly one queue-wait and one
+	// duration observation.
+	for _, name := range []string{"synergy_kernel_seconds", "synergy_queue_wait_seconds"} {
+		h, err := snap.MergedHistogram(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(h.Count) != hwKernels {
+			t.Errorf("%s count = %d, want %d (one per kernel)", name, h.Count, hwKernels)
+		}
+	}
+
+	// Degradation counter vs the run's DegradationEvent log.
+	if got, want := snap.CounterTotal("synergy_degradations_total"), int64(len(run.res.Degradations)); got != want {
+		t.Errorf("synergy_degradations_total = %d, run recorded %d degradation events", got, want)
+	}
+	if len(run.res.Degradations) == 0 {
+		t.Error("scenario produced no degradations; the invariant is vacuous")
+	}
+
+	// Breaker transition counter vs the resilience transition log.
+	transitions := run.health.Transitions()
+	if got, want := snap.CounterTotal("synergy_breaker_transitions_total"), int64(len(transitions)); got != want {
+		t.Errorf("synergy_breaker_transitions_total = %d, transition log has %d entries", got, want)
+	}
+	if len(transitions) == 0 {
+		t.Error("scenario tripped no breaker; the invariant is vacuous")
+	}
+	perState := map[string]int64{}
+	for _, tr := range transitions {
+		perState[tr.To.String()]++
+	}
+	perStateCounters := map[string]int64{}
+	for _, c := range snap.Counters {
+		if c.Name == "synergy_breaker_transitions_total" {
+			for _, state := range []string{"closed", "open", "half-open"} {
+				if bytes.Contains([]byte(c.Labels), []byte(`to="`+state+`"`)) {
+					perStateCounters[state] += c.Value
+				}
+			}
+		}
+	}
+	if !reflect.DeepEqual(perStateCounters, perState) {
+		t.Errorf("per-state transition counters = %v, transition log says %v", perStateCounters, perState)
+	}
+
+	// Vendor-call counters vs the fault injector's call counts, and
+	// fault counters vs the error-returning calls in its trace.
+	faultyCalls := map[string]int64{} // site -> calls that returned an error
+	seen := map[string]map[int64]bool{}
+	for _, ev := range run.inj.Trace() {
+		if ev.Err == "" {
+			continue
+		}
+		if seen[ev.Site] == nil {
+			seen[ev.Site] = map[int64]bool{}
+		}
+		if !seen[ev.Site][ev.Call] {
+			seen[ev.Site][ev.Call] = true
+			faultyCalls[ev.Site]++
+		}
+	}
+	for i := range run.devices {
+		device := fmt.Sprintf("rank%d", i)
+		site := nvml.SiteSetAppClocks + ":" + device
+		calls := snap.CounterValue("synergy_vendor_calls_total",
+			"lib", "nvml", "call", "set_app_clocks", "device", device)
+		if calls != run.inj.CallCount(site) {
+			t.Errorf("%s: vendor call counter = %d, injector counted %d", device, calls, run.inj.CallCount(site))
+		}
+		faults := snap.CounterValue("synergy_vendor_faults_total",
+			"lib", "nvml", "call", "set_app_clocks", "device", device)
+		if faults != faultyCalls[site] {
+			t.Errorf("%s: vendor fault counter = %d, trace has %d faulty calls", device, faults, faultyCalls[site])
+		}
+	}
+
+	// The governor outcome identity: every sequence that reaches the
+	// driver makes 1+retries attempts and ends in exactly one outcome.
+	attempts := snap.CounterTotal("synergy_clock_set_attempts_total")
+	retries := snap.CounterTotal("synergy_clock_set_retries_total")
+	applied := snap.CounterTotal("synergy_clock_sets_applied_total")
+	denied := snap.CounterTotal("synergy_clock_sets_denied_total")
+	exhausted := snap.CounterTotal("synergy_clock_sets_exhausted_total")
+	if attempts-retries != applied+denied+exhausted {
+		t.Errorf("governor identity violated: attempts=%d retries=%d applied=%d denied=%d exhausted=%d",
+			attempts, retries, applied, denied, exhausted)
+	}
+	if retries == 0 {
+		t.Error("scenario produced no retries; the identity is vacuous")
+	}
+
+	// Applied clock sets vs the run accounting (each applied sequence is
+	// one real frequency change on a device).
+	if applied != run.res.ClockSets {
+		t.Errorf("synergy_clock_sets_applied_total = %d, run counted %d clock sets", applied, run.res.ClockSets)
+	}
+
+	// MPI counters vs the communication structure: per step every field
+	// crosses each of the ranks-1 interior boundaries twice (south
+	// exchange + north exchange), a barrier per rank closes the run and
+	// one allreduce per rank per step carries the diagnostics.
+	haloFields := len(run.app.NewState(run.cfg.LocalNx, run.cfg.LocalNy).Halo)
+	wantSends := int64(run.cfg.Steps * haloFields * 2 * (ranks - 1))
+	if got := snap.CounterTotal("synergy_mpi_sends_total"); got != wantSends {
+		t.Errorf("synergy_mpi_sends_total = %d, want %d", got, wantSends)
+	}
+	if got := snap.CounterTotal("synergy_mpi_barriers_total"); got != int64(ranks) {
+		t.Errorf("synergy_mpi_barriers_total = %d, want %d", got, ranks)
+	}
+	if got := snap.CounterTotal("synergy_mpi_allreduces_total"); got != int64(ranks*run.cfg.Steps) {
+		t.Errorf("synergy_mpi_allreduces_total = %d, want %d", got, ranks*run.cfg.Steps)
+	}
+	if got := snap.CounterTotal("synergy_mpi_deadlines_total"); got != 0 {
+		t.Errorf("synergy_mpi_deadlines_total = %d on a healthy fabric", got)
+	}
+
+	// Span hierarchy: one job span, one rank span per rank, one kernel
+	// span per executed kernel.
+	kinds := map[string]int64{}
+	for _, s := range snap.Spans {
+		kinds[s.Kind]++
+	}
+	if kinds["job"] != 1 || kinds["rank"] != int64(ranks) || kinds["kernel"] != hwKernels {
+		t.Errorf("span census %v, want job=1 rank=%d kernel=%d", kinds, ranks, hwKernels)
+	}
+
+	// Per-device gauges vs the run accounting.
+	var gaugeEnergy float64
+	for i := range run.devices {
+		gaugeEnergy += snap.GaugeValue("synergy_device_energy_joules", "device", fmt.Sprintf("rank%d", i))
+	}
+	if diff := gaugeEnergy - run.res.EnergyJ; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("device energy gauges sum to %g, run says %g", gaugeEnergy, run.res.EnergyJ)
+	}
+}
+
+// TestTelemetryDeterministicAcrossRuns runs the identical seeded
+// scenario twice from scratch and requires byte-identical exposition
+// output and span logs — the registry is part of the determinism
+// contract, not an approximate observer.
+func TestTelemetryDeterministicAcrossRuns(t *testing.T) {
+	t.Parallel()
+	render := func() (string, string) {
+		run := runWithTelemetry(t, 7)
+		var expo bytes.Buffer
+		if err := run.reg.WriteText(&expo); err != nil {
+			t.Fatal(err)
+		}
+		spans, err := json.Marshal(run.reg.Spans())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return expo.String(), string(spans)
+	}
+	expo1, spans1 := render()
+	expo2, spans2 := render()
+	if expo1 != expo2 {
+		t.Errorf("exposition differs between identical seeded runs:\n--- run 1\n%s\n--- run 2\n%s", expo1, expo2)
+	}
+	if spans1 != spans2 {
+		t.Errorf("span logs differ between identical seeded runs:\n--- run 1\n%s\n--- run 2\n%s", spans1, spans2)
+	}
+	if len(expo1) == 0 {
+		t.Error("empty exposition from an instrumented run")
+	}
+}

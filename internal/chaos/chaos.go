@@ -8,7 +8,8 @@
 // fault injector and the run itself are all deterministic, so a failing
 // episode can be replayed bit-for-bit from its seed alone (the harness
 // itself checks this by running every episode twice and comparing the
-// canonical fault/breaker trace and the result key byte for byte).
+// canonical fault/breaker trace, the result key and the full telemetry
+// snapshot — metrics exposition plus span log — byte for byte).
 package chaos
 
 import (
@@ -28,6 +29,7 @@ import (
 	"synergy/internal/nvml"
 	"synergy/internal/resilience"
 	"synergy/internal/slurm"
+	"synergy/internal/telemetry"
 )
 
 // Config parameterises a soak run.
@@ -52,6 +54,12 @@ type Config struct {
 	Deadline time.Duration
 	// Logf receives per-episode progress lines (nil = silent).
 	Logf func(format string, args ...any)
+	// Telemetry optionally receives soak-level counters
+	// (synergy_chaos_episodes_total, synergy_chaos_faults_total,
+	// synergy_chaos_violations_total{invariant}). Per-attempt registries
+	// are always private to the attempt — that is what the telemetry
+	// determinism invariant compares.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -233,6 +241,11 @@ func Soak(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		rep.Episodes = append(rep.Episodes, er)
+		cfg.Telemetry.Counter("synergy_chaos_episodes_total").Inc()
+		cfg.Telemetry.Counter("synergy_chaos_faults_total").Add(int64(er.Faults))
+		for _, v := range er.Violations {
+			cfg.Telemetry.Counter("synergy_chaos_violations_total", "invariant", v.Invariant).Inc()
+		}
 		status := "ok"
 		if len(er.Violations) > 0 {
 			status = fmt.Sprintf("%d VIOLATIONS", len(er.Violations))
@@ -272,6 +285,13 @@ func runEpisode(cfg Config, ep int) (EpisodeReport, error) {
 			r.addViolation(ep, "determinism", fmt.Sprintf(
 				"result keys differ: %s vs %s", a1.resultKey, a2.resultKey))
 		}
+		// Invariant 7 (telemetry determinism): each attempt carries its own
+		// telemetry registry; the full snapshot — exposition text and span
+		// log — must be byte-identical across the two runs.
+		if a1.telemetry != a2.telemetry {
+			r.addViolation(ep, "telemetry-determinism", fmt.Sprintf(
+				"telemetry snapshots differ across identical runs:\n--- run 1 ---\n%s--- run 2 ---\n%s", a1.telemetry, a2.telemetry))
+		}
 	}
 	r.Trace = a1.trace
 	r.ResultKey = a1.resultKey
@@ -295,6 +315,7 @@ type attemptResult struct {
 	ok        bool
 	trace     string
 	resultKey string
+	telemetry string
 	faults    int
 	requeues  int
 	jobErr    string
@@ -306,6 +327,8 @@ type attemptResult struct {
 func runAttempt(cfg Config, seed int64, sc fault.Scenario, r *EpisodeReport, tag string) attemptResult {
 	inj := fault.NewFromScenario(seed, sc)
 	reg := resilience.NewRegistry(resilience.DefaultConfig())
+	tel := telemetry.NewRegistry()
+	reg.SetTelemetry(tel)
 	spec := hw.V100()
 	nodes := make([]*slurm.Node, cfg.Nodes)
 	for i := range nodes {
@@ -314,6 +337,7 @@ func runAttempt(cfg Config, seed int64, sc fault.Scenario, r *EpisodeReport, tag
 	cluster := slurm.NewCluster(nodes...)
 	cluster.RegisterPlugin(&slurm.NVGpuFreqPlugin{Controller: cluster})
 	cluster.SetFaultInjector(inj)
+	cluster.SetTelemetry(tel)
 
 	app := apps.NewCloverLeaf()
 	plan := apps.FreqPlan{}
@@ -344,6 +368,7 @@ func runAttempt(cfg Config, seed int64, sc fault.Scenario, r *EpisodeReport, tag
 				User:          "alice",
 				Fault:         inj,
 				Health:        reg,
+				Telemetry:     tel,
 			}
 			res, err := apps.Run(app, rc)
 			if err != nil {
@@ -445,10 +470,26 @@ func runAttempt(cfg Config, seed int64, sc fault.Scenario, r *EpisodeReport, tag
 		ok:        true,
 		trace:     canonicalTrace(inj.Trace(), reg.Transitions()),
 		resultKey: resultKey(jobRes, runRes, requeues),
+		telemetry: telemetrySnapshot(tel),
 		faults:    len(inj.Trace()),
 		requeues:  requeues,
 		jobErr:    errText(jobRes.Err),
 	}
+}
+
+// telemetrySnapshot renders an attempt's registry in the canonical
+// byte-comparable form: the deterministic exposition text followed by
+// the canonical span log.
+func telemetrySnapshot(tel *telemetry.Registry) string {
+	var b strings.Builder
+	if err := tel.WriteText(&b); err != nil {
+		return "exposition error: " + err.Error()
+	}
+	for _, s := range tel.Spans() {
+		fmt.Fprintf(&b, "span %d parent=%d track=%q name=%q kind=%q start=%.9f end=%.9f\n",
+			s.ID, s.Parent, s.Track, s.Name, s.Kind, s.StartSec, s.EndSec)
+	}
+	return b.String()
 }
 
 // canonicalTrace renders fired faults and breaker transitions in a

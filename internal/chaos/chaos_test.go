@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"synergy/internal/telemetry"
 )
 
 // The soak tests count goroutines per episode, so none run in parallel.
@@ -55,6 +57,26 @@ func TestSoakIsReproducible(t *testing.T) {
 		if ea.ResultKey != eb.ResultKey {
 			t.Errorf("episode %d result keys differ: %s vs %s", i, ea.ResultKey, eb.ResultKey)
 		}
+	}
+}
+
+// TestSoakTelemetryCounters: a soak-level registry receives episode,
+// fault and violation counters that agree with the report.
+func TestSoakTelemetryCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	rep, err := Soak(Config{Seed: 5, Episodes: 3, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.CounterTotal("synergy_chaos_episodes_total"); got != int64(len(rep.Episodes)) {
+		t.Errorf("episode counter = %d, report has %d episodes", got, len(rep.Episodes))
+	}
+	if got := snap.CounterTotal("synergy_chaos_faults_total"); got != int64(rep.Faults()) {
+		t.Errorf("fault counter = %d, report counted %d", got, rep.Faults())
+	}
+	if got := snap.CounterTotal("synergy_chaos_violations_total"); got != int64(len(rep.Violations())) {
+		t.Errorf("violation counter = %d, report has %d", got, len(rep.Violations()))
 	}
 }
 

@@ -13,11 +13,13 @@ import (
 	"sync"
 
 	"synergy/internal/governor"
+	"synergy/internal/hw"
 	"synergy/internal/kernelir"
 	"synergy/internal/metrics"
 	"synergy/internal/power"
 	"synergy/internal/resilience"
 	"synergy/internal/sycl"
+	"synergy/internal/telemetry"
 )
 
 // DegradationEvent records a submission that ran at current clocks
@@ -48,13 +50,14 @@ type Queue struct {
 	q  *sycl.Queue
 	pm power.Manager
 
-	mu      sync.Mutex
-	pinned  int // core MHz pinned at construction (0 = none)
-	advisor FrequencyAdvisor
-	retry   governor.RetryPolicy
-	breaker *resilience.Breaker
-	degr    []DegradationEvent
-	prof    profiler
+	mu         sync.Mutex
+	pinned     int // core MHz pinned at construction (0 = none)
+	advisor    FrequencyAdvisor
+	retry      governor.RetryPolicy
+	breaker    *resilience.Breaker
+	spanParent *telemetry.SpanHandle
+	degr       []DegradationEvent
+	prof       profiler
 }
 
 // NewQueue builds a conventional queue: kernels run at the device's
@@ -115,6 +118,16 @@ func (q *Queue) SetBreaker(br *resilience.Breaker) {
 	q.breaker = br
 }
 
+// SetSpanParent links this queue's kernel spans under a parent span
+// (the rank span of the job → rank → kernel hierarchy). Telemetry
+// itself is device state: the queue reports into the registry attached
+// to its hw.Device (hw.Device.SetTelemetry), if any.
+func (q *Queue) SetSpanParent(h *telemetry.SpanHandle) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.spanParent = h
+}
+
 // Degradations returns the submissions that ran at current clocks
 // because frequency control was denied, in submission order.
 func (q *Queue) Degradations() []DegradationEvent {
@@ -137,13 +150,6 @@ func (q *Queue) Submit(cg sycl.CommandGroup) (*sycl.Event, error) {
 	q.mu.Lock()
 	pinned := q.pinned
 	q.mu.Unlock()
-	if pinned == 0 {
-		ev, err := q.q.Submit(cg)
-		if err == nil {
-			q.observe(ev)
-		}
-		return ev, err
-	}
 	return q.submitAt(pinned, cg)
 }
 
@@ -187,24 +193,46 @@ func (q *Queue) SubmitWithTarget(target metrics.Target, cg sycl.CommandGroup) (*
 	return q.submitAt(freq, cg)
 }
 
-// submitAt submits with a pre-kernel clock change: the set happens on
-// the device thread in submission order, costing the vendor library's
-// clock-set overhead (§4.4). Transient clock-set failures are retried
-// with bounded backoff; a permission denial degrades gracefully — the
-// kernel runs at current clocks and the denial is recorded.
+// submitAt submits with an optional pre-kernel clock change (coreMHz 0
+// means no change): the set happens on the device thread in submission
+// order, costing the vendor library's clock-set overhead (§4.4).
+// Transient clock-set failures are retried with bounded backoff; a
+// permission denial degrades gracefully — the kernel runs at current
+// clocks and the denial is recorded.
+//
+// When the device carries a telemetry registry the submission is fully
+// instrumented: per-kernel counters and virtual-time histograms
+// (synergy_kernels_total, synergy_kernel_seconds, synergy_kernel_energy_joules,
+// synergy_queue_wait_seconds, synergy_degradations_total, plus the
+// governor's clock-set families), and one kernel span per submission on
+// the device-label track with queue-wait / clock-set / execute child
+// spans. Both hooks run on the device thread, so span order inherits
+// the queue's serialisation and identical seeds yield identical tracks.
 func (q *Queue) submitAt(coreMHz int, cg sycl.CommandGroup) (*sycl.Event, error) {
 	q.mu.Lock()
 	pol := q.retry
 	br := q.breaker
+	parent := q.spanParent
 	q.mu.Unlock()
 	if pol.MaxAttempts == 0 {
 		pol = governor.DefaultRetryPolicy()
 	}
-	ev, err := q.q.SubmitPre(func() error {
-		if q.pm.CurrentCoreFreq() == coreMHz {
+	hwDev := q.q.Device().HW()
+	tel := hwDev.Telemetry()
+	lbl := hwDev.Label()
+	if lbl == "" {
+		lbl = q.pm.DeviceName()
+	}
+	enqT := q.pm.DeviceNow()
+	var preT0, preT1 float64
+	pre := func() error {
+		preT0 = q.pm.DeviceNow()
+		preT1 = preT0
+		if coreMHz == 0 || q.pm.CurrentCoreFreq() == coreMHz {
 			return nil
 		}
-		res := governor.ApplyFrequencyGuarded(q.pm, coreMHz, pol, br)
+		res := governor.ApplyFrequencyMetered(q.pm, coreMHz, pol, br, tel, lbl)
+		preT1 = q.pm.DeviceNow()
 		if res.Applied {
 			return nil
 		}
@@ -213,6 +241,7 @@ func (q *Queue) submitAt(coreMHz int, cg sycl.CommandGroup) (*sycl.Event, error)
 			if k, _, perr := sycl.Probe(cg); perr == nil {
 				name = k.Name
 			}
+			tel.Counter("synergy_degradations_total", "device", lbl).Inc()
 			q.mu.Lock()
 			q.degr = append(q.degr, DegradationEvent{
 				Kernel:  name,
@@ -224,7 +253,32 @@ func (q *Queue) submitAt(coreMHz int, cg sycl.CommandGroup) (*sycl.Event, error)
 			return nil // run at current clocks; energy saving forfeited
 		}
 		return res.Err
-	}, cg)
+	}
+	var post func(rec hw.KernelRecord, err error)
+	if tel != nil {
+		post = func(rec hw.KernelRecord, err error) {
+			if !(rec.End > rec.Start) {
+				return // the kernel never occupied the device
+			}
+			tel.Counter("synergy_kernels_total", "device", lbl).Inc()
+			tel.Histogram("synergy_kernel_seconds", telemetry.TimeBuckets, "device", lbl).
+				ObserveAt(rec.End-rec.Start, rec.End)
+			tel.Histogram("synergy_kernel_energy_joules", telemetry.EnergyBuckets, "device", lbl).
+				ObserveAt(rec.EnergyJ, rec.End)
+			tel.Histogram("synergy_queue_wait_seconds", telemetry.TimeBuckets, "device", lbl).
+				ObserveAt(preT0-enqT, rec.End)
+			ks := tel.StartSpan(lbl, rec.Name, "kernel", enqT, parent)
+			if preT0 > enqT {
+				tel.RecordSpan(lbl, "queue-wait", "queue-wait", enqT, preT0, ks)
+			}
+			if preT1 > preT0 {
+				tel.RecordSpan(lbl, "clock-set", "clock-set", preT0, preT1, ks)
+			}
+			tel.RecordSpan(lbl, "execute", "execute", rec.Start, rec.End, ks)
+			ks.End(rec.End)
+		}
+	}
+	ev, err := q.q.SubmitObserved(pre, post, cg)
 	if err == nil {
 		q.observe(ev)
 	}

@@ -1,8 +1,6 @@
 package governor
 
 import (
-	"fmt"
-
 	"synergy/internal/power"
 	"synergy/internal/resilience"
 )
@@ -21,22 +19,5 @@ import (
 // so cool-downs elapse with simulated work, never wall time. A nil
 // breaker makes this exactly ApplyFrequency.
 func ApplyFrequencyGuarded(pm power.Manager, coreMHz int, pol RetryPolicy, br *resilience.Breaker) ApplyResult {
-	if br == nil {
-		return ApplyFrequency(pm, coreMHz, pol)
-	}
-	if !br.Allow(pm.DeviceNow()) {
-		return ApplyResult{
-			Degraded: true,
-			Err: fmt.Errorf("governor: pinning %d MHz skipped, device %q unhealthy: %w",
-				coreMHz, br.Name(), resilience.ErrOpen),
-		}
-	}
-	res := ApplyFrequency(pm, coreMHz, pol)
-	now := pm.DeviceNow()
-	if res.Applied {
-		br.RecordSuccess(now)
-	} else {
-		br.RecordFailure(now)
-	}
-	return res
+	return ApplyFrequencyMetered(pm, coreMHz, pol, br, nil, "")
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"synergy/internal/fault"
+	"synergy/internal/telemetry"
 )
 
 // Segment is one interval of the device timeline with constant power.
@@ -45,6 +46,7 @@ type Device struct {
 	powerLimitW float64 // 0 = board default (TDP)
 	label       string
 	injector    *fault.Injector
+	telemetry   *telemetry.Registry
 }
 
 // NewDevice creates a virtual device with the driver-default clocks.
@@ -90,6 +92,24 @@ func (d *Device) FaultInjector() *fault.Injector {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.injector
+}
+
+// SetTelemetry attaches a telemetry registry to the device. Like the
+// fault injector, the attachment is device state: the runtime queue and
+// every management-library session opened on the device report into it
+// without any signature changes along the way. A nil registry detaches.
+func (d *Device) SetTelemetry(r *telemetry.Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.telemetry = r
+}
+
+// Telemetry returns the attached registry (nil when none; every method
+// on a nil registry is a no-op, so callers need no guard).
+func (d *Device) Telemetry() *telemetry.Registry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.telemetry
 }
 
 // ResetDriverFlags clears all persistent driver state — what a node

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"synergy/internal/fault"
+	"synergy/internal/telemetry"
 )
 
 // ErrMessageLost reports a message dropped by the fabric on every
@@ -111,6 +112,9 @@ type World struct {
 
 	injMu sync.Mutex
 	inj   *fault.Injector
+
+	telMu sync.Mutex
+	tel   *telemetry.Registry
 }
 
 type mailKey struct {
@@ -166,6 +170,26 @@ func (w *World) injector() *fault.Injector {
 	defer w.injMu.Unlock()
 	return w.inj
 }
+
+// SetTelemetry attaches a telemetry registry to the fabric: per-rank
+// counters for sends, retransmits, lost messages, deadline failures,
+// barriers and allreduces, plus a virtual-time send-latency histogram.
+// Every series is labelled "r<rank>" and only written by that rank's
+// goroutine, keeping the metrics deterministic. Nil detaches.
+func (w *World) SetTelemetry(r *telemetry.Registry) {
+	w.telMu.Lock()
+	defer w.telMu.Unlock()
+	w.tel = r
+}
+
+func (w *World) telemetry() *telemetry.Registry {
+	w.telMu.Lock()
+	defer w.telMu.Unlock()
+	return w.tel
+}
+
+// label is the rank's telemetry label.
+func (r *Rank) label() string { return fmt.Sprintf("r%d", r.rank) }
 
 // RetransmitTimeoutSec is the virtual time a sender waits before
 // retransmitting a dropped message (a reliable-transport timeout, far
@@ -330,6 +354,7 @@ func (r *Rank) Advance(dt float64) {
 // arrival order — a determinism requirement of the chaos harness.
 func (r *Rank) deadlineErr(op string) error {
 	r.Advance(r.world.RetransmitTimeoutSec())
+	r.world.telemetry().Counter("synergy_mpi_deadlines_total", "rank", r.label()).Inc()
 	return fmt.Errorf("mpi: rank %d: %s: %w", r.rank, op, ErrDeadline)
 }
 
@@ -348,8 +373,20 @@ func (r *Rank) Send(to, tag int, data []float32) error {
 	copy(buf, data)
 	w := r.world
 	inj := w.injector()
+	tel := w.telemetry()
+	lbl := r.label()
 	site := fmt.Sprintf("%s:r%d", SiteSend, r.rank)
 	cost := w.net.transferTime(4*len(data), w.sameNode(r.rank, to))
+	t0 := r.now
+	// delivered records a successful hand-off to the mailbox: the virtual
+	// send latency (retransmits included) lands in the histogram at the
+	// rank's own clock, so the series is single-writer and deterministic.
+	delivered := func() error {
+		tel.Counter("synergy_mpi_sends_total", "rank", lbl).Inc()
+		tel.Histogram("synergy_mpi_send_seconds", telemetry.TimeBuckets, "rank", lbl).
+			ObserveAt(r.now-t0, r.now)
+		return nil
+	}
 	// Reliable transport with bounded retransmit: every attempt pays the
 	// transfer cost plus any injected latency; a dropped attempt (an
 	// injected error) additionally pays the retransmit timeout. When the
@@ -361,9 +398,11 @@ func (r *Rank) Send(to, tag int, data []float32) error {
 			break
 		}
 		if attempt >= maxSendAttempts {
+			tel.Counter("synergy_mpi_sends_lost_total", "rank", lbl).Inc()
 			return fmt.Errorf("mpi: rank %d: send to %d: %w (%d attempts, last: %v)",
 				r.rank, to, ErrMessageLost, attempt, err)
 		}
+		tel.Counter("synergy_mpi_send_retransmits_total", "rank", lbl).Inc()
 		r.now += w.RetransmitTimeoutSec()
 	}
 	msg := message{data: buf, sentAt: r.now}
@@ -372,17 +411,17 @@ func (r *Rank) Send(to, tag int, data []float32) error {
 	// only sustained when the receiver is gone or the run is canceled.
 	select {
 	case box <- msg:
-		return nil
+		return delivered()
 	default:
 	}
 	select {
 	case box <- msg:
-		return nil
+		return delivered()
 	case <-w.goneChan(to):
 	case <-r.done():
 		select {
 		case box <- msg:
-			return nil
+			return delivered()
 		default:
 			return fmt.Errorf("mpi: rank %d: send to %d canceled: %w", r.rank, to, r.ctx.Err())
 		}
@@ -391,7 +430,7 @@ func (r *Rank) Send(to, tag int, data []float32) error {
 	// concurrently, delivery wins deterministically.
 	select {
 	case box <- msg:
-		return nil
+		return delivered()
 	default:
 		return r.deadlineErr(fmt.Sprintf("send to %d", to))
 	}
@@ -453,7 +492,11 @@ func (r *Rank) SendRecv(partner, tag int, send, recv []float32) error {
 // barrier cannot complete: it charges one retransmit timeout and
 // returns ErrDeadline.
 func (r *Rank) Barrier() (float64, error) {
-	return r.world.rendezvous(r, nil, nil)
+	t, err := r.world.rendezvous(r, nil, nil)
+	if err == nil {
+		r.world.telemetry().Counter("synergy_mpi_barriers_total", "rank", r.label()).Inc()
+	}
+	return t, err
 }
 
 // AllreduceSum sums the slice element-wise across all ranks; every rank
@@ -496,6 +539,7 @@ func (r *Rank) AllreduceSum(data []float64) error {
 		depth++
 	}
 	r.Advance(float64(depth) * w.net.transferTime(8*len(data), false))
+	w.telemetry().Counter("synergy_mpi_allreduces_total", "rank", r.label()).Inc()
 	return nil
 }
 

@@ -9,6 +9,7 @@ package nvml
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"synergy/internal/fault"
@@ -183,9 +184,22 @@ func (d *Device) site(base string) string {
 
 // checkFault consults the device's fault injector at the site, applying
 // injected latency to the device timeline before returning any injected
-// error.
+// error. Each consultation is one vendor driver call: with telemetry
+// attached it increments synergy_vendor_calls_total (and
+// synergy_vendor_faults_total on an injected error), so the call counter
+// equals the injector's CallCount for the site — a cross-validation
+// invariant.
 func (d *Device) checkFault(base string) error {
-	delay, err := d.hw().FaultInjector().Check(d.site(base))
+	site := d.site(base)
+	delay, err := d.hw().FaultInjector().Check(site)
+	if tel := d.hw().Telemetry(); tel != nil {
+		call := strings.TrimPrefix(base, "nvml.")
+		device := site[strings.LastIndexByte(site, ':')+1:]
+		tel.Counter("synergy_vendor_calls_total", "lib", "nvml", "call", call, "device", device).Inc()
+		if err != nil {
+			tel.Counter("synergy_vendor_faults_total", "lib", "nvml", "call", call, "device", device).Inc()
+		}
+	}
 	if delay > 0 {
 		d.hw().AdvanceIdle(delay)
 	}

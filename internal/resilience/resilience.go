@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"synergy/internal/telemetry"
 )
 
 // ErrOpen reports a call short-circuited because the circuit breaker
@@ -132,6 +134,7 @@ type Breaker struct {
 	successes   int // consecutive probe successes while half-open
 	openedAt    float64
 	transitions []Transition
+	tel         *telemetry.Registry
 }
 
 // NewBreaker creates a closed breaker.
@@ -141,6 +144,16 @@ func NewBreaker(name string, cfg Config) *Breaker {
 
 // Name returns the breaker name.
 func (b *Breaker) Name() string { return b.name }
+
+// SetTelemetry attaches a telemetry registry: every state change
+// increments synergy_breaker_transitions_total{breaker,to}, so the
+// counter family always equals the transition log length per state —
+// the cross-validation invariant. Nil detaches.
+func (b *Breaker) SetTelemetry(r *telemetry.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tel = r
+}
 
 // transitionLocked records a state change (caller holds b.mu).
 func (b *Breaker) transitionLocked(to State, nowSec float64, reason string) {
@@ -153,6 +166,7 @@ func (b *Breaker) transitionLocked(to State, nowSec float64, reason string) {
 		Reason:  reason,
 	})
 	b.state = to
+	b.tel.Counter("synergy_breaker_transitions_total", "breaker", b.name, "to", to.String()).Inc()
 }
 
 // Allow reports whether a call may proceed at virtual time nowSec. An
@@ -232,13 +246,25 @@ func (b *Breaker) Transitions() []Transition {
 type Registry struct {
 	cfg Config
 
-	mu sync.Mutex
-	m  map[string]*Breaker
+	mu  sync.Mutex
+	m   map[string]*Breaker
+	tel *telemetry.Registry
 }
 
 // NewRegistry creates a registry whose breakers use cfg.
 func NewRegistry(cfg Config) *Registry {
 	return &Registry{cfg: cfg.sanitized(), m: map[string]*Breaker{}}
+}
+
+// SetTelemetry attaches a telemetry registry to every breaker the
+// registry holds now or creates later (see Breaker.SetTelemetry).
+func (g *Registry) SetTelemetry(r *telemetry.Registry) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.tel = r
+	for _, b := range g.m {
+		b.SetTelemetry(r)
+	}
 }
 
 // Breaker returns the named breaker, creating it closed on first use.
@@ -248,6 +274,7 @@ func (g *Registry) Breaker(name string) *Breaker {
 	b, ok := g.m[name]
 	if !ok {
 		b = NewBreaker(name, g.cfg)
+		b.SetTelemetry(g.tel)
 		g.m[name] = b
 	}
 	return b

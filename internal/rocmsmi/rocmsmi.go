@@ -9,6 +9,7 @@ package rocmsmi
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"synergy/internal/fault"
@@ -141,12 +142,23 @@ func (d *Device) hw() *hw.Device { return d.lib.devices[d.idx] }
 
 // checkFault consults the device's fault injector, applying injected
 // latency to the device timeline before returning any injected error.
+// Each consultation is one vendor driver call: with telemetry attached
+// it increments synergy_vendor_calls_total (and
+// synergy_vendor_faults_total on an injected error), matching the
+// injector's per-site CallCount exactly.
 func (d *Device) checkFault(base string) error {
 	label := d.hw().Label()
 	if label == "" {
 		label = fmt.Sprintf("gpu%d", d.idx)
 	}
 	delay, err := d.hw().FaultInjector().Check(base + ":" + label)
+	if tel := d.hw().Telemetry(); tel != nil {
+		call := strings.TrimPrefix(base, "rocmsmi.")
+		tel.Counter("synergy_vendor_calls_total", "lib", "rocmsmi", "call", call, "device", label).Inc()
+		if err != nil {
+			tel.Counter("synergy_vendor_faults_total", "lib", "rocmsmi", "call", call, "device", label).Inc()
+		}
+	}
 	if delay > 0 {
 		d.hw().AdvanceIdle(delay)
 	}

@@ -136,6 +136,7 @@ func (c *Cluster) kickScheduler() {
 			}
 			h.mu.Unlock()
 			if requeue {
+				c.telemetry().Counter("synergy_slurm_requeues_total").Inc()
 				c.mu.Lock()
 				c.queue = append(c.queue, h)
 				c.mu.Unlock()

@@ -14,6 +14,7 @@ import (
 
 	"synergy/internal/fault"
 	"synergy/internal/hw"
+	"synergy/internal/telemetry"
 )
 
 // ErrNodeFailed reports a node dying while a job held it.
@@ -221,6 +222,7 @@ type Cluster struct {
 	nextID  int
 	queue   []*JobHandle // pending asynchronous jobs, FIFO
 	inj     *fault.Injector
+	tel     *telemetry.Registry
 }
 
 func jobIDString(n int) string { return fmt.Sprintf("job-%d", n) }
@@ -251,6 +253,30 @@ func (c *Cluster) injector() *fault.Injector {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.inj
+}
+
+// SetTelemetry attaches a telemetry registry to the cluster and, like
+// SetFaultInjector, to every GPU of every node — so scheduler counters
+// (jobs, requeues, node failures) and device-level metrics (kernels,
+// clock sets, vendor calls) land in one registry. A nil registry
+// detaches everywhere.
+func (c *Cluster) SetTelemetry(r *telemetry.Registry) {
+	c.mu.Lock()
+	nodes := make([]*Node, len(c.nodes))
+	copy(nodes, c.nodes)
+	c.tel = r
+	c.mu.Unlock()
+	for _, n := range nodes {
+		for _, g := range n.GPUs {
+			g.SetTelemetry(r)
+		}
+	}
+}
+
+func (c *Cluster) telemetry() *telemetry.Registry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tel
 }
 
 // RegisterPlugin appends a prologue/epilogue plugin.
@@ -357,6 +383,7 @@ func (c *Cluster) executeAllocated(job *Job, jobID string, alloc []*Node) *JobRe
 		for _, n := range alloc {
 			if _, err := inj.Check(SiteNodeFail + ":" + n.Name); err != nil {
 				n.MarkDown()
+				c.telemetry().Counter("synergy_slurm_node_failures_total", "node", n.Name).Inc()
 				jobErr = fmt.Errorf("slurm: node %s died during %s: %w", n.Name, jobID, ErrNodeFailed)
 			}
 		}
@@ -402,5 +429,10 @@ func (c *Cluster) executeAllocated(job *Job, jobID string, alloc []*Node) *JobRe
 			i++
 		}
 	}
+	outcome := "completed"
+	if jobErr != nil {
+		outcome = "failed"
+	}
+	c.telemetry().Counter("synergy_slurm_jobs_total", "result", outcome).Inc()
 	return res
 }

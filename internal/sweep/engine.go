@@ -24,6 +24,7 @@ import (
 	"synergy/internal/hw"
 	"synergy/internal/kernelir"
 	"synergy/internal/metrics"
+	"synergy/internal/telemetry"
 )
 
 // DefaultCacheCap is the default memo-cache entry cap. It is far above
@@ -94,6 +95,7 @@ type Engine struct {
 	entries map[Key]*entry
 	order   *list.List // front = most recently used; values are *entry
 	hook    func(Key)
+	tel     *telemetry.Registry
 
 	evals     atomic.Int64
 	evictions atomic.Int64
@@ -156,6 +158,25 @@ func (e *Engine) SetHook(fn func(Key)) {
 	e.mu.Unlock()
 }
 
+// SetTelemetry attaches a telemetry registry (nil detaches): requests
+// are counted as synergy_sweep_requests_total{result="hit"|"miss"} —
+// singleflight waiters count as hits, since they share the miss's
+// computation — and LRU evictions as synergy_sweep_evictions_total.
+// A miss is a completed computation, so the miss counter equals
+// Evaluations() and the eviction counter equals Evictions(); failed
+// evaluations count as neither (they are not memoized).
+func (e *Engine) SetTelemetry(r *telemetry.Registry) {
+	e.mu.Lock()
+	e.tel = r
+	e.mu.Unlock()
+}
+
+func (e *Engine) telemetry() *telemetry.Registry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tel
+}
+
 // Evaluations returns how many sweeps the engine has actually computed
 // (cache misses). Requests served from the cache do not count.
 func (e *Engine) Evaluations() int64 { return e.evals.Load() }
@@ -208,6 +229,7 @@ func (e *Engine) insertLocked(en *entry) {
 		victim := back.Value.(*entry)
 		e.removeLocked(victim)
 		e.evictions.Add(1)
+		e.tel.Counter("synergy_sweep_evictions_total").Inc()
 	}
 }
 
@@ -247,7 +269,9 @@ func (e *Engine) GroundTruthContext(ctx context.Context, spec *hw.Spec, k *kerne
 		if en.elem != nil {
 			e.order.MoveToFront(en.elem)
 		}
+		tel := e.tel
 		e.mu.Unlock()
+		tel.Counter("synergy_sweep_requests_total", "result", "hit").Inc()
 		select {
 		case <-en.done:
 		case <-ctx.Done():
@@ -261,6 +285,7 @@ func (e *Engine) GroundTruthContext(ctx context.Context, spec *hw.Spec, k *kerne
 	en := &entry{key: key, done: make(chan struct{})}
 	e.insertLocked(en)
 	hook := e.hook
+	tel := e.tel
 	e.mu.Unlock()
 
 	en.sweep, en.err = e.evaluate(ctx, spec, k, items)
@@ -275,6 +300,7 @@ func (e *Engine) GroundTruthContext(ctx context.Context, spec *hw.Spec, k *kerne
 		e.mu.Unlock()
 	} else {
 		e.evals.Add(1)
+		tel.Counter("synergy_sweep_requests_total", "result", "miss").Inc()
 		if hook != nil {
 			hook(key)
 		}

@@ -258,6 +258,18 @@ func (q *Queue) Submit(cg CommandGroup) (*Event, error) {
 // has no way to run instructions just before a kernel starts, so the
 // frequency change is implemented in the command-group execution).
 func (q *Queue) SubmitPre(pre func() error, cg CommandGroup) (*Event, error) {
+	return q.SubmitObserved(pre, nil, cg)
+}
+
+// SubmitObserved is SubmitPre with a post-kernel observer: post runs on
+// the device thread after the kernel (or its failure) and strictly
+// before the event completes. Running before Event.Wait can return is
+// what makes observer side effects deterministic: on an in-order queue
+// the next submission's hooks cannot interleave with this one's, so a
+// telemetry track appended to from the observer sees submissions in
+// submission order. rec is the zero KernelRecord when the kernel never
+// occupied the device (pre-action or injected submit failure).
+func (q *Queue) SubmitObserved(pre func() error, post func(rec hw.KernelRecord, err error), cg CommandGroup) (*Event, error) {
 	h := &Handler{}
 	cg(h)
 	if h.calls == 0 {
@@ -291,19 +303,27 @@ func (q *Queue) SubmitPre(pre func() error, cg CommandGroup) (*Event, error) {
 	deps := h.deps
 	go func() {
 		defer q.pending.Done()
+		// Every exit path reports through the observer (still on the
+		// device thread) before the event completes.
+		done := func(rec hw.KernelRecord, err error) {
+			if post != nil {
+				post(rec, err)
+			}
+			q.finishWith(ev, rec, err)
+		}
 		if prev != nil {
 			<-prev // in-order queue: wait for the previous command
 		}
 		for _, dep := range deps {
 			if err := dep.Wait(); err != nil {
-				q.finishWith(ev, hw.KernelRecord{}, fmt.Errorf("sycl: dependency of %q failed: %w", h.kernel.Name, err))
+				done(hw.KernelRecord{}, fmt.Errorf("sycl: dependency of %q failed: %w", h.kernel.Name, err))
 				return
 			}
 		}
 		ev.setRunning()
 		if pre != nil {
 			if err := pre(); err != nil {
-				q.finishWith(ev, hw.KernelRecord{}, err)
+				done(hw.KernelRecord{}, err)
 				return
 			}
 		}
@@ -313,22 +333,22 @@ func (q *Queue) SubmitPre(pre func() error, cg CommandGroup) (*Event, error) {
 		if delay, err := q.dev.hw.FaultInjector().Check(site); delay > 0 || err != nil {
 			q.dev.hw.AdvanceIdle(delay)
 			if err != nil {
-				q.finishWith(ev, hw.KernelRecord{}, fmt.Errorf("sycl: submitting %q: %w", h.kernel.Name, err))
+				done(hw.KernelRecord{}, fmt.Errorf("sycl: submitting %q: %w", h.kernel.Name, err))
 				return
 			}
 		}
 		// Advance the virtual timeline per the hardware model...
 		rec, err := q.dev.hw.ExecuteKernel(wl)
 		if err != nil {
-			q.finishWith(ev, hw.KernelRecord{}, err)
+			done(hw.KernelRecord{}, err)
 			return
 		}
 		// ...and compute the actual results on host memory.
 		if err := kernelir.ExecuteGrid(h.kernel, h.args, execItems, h.width); err != nil {
-			q.finishWith(ev, rec, err)
+			done(rec, err)
 			return
 		}
-		ev.finish(rec, nil)
+		done(rec, nil)
 	}()
 	return ev, nil
 }

@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry exercising every exposition shape:
+// multi-series counters, a gauge, histograms with windows and overflow,
+// escaped label values, and spans (excluded from the text exposition).
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.SetWindow(0.5)
+	r.Counter("synergy_kernels_total", "device", "node0/gpu1").Add(24)
+	r.Counter("synergy_kernels_total", "device", "node0/gpu0").Add(25)
+	r.Counter("synergy_vendor_calls_total", "lib", "nvml", "call", "set_app_clocks", "device", "node0/gpu0").Add(3)
+	r.Gauge("synergy_device_energy_joules", "device", "node0/gpu0").Set(1234.5625)
+	h := r.Histogram("synergy_kernel_seconds", []float64{0.001, 0.01, 0.1}, "device", "node0/gpu0")
+	h.ObserveAt(0.0005, 0.1)
+	h.ObserveAt(0.05, 0.3)
+	h.ObserveAt(2.5, 0.9) // overflow
+	r.Counter("odd_chars_total", "path", `a"b\c`).Inc()
+	job := r.StartSpan("job", "cloverleaf", "job", 0, nil)
+	r.RecordSpan("node0/gpu0", "ideal_gas", "kernel", 0.1, 0.2, job)
+	job.End(1)
+	return r
+}
+
+func TestWriteTextGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := goldenRegistry().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "expo.golden"), b.Bytes())
+}
+
+// compareGolden asserts got matches the golden file, rewriting it under
+// -update.
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}

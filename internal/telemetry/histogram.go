@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Standard bucket bounds for the stack's two dominant units. Virtual
+// kernel/queue latencies span microseconds to tens of seconds; energies
+// span millijoules to tens of kilojoules.
+var (
+	TimeBuckets   = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
+	EnergyBuckets = []float64{1e-3, 1e-2, 0.1, 1, 10, 100, 1e3, 1e4}
+)
+
+// Histogram is a fixed-bucket histogram with an overflow bucket and
+// optional aggregation into fixed windows of device virtual time.
+// Bucket counts and the observation count are exact under concurrency;
+// the sums are deterministic when each series has a single serial
+// writer (the convention throughout this codebase).
+type Histogram struct {
+	name, labels string
+	bounds       []float64
+	windowSec    float64
+
+	mu      sync.Mutex
+	counts  []uint64 // len(bounds)+1; last is the overflow (+Inf) bucket
+	sum     float64
+	count   uint64
+	windows map[int64]*windowCell
+}
+
+type windowCell struct {
+	count uint64
+	sum   float64
+}
+
+func newHistogram(name, labels string, bounds []float64, windowSec float64) *Histogram {
+	return &Histogram{
+		name:      name,
+		labels:    labels,
+		bounds:    bounds,
+		windowSec: windowSec,
+		counts:    make([]uint64, len(bounds)+1),
+		windows:   map[int64]*windowCell{},
+	}
+}
+
+// Observe records a value with no virtual timestamp (it joins no
+// window, only the cumulative buckets).
+func (h *Histogram) Observe(v float64) { h.observe(v, math.NaN()) }
+
+// ObserveAt records a value observed at the given device virtual time;
+// the observation also lands in the fixed virtual-time window containing
+// atSec, keeping windowed series reproducible across identical seeds.
+func (h *Histogram) ObserveAt(v, atSec float64) { h.observe(v, atSec) }
+
+func (h *Histogram) observe(v, atSec float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// le semantics: v lands in the first bucket whose bound >= v; past
+	// the last bound it lands in the overflow bucket.
+	h.counts[sort.SearchFloat64s(h.bounds, v)]++
+	h.sum += v
+	h.count++
+	if h.windowSec > 0 && !math.IsNaN(atSec) {
+		idx := int64(math.Floor(atSec / h.windowSec))
+		c := h.windows[idx]
+		if c == nil {
+			c = &windowCell{}
+			h.windows[idx] = c
+		}
+		c.count++
+		c.sum += v
+	}
+}
+
+// Window is one virtual-time aggregation window of a histogram series.
+type Window struct {
+	StartSec float64 `json:"start_sec"`
+	Count    uint64  `json:"count"`
+	Sum      float64 `json:"sum"`
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram series.
+// Counts are per-bucket (non-cumulative); the last entry is the
+// overflow bucket. The zero value is a valid merge accumulator.
+type HistogramSnapshot struct {
+	Name      string    `json:"name"`
+	Labels    string    `json:"labels,omitempty"`
+	Bounds    []float64 `json:"bounds"`
+	Counts    []uint64  `json:"counts"`
+	Sum       float64   `json:"sum"`
+	Count     uint64    `json:"count"`
+	WindowSec float64   `json:"window_sec,omitempty"`
+	Windows   []Window  `json:"windows,omitempty"`
+}
+
+// Value snapshots the series. Windows are sorted by start time.
+func (h *Histogram) Value() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Name:      h.name,
+		Labels:    h.labels,
+		Bounds:    append([]float64(nil), h.bounds...),
+		Counts:    append([]uint64(nil), h.counts...),
+		Sum:       h.sum,
+		Count:     h.count,
+		WindowSec: h.windowSec,
+	}
+	for idx, c := range h.windows {
+		s.Windows = append(s.Windows, Window{StartSec: float64(idx) * h.windowSec, Count: c.count, Sum: c.sum})
+	}
+	sort.Slice(s.Windows, func(i, j int) bool { return s.Windows[i].StartSec < s.Windows[j].StartSec })
+	return s
+}
+
+// Merge folds another series of the same family into this snapshot:
+// bucket-wise count addition, sum/count addition, window union. Merging
+// into a zero-value accumulator adopts the other snapshot. Series with
+// different bucket bounds or window widths do not merge.
+func (h *HistogramSnapshot) Merge(o HistogramSnapshot) error {
+	if len(h.Bounds) == 0 && h.Count == 0 {
+		h.Bounds = append([]float64(nil), o.Bounds...)
+		h.Counts = append([]uint64(nil), o.Counts...)
+		h.Sum, h.Count, h.WindowSec = o.Sum, o.Count, o.WindowSec
+		h.Windows = append([]Window(nil), o.Windows...)
+		return nil
+	}
+	if !equalBounds(h.Bounds, o.Bounds) {
+		return fmt.Errorf("telemetry: merging histograms with different buckets")
+	}
+	if h.WindowSec != o.WindowSec && len(h.Windows) > 0 && len(o.Windows) > 0 {
+		return fmt.Errorf("telemetry: merging histograms with different window widths")
+	}
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	h.Sum += o.Sum
+	h.Count += o.Count
+	if len(o.Windows) > 0 {
+		byStart := map[float64]*Window{}
+		for i := range h.Windows {
+			byStart[h.Windows[i].StartSec] = &h.Windows[i]
+		}
+		for _, w := range o.Windows {
+			if mine, ok := byStart[w.StartSec]; ok {
+				mine.Count += w.Count
+				mine.Sum += w.Sum
+			} else {
+				h.Windows = append(h.Windows, w)
+			}
+		}
+		sort.Slice(h.Windows, func(i, j int) bool { return h.Windows[i].StartSec < h.Windows[j].StartSec })
+		if h.WindowSec == 0 {
+			h.WindowSec = o.WindowSec
+		}
+	}
+	return nil
+}

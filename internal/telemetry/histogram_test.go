@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the le bucket semantics: a value
+// lands in the first bucket whose upper bound is >= the value; values
+// above the last bound land in the overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	t.Parallel()
+	bounds := []float64{1, 10, 100}
+	cases := []struct {
+		name   string
+		value  float64
+		bucket int // index into counts (len(bounds) = overflow)
+	}{
+		{"below first", 0.5, 0},
+		{"exactly first bound", 1, 0},
+		{"just above first bound", 1.0000001, 1},
+		{"interior", 50, 2},
+		{"exactly last bound", 100, 2},
+		{"overflow", 100.5, 3},
+		{"far overflow", 1e9, 3},
+		{"negative", -3, 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			h := NewRegistry().Histogram("b_seconds", bounds)
+			h.Observe(tc.value)
+			v := h.Value()
+			want := make([]uint64, len(bounds)+1)
+			want[tc.bucket] = 1
+			if !reflect.DeepEqual(v.Counts, want) {
+				t.Fatalf("Observe(%v): counts = %v, want %v", tc.value, v.Counts, want)
+			}
+			if v.Count != 1 || v.Sum != tc.value {
+				t.Fatalf("Observe(%v): count=%d sum=%v", tc.value, v.Count, v.Sum)
+			}
+		})
+	}
+}
+
+func TestHistogramWindows(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.SetWindow(0.5)
+	h := r.Histogram("w_seconds", []float64{1})
+	h.ObserveAt(0.125, 0.0) // window [0, 0.5)
+	h.ObserveAt(0.25, 0.49) // same window
+	h.ObserveAt(0.375, 1.3) // window [1.0, 1.5)
+	h.Observe(9)            // no timestamp: cumulative only, no window
+	v := h.Value()
+	if v.Count != 4 {
+		t.Fatalf("count = %d, want 4", v.Count)
+	}
+	want := []Window{
+		{StartSec: 0, Count: 2, Sum: 0.375},
+		{StartSec: 1, Count: 1, Sum: 0.375},
+	}
+	if !reflect.DeepEqual(v.Windows, want) {
+		t.Fatalf("windows = %+v, want %+v", v.Windows, want)
+	}
+	if v.WindowSec != 0.5 {
+		t.Fatalf("window width = %v", v.WindowSec)
+	}
+}
+
+// TestHistogramMergePerDevice is the per-device merge satellite case:
+// folding the per-device series of one family into a cluster aggregate.
+func TestHistogramMergePerDevice(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.SetWindow(1)
+	h0 := r.Histogram("k_seconds", []float64{1, 10}, "device", "rank0")
+	h1 := r.Histogram("k_seconds", []float64{1, 10}, "device", "rank1")
+	h0.ObserveAt(0.5, 0.2) // window 0
+	h0.ObserveAt(20, 2.5)  // overflow, window 2
+	h1.ObserveAt(5, 0.7)   // window 0
+	var acc HistogramSnapshot
+	if err := acc.Merge(h0.Value()); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Merge(h1.Value()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(acc.Counts, []uint64{1, 1, 1}) {
+		t.Fatalf("merged counts = %v", acc.Counts)
+	}
+	if acc.Count != 3 || acc.Sum != 25.5 {
+		t.Fatalf("merged count=%d sum=%v", acc.Count, acc.Sum)
+	}
+	wantWin := []Window{
+		{StartSec: 0, Count: 2, Sum: 5.5},
+		{StartSec: 2, Count: 1, Sum: 20},
+	}
+	if !reflect.DeepEqual(acc.Windows, wantWin) {
+		t.Fatalf("merged windows = %+v, want %+v", acc.Windows, wantWin)
+	}
+	// The registry-level helper computes the same aggregate.
+	m, err := r.Snapshot().MergedHistogram("k_seconds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Counts, acc.Counts) || m.Count != acc.Count {
+		t.Fatalf("MergedHistogram disagrees: %+v vs %+v", m, acc)
+	}
+}
+
+func TestHistogramMergeRejectsMismatch(t *testing.T) {
+	t.Parallel()
+	a := NewRegistry().Histogram("a_seconds", []float64{1, 2}).Value()
+	b := NewRegistry().Histogram("a_seconds", []float64{1, 3}).Value()
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge with different bounds did not error")
+	}
+	ra, rb := NewRegistry(), NewRegistry()
+	ra.SetWindow(1)
+	rb.SetWindow(2)
+	ha := ra.Histogram("w_seconds", []float64{1})
+	hb := rb.Histogram("w_seconds", []float64{1})
+	ha.ObserveAt(0.5, 0.5)
+	hb.ObserveAt(0.5, 0.5)
+	va := ha.Value()
+	if err := va.Merge(hb.Value()); err == nil {
+		t.Fatal("merge with different window widths did not error")
+	}
+}
+
+func TestHistogramBoundsValidation(t *testing.T) {
+	t.Parallel()
+	t.Run("empty", func(t *testing.T) {
+		defer expectPanic(t, "no buckets")
+		NewRegistry().Histogram("h_seconds", nil)
+	})
+	t.Run("not increasing", func(t *testing.T) {
+		defer expectPanic(t, "strictly increasing")
+		NewRegistry().Histogram("h_seconds", []float64{1, 1})
+	})
+	t.Run("re-registered different", func(t *testing.T) {
+		r := NewRegistry()
+		r.Histogram("h_seconds", []float64{1, 2})
+		defer expectPanic(t, "different buckets")
+		r.Histogram("h_seconds", []float64{1, 3}, "device", "x")
+	})
+}
+
+// TestHistogramExposition pins the cumulative-bucket rendering: buckets
+// accumulate, the +Inf bucket equals the observation count, and _sum /
+// _count close the series.
+func TestHistogramExposition(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.001, 0.1}, "device", "rank0")
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(7) // overflow
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{device="rank0",le="0.001"} 1`,
+		`lat_seconds_bucket{device="rank0",le="0.1"} 3`,
+		`lat_seconds_bucket{device="rank0",le="+Inf"} 4`,
+		`lat_seconds_sum{device="rank0"} 7.1005`,
+		`lat_seconds_count{device="rank0"} 4`,
+	}, "\n") + "\n"
+	if b.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", b.String(), want)
+	}
+}

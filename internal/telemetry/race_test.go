@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRegistryRaceExactTotals hammers one registry from N goroutines —
+// shared counter series, per-goroutine series, histograms, gauges and
+// per-goroutine span tracks — and asserts the final totals are *exact*:
+// under -race this is the satellite proving the registry is safe AND
+// lossless under contention, not merely crash-free.
+func TestRegistryRaceExactTotals(t *testing.T) {
+	t.Parallel()
+	const (
+		workers = 16
+		iters   = 500
+	)
+	r := NewRegistry()
+	r.SetWindow(1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			me := fmt.Sprintf("g%02d", w)
+			shared := r.Counter("race_shared_total")
+			mine := r.Counter("race_per_worker_total", "worker", me)
+			h := r.Histogram("race_seconds", []float64{0.5}, "worker", me)
+			g := r.Gauge("race_last", "worker", me)
+			for i := 0; i < iters; i++ {
+				shared.Inc()
+				mine.Inc()
+				h.ObserveAt(float64(i%2), float64(i))
+				g.Set(float64(i))
+				sp := r.StartSpan("track/"+me, fmt.Sprintf("op%d", i), "kernel", float64(i), nil)
+				sp.End(float64(i) + 0.5)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := r.Counter("race_shared_total").Value(); got != workers*iters {
+		t.Fatalf("shared counter = %d, want %d", got, workers*iters)
+	}
+	s := r.Snapshot()
+	if got := s.CounterTotal("race_per_worker_total"); got != workers*iters {
+		t.Fatalf("per-worker total = %d, want %d", got, workers*iters)
+	}
+	for w := 0; w < workers; w++ {
+		me := fmt.Sprintf("g%02d", w)
+		if got := s.CounterValue("race_per_worker_total", "worker", me); got != iters {
+			t.Fatalf("worker %s counter = %d, want %d", me, got, iters)
+		}
+	}
+	m, err := s.MergedHistogram("race_seconds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", m.Count, workers*iters)
+	}
+	// Each worker alternates 0 and 1: exactly half per bucket.
+	if m.Counts[0] != workers*iters/2 || m.Counts[1] != workers*iters/2 {
+		t.Fatalf("histogram buckets = %v", m.Counts)
+	}
+	if got := len(s.Spans); got != workers*iters {
+		t.Fatalf("spans = %d, want %d", got, workers*iters)
+	}
+}

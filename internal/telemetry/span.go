@@ -1,0 +1,117 @@
+package telemetry
+
+import "sort"
+
+// span is the registry-internal span record.
+type span struct {
+	name, kind string
+	parent     *SpanHandle
+	start, end float64
+	ended      bool
+}
+
+// SpanHandle identifies one started span. It is cheap to pass through
+// instrumented layers; a nil handle is a valid no-op (End does nothing,
+// children become roots).
+type SpanHandle struct {
+	r     *Registry
+	track string
+	idx   int
+}
+
+// StartSpan opens a span on a track at the given device virtual time.
+// Tracks are serial: each one must only ever be appended to from one
+// goroutine at a time (a device thread, a rank goroutine), which is what
+// makes within-track span order — and therefore Snapshot output —
+// deterministic. parent links the span into the job → rank → kernel →
+// vendor-call hierarchy; cross-track parents are fine.
+func (r *Registry) StartSpan(track, name, kind string, startSec float64, parent *SpanHandle) *SpanHandle {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spans[track] = append(r.spans[track], &span{name: name, kind: kind, parent: parent, start: startSec})
+	return &SpanHandle{r: r, track: track, idx: len(r.spans[track]) - 1}
+}
+
+// End closes the span at the given device virtual time. Ending twice
+// keeps the first end. Spans never ended are dropped from snapshots.
+func (h *SpanHandle) End(endSec float64) {
+	if h == nil {
+		return
+	}
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	sp := h.r.spans[h.track][h.idx]
+	if sp.ended {
+		return
+	}
+	sp.ended = true
+	sp.end = endSec
+}
+
+// RecordSpan opens and immediately closes a span — for instrumentation
+// that observes an interval after the fact.
+func (r *Registry) RecordSpan(track, name, kind string, startSec, endSec float64, parent *SpanHandle) *SpanHandle {
+	h := r.StartSpan(track, name, kind, startSec, parent)
+	h.End(endSec)
+	return h
+}
+
+// Span is one completed span in a snapshot, with canonical IDs: tracks
+// in lexicographic order, spans in append order, IDs numbered 1..N in
+// that traversal. Parent is 0 for roots (and for parents that never
+// ended).
+type Span struct {
+	ID       int     `json:"id"`
+	Parent   int     `json:"parent,omitempty"`
+	Track    string  `json:"track"`
+	Name     string  `json:"name"`
+	Kind     string  `json:"kind,omitempty"`
+	StartSec float64 `json:"start_sec"`
+	EndSec   float64 `json:"end_sec"`
+}
+
+// Spans returns every completed span in canonical order with canonical
+// IDs — byte-comparable across identical seeded runs.
+func (r *Registry) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spansLocked()
+}
+
+func (r *Registry) spansLocked() []Span {
+	tracks := make([]string, 0, len(r.spans))
+	for t := range r.spans {
+		tracks = append(tracks, t)
+	}
+	sort.Strings(tracks)
+	ids := map[*span]int{}
+	id := 0
+	for _, t := range tracks {
+		for _, sp := range r.spans[t] {
+			if sp.ended {
+				id++
+				ids[sp] = id
+			}
+		}
+	}
+	var out []Span
+	for _, t := range tracks {
+		for _, sp := range r.spans[t] {
+			if !sp.ended {
+				continue
+			}
+			s := Span{ID: ids[sp], Track: t, Name: sp.name, Kind: sp.kind, StartSec: sp.start, EndSec: sp.end}
+			if sp.parent != nil {
+				s.Parent = ids[r.spans[sp.parent.track][sp.parent.idx]]
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}

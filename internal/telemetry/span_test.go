@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSpanHierarchyAndCanonicalIDs(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	job := r.StartSpan("job", "cloverleaf", "job", 0, nil)
+	rank := r.StartSpan("rank0", "rank 0", "rank", 0, job)
+	k1 := r.StartSpan("rank0", "ideal_gas", "kernel", 0.1, rank)
+	k1.End(0.2)
+	r.RecordSpan("rank0", "set_app_clocks", "vendor-call", 0.1, 0.12, k1)
+	orphan := r.StartSpan("rank0", "never_ends", "kernel", 0.3, rank)
+	_ = orphan
+	rank.End(0.5)
+	job.End(0.6)
+
+	spans := r.Spans()
+	// Canonical order: tracks lexicographically ("job" < "rank0"), spans
+	// in append order within a track; the un-ended span is dropped.
+	want := []Span{
+		{ID: 1, Track: "job", Name: "cloverleaf", Kind: "job", StartSec: 0, EndSec: 0.6},
+		{ID: 2, Parent: 1, Track: "rank0", Name: "rank 0", Kind: "rank", StartSec: 0, EndSec: 0.5},
+		{ID: 3, Parent: 2, Track: "rank0", Name: "ideal_gas", Kind: "kernel", StartSec: 0.1, EndSec: 0.2},
+		{ID: 4, Parent: 3, Track: "rank0", Name: "set_app_clocks", Kind: "vendor-call", StartSec: 0.1, EndSec: 0.12},
+	}
+	if !reflect.DeepEqual(spans, want) {
+		t.Fatalf("spans:\n%+v\nwant:\n%+v", spans, want)
+	}
+}
+
+func TestSpanDoubleEndKeepsFirst(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	h := r.StartSpan("t", "x", "kernel", 1, nil)
+	h.End(2)
+	h.End(99)
+	spans := r.Spans()
+	if len(spans) != 1 || spans[0].EndSec != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+// A parent that never ended is dropped; its children become roots
+// (Parent 0) rather than dangling references.
+func TestSpanUnendedParentDropped(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	p := r.StartSpan("t", "parent", "rank", 0, nil)
+	c := r.StartSpan("t", "child", "kernel", 1, p)
+	c.End(2)
+	spans := r.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Name != "child" || spans[0].Parent != 0 {
+		t.Fatalf("child span = %+v, want root", spans[0])
+	}
+}
+
+func TestSpansInSnapshot(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.RecordSpan("t", "x", "kernel", 0, 1, nil)
+	s := r.Snapshot()
+	if len(s.Spans) != 1 || s.Spans[0].Name != "x" {
+		t.Fatalf("snapshot spans = %+v", s.Spans)
+	}
+}

@@ -1,0 +1,516 @@
+// Package telemetry is the unified observability layer for the
+// simulated SYnergy stack: a concurrency-safe metrics registry
+// (counters, gauges and fixed-bucket histograms) plus lightweight
+// hierarchical spans (job → rank → kernel → vendor-call), threaded
+// through core.Queue, governor, mpi.World, sweep.Engine, slurm and the
+// nvml/rocmsmi vendor layers.
+//
+// # Determinism contract
+//
+// Telemetry in this codebase is not best-effort: it is part of the
+// reproducibility surface the chaos harness asserts on. Three rules make
+// identical seeds yield identical snapshots:
+//
+//   - Time is device *virtual* time, never the wall clock. Histogram
+//     observations carry their virtual timestamp (ObserveAt) and are
+//     aggregated into fixed windows of that timeline, so the windowed
+//     series of two identical runs match exactly.
+//   - Counter totals are exact (atomic integers), so goroutine
+//     interleaving cannot change a final value, only the order in which
+//     it was reached.
+//   - Every span track and every histogram series has a single serial
+//     writer (a device thread, a rank goroutine), with happens-before
+//     edges through event waits — so within-track span order and
+//     floating-point accumulation order are deterministic. Snapshot
+//     renumbers span IDs canonically (tracks in lexicographic order,
+//     spans in append order), so snapshots compare byte-for-byte.
+//
+// WriteText renders a Prometheus-style text exposition with fully
+// deterministic ordering: families sorted by name, series sorted by
+// rendered label string, buckets in ascending bound order.
+//
+// The zero registry pointer is valid everywhere: every method on a nil
+// *Registry, *Counter, *Gauge, *Histogram or *SpanHandle is a no-op (or
+// returns a zero value), so instrumented call sites need no guards —
+// the same convention as fault.Injector.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWindowSec is the default virtual-time histogram window width.
+const DefaultWindowSec = 0.25
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Registry holds every metric family and span track of one run (or one
+// soak). It is safe for concurrent use; a nil *Registry is a valid
+// no-op sink.
+type Registry struct {
+	mu        sync.Mutex
+	windowSec float64
+	kinds     map[string]metricKind
+	bounds    map[string][]float64 // histogram family -> bucket bounds
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	spans     map[string][]*span
+}
+
+// NewRegistry creates an empty registry with the default virtual-time
+// histogram window.
+func NewRegistry() *Registry {
+	return &Registry{
+		windowSec: DefaultWindowSec,
+		kinds:     map[string]metricKind{},
+		bounds:    map[string][]float64{},
+		counters:  map[string]*Counter{},
+		gauges:    map[string]*Gauge{},
+		hists:     map[string]*Histogram{},
+		spans:     map[string][]*span{},
+	}
+}
+
+// SetWindow sets the virtual-time window width (seconds) used by
+// histograms created afterwards; sec <= 0 disables windowing. Call it
+// before instrumentation starts — existing histograms keep the width
+// they were created with.
+func (r *Registry) SetWindow(sec float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.windowSec = sec
+}
+
+// labelString validates a variadic key/value list and renders it as the
+// canonical exposition label set ("" for no labels). Labels are sorted
+// by key, so {a,b} and {b,a} name the same series.
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("telemetry: labels must be key/value pairs")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		if labels[i] == "" {
+			panic("telemetry: empty label key")
+		}
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			if pairs[i-1].k == p.k {
+				panic(fmt.Sprintf("telemetry: duplicate label key %q", p.k))
+			}
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// registerKind records the family's kind, panicking on a kind conflict —
+// the same name cannot be a counter in one call site and a histogram in
+// another.
+func (r *Registry) registerKind(name string, k metricKind) {
+	if name == "" {
+		panic("telemetry: empty metric name")
+	}
+	if prev, ok := r.kinds[name]; ok && prev != k {
+		panic(fmt.Sprintf("telemetry: metric %q registered as both %s and %s", name, prev, k))
+	}
+	r.kinds[name] = k
+}
+
+// Counter is a monotonically increasing integer metric. Totals are
+// exact under concurrency.
+type Counter struct {
+	name, labels string
+	v            atomic.Int64
+}
+
+// Counter returns (creating on first use) the counter series for the
+// given name and label pairs ("k1", "v1", "k2", "v2", ...).
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	ls := labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.registerKind(name, kindCounter)
+	key := name + ls
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{name: name, labels: ls}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (>= 0; counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	if n < 0 {
+		panic("telemetry: counter decrement")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current total.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float metric that can move both ways (device energy so
+// far, current clock, queue depth).
+type Gauge struct {
+	name, labels string
+	mu           sync.Mutex
+	v            float64
+}
+
+// Gauge returns (creating on first use) the gauge series for the given
+// name and label pairs.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	ls := labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.registerKind(name, kindGauge)
+	key := name + ls
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{name: name, labels: ls}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add adds d to the gauge.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v += d
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram returns (creating on first use) the histogram series for
+// the given family, bucket bounds and label pairs. Bounds are upper
+// bucket edges (le semantics), strictly increasing; every series of a
+// family must use identical bounds.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	ls := labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.registerKind(name, kindHistogram)
+	fam, ok := r.bounds[name]
+	if !ok {
+		checkBounds(name, bounds)
+		fam = append([]float64(nil), bounds...)
+		r.bounds[name] = fam
+	} else if !equalBounds(fam, bounds) {
+		panic(fmt.Sprintf("telemetry: histogram %q re-registered with different buckets", name))
+	}
+	key := name + ls
+	h, ok := r.hists[key]
+	if !ok {
+		h = newHistogram(name, ls, fam, r.windowSec)
+		r.hists[key] = h
+	}
+	return h
+}
+
+func checkBounds(name string, bounds []float64) {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("telemetry: histogram %q has no buckets", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("telemetry: histogram %q buckets not strictly increasing", name))
+		}
+	}
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- snapshots and exposition ---
+
+// CounterValue is one counter series in a snapshot.
+type CounterValue struct {
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"`
+	Value  int64  `json:"value"`
+}
+
+// GaugeValue is one gauge series in a snapshot.
+type GaugeValue struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// Snapshot is a consistent, canonically ordered copy of the registry:
+// series sorted by (name, labels), span IDs renumbered deterministically.
+// Two identical seeded runs produce snapshots that compare equal — and
+// marshal to identical JSON.
+type Snapshot struct {
+	Counters   []CounterValue      `json:"counters,omitempty"`
+	Gauges     []GaugeValue        `json:"gauges,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      []Span              `json:"spans,omitempty"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for _, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: c.name, Labels: c.labels, Value: c.Value()})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool {
+		if s.Counters[i].Name != s.Counters[j].Name {
+			return s.Counters[i].Name < s.Counters[j].Name
+		}
+		return s.Counters[i].Labels < s.Counters[j].Labels
+	})
+	for _, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: g.name, Labels: g.labels, Value: g.Value()})
+	}
+	sort.Slice(s.Gauges, func(i, j int) bool {
+		if s.Gauges[i].Name != s.Gauges[j].Name {
+			return s.Gauges[i].Name < s.Gauges[j].Name
+		}
+		return s.Gauges[i].Labels < s.Gauges[j].Labels
+	})
+	for _, h := range r.hists {
+		s.Histograms = append(s.Histograms, h.Value())
+	}
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		if s.Histograms[i].Name != s.Histograms[j].Name {
+			return s.Histograms[i].Name < s.Histograms[j].Name
+		}
+		return s.Histograms[i].Labels < s.Histograms[j].Labels
+	})
+	s.Spans = r.spansLocked()
+	return s
+}
+
+// WriteText writes the registry's Prometheus-style text exposition with
+// deterministic ordering. An empty registry writes nothing. Spans are
+// not part of the exposition — they export through Snapshot and the
+// Chrome trace.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	return r.Snapshot().WriteText(w)
+}
+
+// WriteText renders the snapshot's metrics as Prometheus-style text.
+func (s Snapshot) WriteText(w io.Writer) error {
+	kinds := map[string]string{}
+	lines := map[string][]string{}
+	for _, c := range s.Counters {
+		kinds[c.Name] = "counter"
+		lines[c.Name] = append(lines[c.Name], fmt.Sprintf("%s%s %d", c.Name, c.Labels, c.Value))
+	}
+	for _, g := range s.Gauges {
+		kinds[g.Name] = "gauge"
+		lines[g.Name] = append(lines[g.Name], fmt.Sprintf("%s%s %s", g.Name, g.Labels, FormatFloat(g.Value)))
+	}
+	for _, h := range s.Histograms {
+		kinds[h.Name] = "histogram"
+		cum := uint64(0)
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			lines[h.Name] = append(lines[h.Name],
+				fmt.Sprintf("%s_bucket%s %d", h.Name, withLE(h.Labels, FormatFloat(b)), cum))
+		}
+		cum += h.Counts[len(h.Bounds)]
+		lines[h.Name] = append(lines[h.Name],
+			fmt.Sprintf("%s_bucket%s %d", h.Name, withLE(h.Labels, "+Inf"), cum))
+		lines[h.Name] = append(lines[h.Name],
+			fmt.Sprintf("%s_sum%s %s", h.Name, h.Labels, FormatFloat(h.Sum)))
+		lines[h.Name] = append(lines[h.Name],
+			fmt.Sprintf("%s_count%s %d", h.Name, h.Labels, h.Count))
+	}
+	names := make([]string, 0, len(kinds))
+	for n := range kinds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, kinds[n]); err != nil {
+			return err
+		}
+		for _, l := range lines[n] {
+			if _, err := io.WriteString(w, l+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// withLE appends the le bucket label to an already rendered label set.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// FormatFloat renders a float the way the exposition does: shortest
+// round-trip 'g' form, so identical values render identically.
+func FormatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// CounterValue returns the snapshot value of one counter series
+// (0 when absent).
+func (s Snapshot) CounterValue(name string, labels ...string) int64 {
+	ls := labelString(labels)
+	for _, c := range s.Counters {
+		if c.Name == name && c.Labels == ls {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// GaugeValue returns the snapshot value of one gauge series
+// (0 when absent).
+func (s Snapshot) GaugeValue(name string, labels ...string) float64 {
+	ls := labelString(labels)
+	for _, g := range s.Gauges {
+		if g.Name == name && g.Labels == ls {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// CounterTotal sums a counter family across all label sets.
+func (s Snapshot) CounterTotal(name string) int64 {
+	var t int64
+	for _, c := range s.Counters {
+		if c.Name == name {
+			t += c.Value
+		}
+	}
+	return t
+}
+
+// MergedHistogram merges every series of a histogram family into one
+// aggregate (per-device histograms into a cluster-wide one).
+func (s Snapshot) MergedHistogram(name string) (HistogramSnapshot, error) {
+	var out HistogramSnapshot
+	found := false
+	for _, h := range s.Histograms {
+		if h.Name != name {
+			continue
+		}
+		found = true
+		if err := out.Merge(h); err != nil {
+			return HistogramSnapshot{}, err
+		}
+	}
+	if !found {
+		return HistogramSnapshot{}, fmt.Errorf("telemetry: no histogram family %q", name)
+	}
+	out.Name = name
+	out.Labels = ""
+	return out, nil
+}

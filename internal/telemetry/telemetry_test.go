@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	c := r.Counter("synergy_things_total", "device", "rank0")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter value = %d, want 5", got)
+	}
+	if again := r.Counter("synergy_things_total", "device", "rank0"); again != c {
+		t.Fatal("same (name, labels) did not return the same counter series")
+	}
+	// Label order must not matter: the rendered label set is canonical.
+	a := r.Counter("synergy_multi_total", "b", "2", "a", "1")
+	b := r.Counter("synergy_multi_total", "a", "1", "b", "2")
+	if a != b {
+		t.Fatal("label order created distinct series")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("series aliasing broken")
+	}
+}
+
+func TestCounterRejectsDecrement(t *testing.T) {
+	t.Parallel()
+	defer expectPanic(t, "counter decrement")
+	NewRegistry().Counter("c_total").Add(-1)
+}
+
+func TestGaugeBasics(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	g := r.Gauge("synergy_level", "device", "rank0")
+	g.Set(2.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 2.0 {
+		t.Fatalf("gauge value = %v, want 2", got)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.Counter("synergy_x")
+	defer expectPanic(t, "registered as both")
+	r.Gauge("synergy_x")
+}
+
+func TestLabelValidation(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	t.Run("odd", func(t *testing.T) {
+		defer expectPanic(t, "key/value pairs")
+		r.Counter("c_total", "device")
+	})
+	t.Run("dup key", func(t *testing.T) {
+		defer expectPanic(t, "duplicate label key")
+		r.Counter("c_total", "device", "a", "device", "b")
+	})
+	t.Run("empty key", func(t *testing.T) {
+		defer expectPanic(t, "empty label key")
+		r.Counter("c_total", "", "v")
+	})
+	t.Run("empty name", func(t *testing.T) {
+		defer expectPanic(t, "empty metric name")
+		r.Counter("")
+	})
+}
+
+func TestLabelEscaping(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.Counter("weird_total", "path", `a\b"c`+"\n").Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `weird_total{path="a\\b\"c\n"} 1` + "\n"
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("exposition %q missing escaped line %q", b.String(), want)
+	}
+}
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	t.Parallel()
+	var r *Registry
+	r.SetWindow(1)
+	r.Counter("c_total", "a", "b").Inc()
+	r.Gauge("g").Set(1)
+	r.Histogram("h", TimeBuckets).ObserveAt(1, 2)
+	h := r.StartSpan("t", "n", "k", 0, nil)
+	h.End(1)
+	r.RecordSpan("t", "n", "k", 0, 1, nil)
+	if got := r.Counter("c_total").Value(); got != 0 {
+		t.Fatalf("nil registry counter = %d", got)
+	}
+	if r.Spans() != nil {
+		t.Fatal("nil registry returned spans")
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("nil registry exposition wrote %q, err %v", b.String(), err)
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 || len(s.Spans) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+// TestEmptyRegistryExposition is the empty-registry edge case: a
+// registry with no metrics writes nothing at all (no stray families).
+func TestEmptyRegistryExposition(t *testing.T) {
+	t.Parallel()
+	var b strings.Builder
+	if err := NewRegistry().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("empty registry wrote %q", b.String())
+	}
+}
+
+func TestWriteTextDeterministicAcrossCalls(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	// Populate in an order unlike the expected output order.
+	r.Gauge("z_gauge", "device", "b").Set(1)
+	r.Counter("a_total", "device", "rank1").Add(2)
+	r.Counter("a_total", "device", "rank0").Add(1)
+	r.Histogram("m_seconds", []float64{1, 2}, "device", "rank0").Observe(1.5)
+	var b1, b2 strings.Builder
+	if err := r.WriteText(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("two expositions of the same registry differ")
+	}
+	// Families sorted by name, series by label set.
+	text := b1.String()
+	iA := strings.Index(text, "# TYPE a_total counter")
+	iM := strings.Index(text, "# TYPE m_seconds histogram")
+	iZ := strings.Index(text, "# TYPE z_gauge gauge")
+	if !(iA >= 0 && iA < iM && iM < iZ) {
+		t.Fatalf("families out of order:\n%s", text)
+	}
+	if r0, r1 := strings.Index(text, `a_total{device="rank0"}`), strings.Index(text, `a_total{device="rank1"}`); !(r0 >= 0 && r0 < r1) {
+		t.Fatalf("series out of order:\n%s", text)
+	}
+}
+
+func TestSnapshotHelpers(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.Counter("jobs_total", "result", "completed").Add(3)
+	r.Counter("jobs_total", "result", "failed").Add(2)
+	r.Histogram("lat_seconds", []float64{1}, "device", "a").Observe(0.5)
+	r.Histogram("lat_seconds", []float64{1}, "device", "b").Observe(2)
+	s := r.Snapshot()
+	if got := s.CounterValue("jobs_total", "result", "completed"); got != 3 {
+		t.Fatalf("CounterValue = %d, want 3", got)
+	}
+	if got := s.CounterValue("jobs_total", "result", "missing"); got != 0 {
+		t.Fatalf("absent series CounterValue = %d, want 0", got)
+	}
+	if got := s.CounterTotal("jobs_total"); got != 5 {
+		t.Fatalf("CounterTotal = %d, want 5", got)
+	}
+	m, err := s.MergedHistogram("lat_seconds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count != 2 || m.Counts[0] != 1 || m.Counts[1] != 1 {
+		t.Fatalf("merged histogram = %+v", m)
+	}
+	if _, err := s.MergedHistogram("no_such_family"); err == nil {
+		t.Fatal("MergedHistogram on a missing family did not error")
+	}
+}
+
+func TestSetWindowAffectsNewHistograms(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.SetWindow(0) // disable windowing
+	h := r.Histogram("w_seconds", []float64{1})
+	h.ObserveAt(0.5, 3)
+	if v := h.Value(); len(v.Windows) != 0 || v.WindowSec != 0 {
+		t.Fatalf("windowing not disabled: %+v", v)
+	}
+}
+
+func expectPanic(t *testing.T, substr string) {
+	t.Helper()
+	r := recover()
+	if r == nil {
+		t.Fatalf("expected panic containing %q", substr)
+	}
+	if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+		t.Fatalf("panic %v does not contain %q", r, substr)
+	}
+}

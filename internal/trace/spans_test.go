@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"synergy/internal/hw"
+	"synergy/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestSortSegmentsDeterministic is the regression test for the export
+// ordering instability: with equal start times (zero-duration markers
+// next to a kernel segment) the old sort, keyed on the start time only,
+// could emit any permutation of the tied segments depending on their
+// input order. The full (Start, End, Label) key must map every input
+// permutation of the same multiset to one output order.
+func TestSortSegmentsDeterministic(t *testing.T) {
+	base := []hw.Segment{
+		{Start: 0, End: 0, PowerW: 1, Label: "marker-a"},
+		{Start: 0, End: 0, PowerW: 2, Label: "marker-b"},
+		{Start: 0, End: 1, PowerW: 3, Label: "kernel"},
+		{Start: 1, End: 1, PowerW: 4, Label: "marker-c"},
+		{Start: 1, End: 2, PowerW: 5, Label: "kernel"},
+	}
+	want := make([]hw.Segment, len(base))
+	copy(want, base)
+	sortSegments(want)
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		got := make([]hw.Segment, len(base))
+		copy(got, base)
+		rng.Shuffle(len(got), func(i, j int) { got[i], got[j] = got[j], got[i] })
+		sortSegments(got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: segment %d = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// traceDevice builds a small deterministic timeline: two kernels with an
+// idle gap.
+func traceDevice(t *testing.T) *hw.Device {
+	t.Helper()
+	dev := hw.NewDevice(hw.V100())
+	dev.SetLabel("rank0")
+	for _, name := range []string{"advec", "diffuse"} {
+		if _, err := dev.ExecuteKernel(hw.Workload{
+			Name: name, Items: 1 << 18, FloatOps: 40, GlobalBytes: 12,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		dev.AdvanceIdle(0.0005)
+	}
+	return dev
+}
+
+// traceSpans builds a canonical span set with a parent/child pair on two
+// tracks.
+func traceSpans() []telemetry.Span {
+	r := telemetry.NewRegistry()
+	job := r.StartSpan("job", "mini-app", "job", 0, nil)
+	k := r.StartSpan("rank0", "advec", "kernel", 0.0001, job)
+	r.RecordSpan("rank0", "execute", "phase", 0.0002, 0.0008, k)
+	k.End(0.0008)
+	job.End(0.002)
+	return r.Spans()
+}
+
+func TestExportWithSpansGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportWith(&buf, []Device{{Label: "rank0", Dev: traceDevice(t)}}, traceSpans()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "trace.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output differs from golden file %s\ngot:\n%s\nwant:\n%s", path, buf.Bytes(), want)
+	}
+}
+
+func TestExportWithSpansStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportWith(&buf, []Device{{Label: "rank0", Dev: traceDevice(t)}}, traceSpans()); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	spanThreads := map[int]string{}
+	spanEvents := 0
+	for _, e := range parsed.TraceEvents {
+		if e.Pid != spanPid {
+			continue
+		}
+		switch e.Ph {
+		case "M":
+			spanThreads[e.Tid] = e.Args["name"].(string)
+		case "X":
+			spanEvents++
+		}
+	}
+	if len(spanThreads) != 2 {
+		t.Errorf("span process has %d threads, want 2 (job, rank0): %v", len(spanThreads), spanThreads)
+	}
+	if spanThreads[0] != "job" || spanThreads[1] != "rank0" {
+		t.Errorf("span thread names = %v, want tid0=job tid1=rank0", spanThreads)
+	}
+	if spanEvents != 3 {
+		t.Errorf("%d span events, want 3", spanEvents)
+	}
+}
+
+func TestExportWithIsByteDeterministic(t *testing.T) {
+	render := func() []byte {
+		var buf bytes.Buffer
+		if err := ExportWith(&buf, []Device{{Label: "rank0", Dev: traceDevice(t)}}, traceSpans()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Error("two identical exports differ byte-wise")
+	}
+}

@@ -2,7 +2,9 @@
 // (chrome://tracing, Perfetto): one track per GPU with a complete event
 // per kernel (name, frequency, energy) and a power counter track — a
 // practical way to inspect what per-kernel frequency scaling did to a
-// run.
+// run. ExportWith additionally renders telemetry spans as a second
+// process, so queue-wait, clock-set and execute phases of every kernel
+// line up under the device timelines.
 package trace
 
 import (
@@ -12,6 +14,7 @@ import (
 	"sort"
 
 	"synergy/internal/hw"
+	"synergy/internal/telemetry"
 )
 
 // event is one Chrome trace event (the subset we emit).
@@ -36,8 +39,42 @@ type Device struct {
 	Dev   *hw.Device
 }
 
+// Process IDs of the two exported processes: device timelines and
+// telemetry span tracks.
+const (
+	devicePid = 1
+	spanPid   = 2
+)
+
+// sortSegments orders a device timeline for export: by start time, then
+// end time, then label. The full key makes the order a function of the
+// segment multiset alone — equal-start segments (zero-duration markers)
+// can never flip between exports, which an unstable sort keyed on the
+// start time alone allowed.
+func sortSegments(segs []hw.Segment) {
+	sort.SliceStable(segs, func(i, j int) bool {
+		if segs[i].Start != segs[j].Start {
+			return segs[i].Start < segs[j].Start
+		}
+		if segs[i].End != segs[j].End {
+			return segs[i].End < segs[j].End
+		}
+		return segs[i].Label < segs[j].Label
+	})
+}
+
 // Export writes the Chrome-trace JSON for the devices' full timelines.
 func Export(w io.Writer, devices []Device) error {
+	return ExportWith(w, devices, nil)
+}
+
+// ExportWith is Export plus telemetry spans: the spans (as returned by
+// telemetry.Registry.Spans or a Snapshot) are rendered as a second
+// process with one thread per span track, named after the track. Span
+// tracks appear in the spans' canonical order (lexicographic by track),
+// so the output is byte-deterministic for a deterministic run. A nil or
+// empty span slice makes this exactly Export.
+func ExportWith(w io.Writer, devices []Device, spans []telemetry.Span) error {
 	if len(devices) == 0 {
 		return fmt.Errorf("trace: no devices to export")
 	}
@@ -45,11 +82,11 @@ func Export(w io.Writer, devices []Device) error {
 	f.DisplayTimeUnit = "ms"
 	for tid, d := range devices {
 		f.TraceEvents = append(f.TraceEvents, event{
-			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Name: "thread_name", Ph: "M", Pid: devicePid, Tid: tid,
 			Args: map[string]any{"name": d.Label},
 		})
 		segs := d.Dev.Segments()
-		sort.Slice(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
+		sortSegments(segs)
 		idle := d.Dev.Spec().IdlePowerW
 		prevEnd := 0.0
 		for _, s := range segs {
@@ -60,7 +97,7 @@ func Export(w io.Writer, devices []Device) error {
 			f.TraceEvents = append(f.TraceEvents, event{
 				Name: s.Label, Ph: "X",
 				Ts: s.Start * 1e6, Dur: (s.End - s.Start) * 1e6,
-				Pid: 1, Tid: tid,
+				Pid: devicePid, Tid: tid,
 				Args: map[string]any{
 					"powerW":  s.PowerW,
 					"energyJ": s.PowerW * (s.End - s.Start),
@@ -71,13 +108,44 @@ func Export(w io.Writer, devices []Device) error {
 		}
 		f.TraceEvents = append(f.TraceEvents, counter(tid, prevEnd, idle))
 	}
+	if len(spans) > 0 {
+		// One span-process thread per track, in first-appearance order
+		// (canonical spans arrive sorted by track already).
+		tids := map[string]int{}
+		for _, s := range spans {
+			if _, ok := tids[s.Track]; ok {
+				continue
+			}
+			tid := len(tids)
+			tids[s.Track] = tid
+			f.TraceEvents = append(f.TraceEvents, event{
+				Name: "thread_name", Ph: "M", Pid: spanPid, Tid: tid,
+				Args: map[string]any{"name": s.Track},
+			})
+		}
+		for _, s := range spans {
+			args := map[string]any{"id": s.ID}
+			if s.Kind != "" {
+				args["kind"] = s.Kind
+			}
+			if s.Parent != 0 {
+				args["parent"] = s.Parent
+			}
+			f.TraceEvents = append(f.TraceEvents, event{
+				Name: s.Name, Ph: "X",
+				Ts: s.StartSec * 1e6, Dur: (s.EndSec - s.StartSec) * 1e6,
+				Pid: spanPid, Tid: tids[s.Track],
+				Args: args,
+			})
+		}
+	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(f)
 }
 
 func counter(tid int, t, powerW float64) event {
 	return event{
-		Name: "power", Ph: "C", Ts: t * 1e6, Pid: 1, Tid: tid,
+		Name: "power", Ph: "C", Ts: t * 1e6, Pid: devicePid, Tid: tid,
 		Args: map[string]any{"W": powerW},
 	}
 }
