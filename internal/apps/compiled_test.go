@@ -1,0 +1,45 @@
+package apps
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"synergy/internal/kernelir"
+	"synergy/internal/kernelir/compile"
+)
+
+// TestTelemetryIdenticalOnCompiledPath re-runs the telemetry
+// cross-validation scenario once on the compiled executor and once on
+// the interpreter and requires byte-identical exposition output and
+// span logs: switching executors must be invisible to every observable
+// the telemetry layer derives from a run. Not parallel — it swaps the
+// process-wide Runner.
+func TestTelemetryIdenticalOnCompiledPath(t *testing.T) {
+	render := func(r kernelir.Runner) (string, string) {
+		prev := kernelir.ActiveRunner()
+		kernelir.SetRunner(r)
+		defer kernelir.SetRunner(prev)
+		run := runWithTelemetry(t, 7)
+		var expo bytes.Buffer
+		if err := run.reg.WriteText(&expo); err != nil {
+			t.Fatal(err)
+		}
+		spans, err := json.Marshal(run.reg.Spans())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return expo.String(), string(spans)
+	}
+	expoC, spansC := render(compile.Default())
+	expoI, spansI := render(nil)
+	if expoC != expoI {
+		t.Errorf("exposition differs between compiled and interpreted runs:\n--- compiled\n%s\n--- interpreted\n%s", expoC, expoI)
+	}
+	if spansC != spansI {
+		t.Errorf("span logs differ between compiled and interpreted runs:\n--- compiled\n%s\n--- interpreted\n%s", spansC, spansI)
+	}
+	if len(expoC) == 0 {
+		t.Error("empty exposition from an instrumented run")
+	}
+}

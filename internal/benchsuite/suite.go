@@ -11,6 +11,10 @@ import (
 	"sort"
 
 	"synergy/internal/kernelir"
+
+	// Importing compile installs the closure-threaded executor as the
+	// process-wide kernelir.Runner, so suite kernels run compiled.
+	_ "synergy/internal/kernelir/compile"
 )
 
 // Benchmark is one suite entry.

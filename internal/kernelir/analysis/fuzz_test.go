@@ -6,6 +6,10 @@ import (
 	"synergy/internal/hw"
 	"synergy/internal/kernelir"
 	"synergy/internal/kernelir/analysis"
+
+	// Importing compile installs the compiled Runner, so the checked
+	// oracle below exercises the compiled path the way production does.
+	_ "synergy/internal/kernelir/compile"
 )
 
 // FuzzAnalyze drives the analyzer with arbitrary instruction streams and

@@ -1,0 +1,134 @@
+package compile_test
+
+import (
+	"errors"
+	"testing"
+
+	"synergy/internal/kernelir"
+	"synergy/internal/kernelir/compile"
+)
+
+// withRunner swaps the process Runner for the duration of fn. Tests
+// using it must not run in parallel (the runner is process-global).
+func withRunner(t *testing.T, r kernelir.Runner, fn func()) {
+	t.Helper()
+	prev := kernelir.ActiveRunner()
+	kernelir.SetRunner(r)
+	defer kernelir.SetRunner(prev)
+	fn()
+}
+
+// trapKernel offends local bounds at two pcs across several items:
+// item 0 traps at the second access (index gid-1 = -1), item 1 already
+// traps at the first (index gid+1 = 2 >= LocalF32). Checked execution
+// reports the first offending pc of the lowest offending item, so the
+// expected trap is (item 0, second store) — an ordering both executors
+// must reproduce exactly.
+func trapKernel() *kernelir.Kernel {
+	return &kernelir.Kernel{
+		Name: "trap_order",
+		Params: []kernelir.Param{
+			{Name: "out", IsBuffer: true, Type: kernelir.F32, Access: kernelir.ReadWrite},
+		},
+		NumIntRegs:   4,
+		NumFloatRegs: 1,
+		LocalF32:     2,
+		Body: []kernelir.Instr{
+			{Op: kernelir.OpGlobalID, Dst: 0},
+			{Op: kernelir.OpConstI, Dst: 1, Imm: 1},
+			{Op: kernelir.OpConstF, Dst: 0, Imm: 2.5},
+			{Op: kernelir.OpAddI, Dst: 2, A: 0, B: 1},
+			{Op: kernelir.OpStoreLF, A: 2, B: 0}, // pc 4: OOB for gid >= 1
+			{Op: kernelir.OpSubI, Dst: 3, A: 0, B: 1},
+			{Op: kernelir.OpStoreLF, A: 3, B: 0}, // pc 6: OOB for gid == 0
+			{Op: kernelir.OpStoreGF, A: 0, B: 0, Buf: 0},
+		},
+	}
+}
+
+// uninitKernel reads a float register that is never written: a static
+// (pre-execution) checked finding.
+func uninitKernel() *kernelir.Kernel {
+	return &kernelir.Kernel{
+		Name: "uninit_read",
+		Params: []kernelir.Param{
+			{Name: "out", IsBuffer: true, Type: kernelir.F32, Access: kernelir.ReadWrite},
+		},
+		NumIntRegs:   1,
+		NumFloatRegs: 2,
+		Body: []kernelir.Instr{
+			{Op: kernelir.OpGlobalID, Dst: 0},
+			{Op: kernelir.OpAddF, Dst: 1, A: 0, B: 0}, // f0 never written
+			{Op: kernelir.OpStoreGF, A: 0, B: 1, Buf: 0},
+		},
+	}
+}
+
+// TestCheckedTrapOrderingMatches runs ExecuteChecked under the compiled
+// runner and under the interpreter and asserts identical trap reports —
+// same item, same pc, same message — for both dynamic (local
+// out-of-bounds) and static (use-before-def) findings. The dynamic case
+// exercises compilation of the instrumented kernel ExecuteChecked
+// builds internally.
+func TestCheckedTrapOrderingMatches(t *testing.T) {
+	kernels := []*kernelir.Kernel{trapKernel(), uninitKernel()}
+	wantTraps := []struct{ pc, item int }{{6, 0}, {1, -1}}
+
+	for i, k := range kernels {
+		args := func() kernelir.Args {
+			return kernelir.Args{F32: map[string][]float32{"out": make([]float32, 8)}}
+		}
+		var errCompiled, errInterp error
+		withRunner(t, compile.Default(), func() {
+			errCompiled = kernelir.ExecuteChecked(k, args(), 4)
+		})
+		withRunner(t, nil, func() {
+			errInterp = kernelir.ExecuteChecked(k, args(), 4)
+		})
+		if errCompiled == nil || errInterp == nil {
+			t.Fatalf("%s: expected traps, got compiled %v, interpreted %v", k.Name, errCompiled, errInterp)
+		}
+		if errCompiled.Error() != errInterp.Error() {
+			t.Fatalf("%s: trap mismatch:\n  compiled:    %s\n  interpreted: %s", k.Name, errCompiled, errInterp)
+		}
+		var ce *kernelir.CheckError
+		if !errors.As(errCompiled, &ce) {
+			t.Fatalf("%s: compiled trap is %T, want *CheckError", k.Name, errCompiled)
+		}
+		if ce.PC != wantTraps[i].pc || ce.Item != int64(wantTraps[i].item) {
+			t.Fatalf("%s: trap at pc %d item %d, want pc %d item %d",
+				k.Name, ce.PC, ce.Item, wantTraps[i].pc, wantTraps[i].item)
+		}
+	}
+}
+
+// TestCheckedCleanKernelMatches asserts a trap-free kernel passes
+// checked execution identically on both paths and produces bit-exact
+// buffers through the checked entry point.
+func TestCheckedCleanKernelMatches(t *testing.T) {
+	b := kernelir.NewBuilder("local_clean")
+	in := b.BufferF32("in", kernelir.Read)
+	out := b.BufferF32("out", kernelir.Write)
+	b.Local(4)
+	gid := b.GlobalID()
+	x := b.LoadF(in, gid)
+	idx := b.RemI(gid, b.ConstI(4)) // always in [0, 3]: no traps
+	b.StoreLocal(idx, x)
+	b.StoreF(out, gid, b.AddF(b.LoadLocal(idx), x))
+	k := b.MustBuild()
+	mk := func() kernelir.Args {
+		return kernelir.Args{F32: map[string][]float32{"in": f32ramp(6), "out": make([]float32, 6)}}
+	}
+	aC, aI := mk(), mk()
+	withRunner(t, compile.Default(), func() {
+		if err := kernelir.ExecuteChecked(k, aC, 6); err != nil {
+			t.Fatalf("compiled checked execution failed: %v", err)
+		}
+	})
+	withRunner(t, nil, func() {
+		if err := kernelir.ExecuteChecked(k, aI, 6); err != nil {
+			t.Fatalf("interpreted checked execution failed: %v", err)
+		}
+	})
+	compareBuffers(t, "checked_clean", aI, aC)
+}

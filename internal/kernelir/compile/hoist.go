@@ -1,0 +1,221 @@
+package compile
+
+import "synergy/internal/kernelir"
+
+// Loop-invariant hoisting. The compiler moves pure register computations
+// whose operands cannot change across iterations out in front of their
+// Repeat block. Because Validate guarantees every Repeat executes at
+// least once (trip >= 1), running a hoisted instruction exactly once
+// before the loop leaves every register in the same final state as
+// running it every iteration — bit-exactly, since the ops involved are
+// deterministic and side-effect free.
+//
+// An instruction is hoisted out of its innermost enclosing loop when:
+//
+//   - it is a pure register op (has a destination, touches no global or
+//     local memory; scalar parameter reads count as pure);
+//   - every operand is loop-invariant: all writes to it anywhere in the
+//     loop's subtree come from instructions already hoisted ahead of it;
+//   - its destination is written exactly once in the loop's subtree (by
+//     the instruction itself) and is not read at any earlier position in
+//     the loop — otherwise iteration 1 could observe a stale value.
+//
+// Loops are processed innermost-first, so an instruction hoisted out of
+// an inner loop becomes an ordinary instruction of the enclosing loop's
+// body and can cascade further out.
+
+// regKey identifies one register in one file.
+type regKey struct {
+	file kernelir.ScalarType
+	reg  int
+}
+
+// hitem is either one plain instruction or one nested Repeat block.
+type hitem struct {
+	in   kernelir.Instr
+	loop *hloop
+}
+
+type hloop struct {
+	begin, end kernelir.Instr
+	items      []hitem
+}
+
+// parseItems structures a validated (balanced) body into a sequence tree.
+func parseItems(body []kernelir.Instr) []hitem {
+	var root []hitem
+	var stack []*hloop
+	put := func(it hitem) {
+		if n := len(stack); n > 0 {
+			stack[n-1].items = append(stack[n-1].items, it)
+		} else {
+			root = append(root, it)
+		}
+	}
+	for _, in := range body {
+		switch in.Op {
+		case kernelir.OpRepeatBegin:
+			stack = append(stack, &hloop{begin: in})
+		case kernelir.OpRepeatEnd:
+			l := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			l.end = in
+			put(hitem{loop: l})
+		default:
+			put(hitem{in: in})
+		}
+	}
+	return root
+}
+
+// readKeys returns the registers an instruction reads.
+func readKeys(in kernelir.Instr) []regKey {
+	info := kernelir.InfoOf(in.Op)
+	var out []regKey
+	if info.HasA {
+		out = append(out, regKey{info.AFile, in.A})
+	}
+	if info.HasB {
+		out = append(out, regKey{info.BFile, in.B})
+	}
+	if info.HasC {
+		out = append(out, regKey{info.CFile, in.C})
+	}
+	return out
+}
+
+// writeKey returns the register an instruction writes, if any.
+func writeKey(in kernelir.Instr) (regKey, bool) {
+	info := kernelir.InfoOf(in.Op)
+	if !info.HasDst {
+		return regKey{}, false
+	}
+	return regKey{info.DstFile, in.Dst}, true
+}
+
+// isPure reports whether the instruction is a deterministic register op
+// with no memory effects (hoisting candidate).
+func isPure(in kernelir.Instr) bool {
+	switch in.Op {
+	case kernelir.OpRepeatBegin, kernelir.OpRepeatEnd:
+		return false
+	}
+	info := kernelir.InfoOf(in.Op)
+	return info.HasDst && !info.IsMemOp && !info.IsLocal
+}
+
+// countWrites tallies register writes over a whole subtree.
+func countWrites(items []hitem, into map[regKey]int) {
+	for _, it := range items {
+		if it.loop != nil {
+			countWrites(it.loop.items, into)
+			continue
+		}
+		if dk, ok := writeKey(it.in); ok {
+			into[dk]++
+		}
+	}
+}
+
+// markReads records every register read in a subtree.
+func markReads(items []hitem, into map[regKey]bool) {
+	for _, it := range items {
+		if it.loop != nil {
+			markReads(it.loop.items, into)
+			continue
+		}
+		for _, rk := range readKeys(it.in) {
+			into[rk] = true
+		}
+	}
+}
+
+// hoistFromLoop splits one loop's (already innermost-processed) item
+// sequence into a prologue of hoisted instructions and the kept body.
+func hoistFromLoop(items []hitem, hoisted *int) (prologue, kept []hitem) {
+	writeCount := make(map[regKey]int)
+	countWrites(items, writeCount)
+	hoistedWrites := make(map[regKey]int)
+	readBefore := make(map[regKey]bool)
+
+	for _, it := range items {
+		if it.loop != nil {
+			markReads(it.loop.items, readBefore)
+			kept = append(kept, it)
+			continue
+		}
+		in := it.in
+		ok := isPure(in)
+		var dk regKey
+		if ok {
+			dk, ok = writeKey(in)
+		}
+		if ok && (writeCount[dk] != 1 || readBefore[dk]) {
+			ok = false
+		}
+		if ok {
+			for _, rk := range readKeys(in) {
+				if writeCount[rk] != hoistedWrites[rk] {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			prologue = append(prologue, it)
+			hoistedWrites[dk]++
+			*hoisted++
+		} else {
+			kept = append(kept, it)
+		}
+		for _, rk := range readKeys(in) {
+			readBefore[rk] = true
+		}
+	}
+	return prologue, kept
+}
+
+// processItems hoists innermost-first: each child loop is processed
+// recursively, then its invariants are spliced in front of it at this
+// level, where an enclosing loop's pass sees them as plain instructions.
+func processItems(items []hitem, hoisted *int) []hitem {
+	var out []hitem
+	for _, it := range items {
+		if it.loop == nil {
+			out = append(out, it)
+			continue
+		}
+		inner := processItems(it.loop.items, hoisted)
+		pro, kept := hoistFromLoop(inner, hoisted)
+		it.loop.items = kept
+		out = append(out, pro...)
+		out = append(out, it)
+	}
+	return out
+}
+
+func flattenItems(items []hitem, out []kernelir.Instr) []kernelir.Instr {
+	for _, it := range items {
+		if it.loop != nil {
+			out = append(out, it.loop.begin)
+			out = flattenItems(it.loop.items, out)
+			out = append(out, it.loop.end)
+			continue
+		}
+		out = append(out, it.in)
+	}
+	return out
+}
+
+// hoistBody returns a semantically-equivalent body with loop-invariant
+// instructions moved in front of their Repeat blocks, plus the number of
+// hoist moves performed (an instruction cascading out of two nested
+// loops counts twice).
+func hoistBody(body []kernelir.Instr) ([]kernelir.Instr, int) {
+	hoisted := 0
+	items := processItems(parseItems(body), &hoisted)
+	if hoisted == 0 {
+		return body, 0
+	}
+	return flattenItems(items, make([]kernelir.Instr, 0, len(body))), hoisted
+}

@@ -1,0 +1,177 @@
+package compile
+
+import (
+	"testing"
+
+	"synergy/internal/kernelir"
+)
+
+// loopBodyLen returns the instruction count between the first
+// OpRepeatBegin and its matching end at nesting depth 1.
+func loopBodyLen(body []kernelir.Instr) int {
+	depth, n := 0, 0
+	for _, in := range body {
+		switch in.Op {
+		case kernelir.OpRepeatBegin:
+			depth++
+			if depth == 1 {
+				n = 0
+				continue
+			}
+		case kernelir.OpRepeatEnd:
+			if depth == 1 {
+				return n
+			}
+			depth--
+		}
+		if depth >= 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func TestHoistInvariantChain(t *testing.T) {
+	// gid and c are written outside the loop; t1 depends only on them, t2
+	// only on t1 and gid — both must cascade out. The accumulator chain
+	// (acc reads its own previous value) must stay in.
+	b := kernelir.NewBuilder("hoist_chain")
+	out := b.BufferI32("out", kernelir.Write)
+	gid := b.GlobalID()
+	acc := b.CopyI(gid)
+	b.Repeat(8, func() {
+		c := b.ConstI(3)
+		t1 := b.MulI(gid, c)
+		t2 := b.AddI(t1, gid)
+		b.MoveI(acc, b.AddI(acc, t2))
+	})
+	b.StoreI(out, gid, acc)
+	k := b.MustBuild()
+
+	hoisted, n := hoistBody(k.Body)
+	if n != 3 {
+		t.Fatalf("hoisted %d instructions, want 3 (const, mul, add)", n)
+	}
+	// Loop keeps only the accumulator add + move.
+	if got := loopBodyLen(hoisted); got != 2 {
+		t.Fatalf("loop body has %d instructions after hoisting, want 2:\n%v", got, hoisted)
+	}
+}
+
+func TestHoistBlockedByEarlierRead(t *testing.T) {
+	// r0 is read (by the add) before the const writes it: iteration 1
+	// must see the pre-loop value, so the const cannot be hoisted even
+	// though it is pure and singly-written.
+	body := []kernelir.Instr{
+		{Op: kernelir.OpRepeatBegin, Imm: 3},
+		{Op: kernelir.OpAddI, Dst: 1, A: 0, B: 0},
+		{Op: kernelir.OpConstI, Dst: 0, Imm: 5},
+		{Op: kernelir.OpRepeatEnd},
+	}
+	_, n := hoistBody(body)
+	if n != 0 {
+		t.Fatalf("hoisted %d instructions out of a read-before-write loop, want 0", n)
+	}
+}
+
+func TestHoistBlockedByMultipleWrites(t *testing.T) {
+	// r1 is written twice in the loop; neither write may move.
+	body := []kernelir.Instr{
+		{Op: kernelir.OpRepeatBegin, Imm: 3},
+		{Op: kernelir.OpConstI, Dst: 1, Imm: 5},
+		{Op: kernelir.OpConstI, Dst: 1, Imm: 7},
+		{Op: kernelir.OpRepeatEnd},
+	}
+	_, n := hoistBody(body)
+	if n != 0 {
+		t.Fatalf("hoisted %d of two same-register writes, want 0", n)
+	}
+}
+
+func TestHoistExcludesMemoryOps(t *testing.T) {
+	// A load is not pure (stores may change the buffer between
+	// iterations) and must never be hoisted, even when its index is
+	// invariant.
+	b := kernelir.NewBuilder("hoist_mem")
+	buf := b.BufferF32("buf", kernelir.ReadWrite)
+	gid := b.GlobalID()
+	acc := b.CopyF(b.ConstF(0))
+	b.Repeat(4, func() {
+		x := b.LoadF(buf, gid)
+		b.MoveF(acc, b.AddF(acc, x))
+		b.StoreF(buf, gid, acc)
+	})
+	b.StoreF(buf, gid, acc)
+	k := b.MustBuild()
+	_, n := hoistBody(k.Body)
+	if n != 0 {
+		t.Fatalf("hoisted %d instructions containing memory ops, want 0", n)
+	}
+}
+
+func TestHoistCascadesThroughNesting(t *testing.T) {
+	// A const in the innermost of two loops is invariant at every level
+	// and should cascade all the way to the root: two hoist moves.
+	body := []kernelir.Instr{
+		{Op: kernelir.OpRepeatBegin, Imm: 2},
+		{Op: kernelir.OpRepeatBegin, Imm: 3},
+		{Op: kernelir.OpConstI, Dst: 0, Imm: 9},
+		{Op: kernelir.OpAddI, Dst: 1, A: 1, B: 0}, // accumulator stays
+		{Op: kernelir.OpRepeatEnd},
+		{Op: kernelir.OpRepeatEnd},
+	}
+	out, n := hoistBody(body)
+	if n != 2 {
+		t.Fatalf("hoist moves = %d, want 2 (one per nesting level)", n)
+	}
+	if out[0].Op != kernelir.OpConstI {
+		t.Fatalf("const did not reach the root prologue: %v", out)
+	}
+}
+
+func TestHoistPreservesStructure(t *testing.T) {
+	// Hoisted bodies must still validate (register bounds, balanced
+	// repeats) and keep the instruction multiset unchanged — hoisting
+	// only reorders.
+	b := kernelir.NewBuilder("hoist_struct")
+	out := b.BufferF32("out", kernelir.Write)
+	gid := b.GlobalID()
+	acc := b.CopyF(b.ConstF(1))
+	b.Repeat(3, func() {
+		c := b.ConstF(0.5)
+		b.Repeat(2, func() {
+			d := b.MulF(c, c)
+			b.MoveF(acc, b.AddF(acc, d))
+		})
+	})
+	b.StoreF(out, gid, acc)
+	k := b.MustBuild()
+
+	hoisted, n := hoistBody(k.Body)
+	if n == 0 {
+		t.Fatal("expected hoisting on the nested invariant kernel")
+	}
+	if len(hoisted) != len(k.Body) {
+		t.Fatalf("hoisting changed the instruction count: %d -> %d", len(k.Body), len(hoisted))
+	}
+	counts := make(map[kernelir.Instr]int)
+	for _, in := range k.Body {
+		counts[in]++
+	}
+	for _, in := range hoisted {
+		counts[in]--
+	}
+	for in, c := range counts {
+		if c != 0 {
+			t.Fatalf("instruction multiset changed at %v (delta %d)", in, c)
+		}
+	}
+	kk := *k
+	kk.Body = hoisted
+	if err := kk.Validate(); err != nil {
+		t.Fatalf("hoisted body fails validation: %v", err)
+	}
+	if _, err := kernelir.BuildLoopTree(hoisted); err != nil {
+		t.Fatalf("hoisted body fails loop-tree construction: %v", err)
+	}
+}

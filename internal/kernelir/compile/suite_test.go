@@ -1,0 +1,56 @@
+package compile_test
+
+import (
+	"testing"
+
+	"synergy/internal/benchsuite"
+	"synergy/internal/kernelir"
+	"synergy/internal/kernelir/compile"
+)
+
+// TestCompiledMatchesSuiteBitExact proves compiled == interpreted across
+// the full 23-benchmark suite: two deterministic instances of each
+// benchmark, one run on the oracle interpreter and one on the compiled
+// program, every bound buffer compared bit-for-bit, and the benchmark's
+// own verifier run against the compiled output. Suite kernels write
+// disjoint locations per work-item, so the default worker count is
+// exact on both paths.
+func TestCompiledMatchesSuiteBitExact(t *testing.T) {
+	names := benchsuite.Names()
+	if len(names) != 23 {
+		t.Fatalf("suite has %d benchmarks, want 23", len(names))
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			bm, err := benchsuite.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			instI, err := bm.NewInstance(256)
+			if err != nil {
+				t.Fatal(err)
+			}
+			instC, err := bm.NewInstance(256)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if instI.Items != instC.Items {
+				t.Fatalf("instances disagree on size: %d vs %d", instI.Items, instC.Items)
+			}
+			prog, err := compile.Cached(bm.Kernel)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if err := kernelir.Interpret(bm.Kernel, instI.Args, instI.Items); err != nil {
+				t.Fatalf("interpret: %v", err)
+			}
+			if err := prog.Execute(instC.Args, instC.Items); err != nil {
+				t.Fatalf("compiled execute: %v", err)
+			}
+			compareBuffers(t, name, instI.Args, instC.Args)
+			if err := instC.Verify(); err != nil {
+				t.Errorf("compiled output fails the benchmark verifier: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,45 @@
+package kernelir
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// fpMemoCap bounds the fingerprint memo. Long-lived callers (the sweep
+// engine, the compiled-program cache) fingerprint a stable population of
+// kernels and always hit the memo; transient kernels — e.g. the fresh
+// instrumented clones ExecuteChecked builds per call, or fuzzer-generated
+// bodies — must not grow it without bound, so past the cap fingerprints
+// are computed without being remembered.
+const fpMemoCap = 4096
+
+var (
+	fpMu   sync.Mutex
+	fpMemo = make(map[*Kernel]string)
+)
+
+// Fingerprint returns a stable identity for the kernel: the hex form of
+// the first 16 bytes of the SHA-256 of its disassembly. Textual identity
+// is exactly what both the sweep engine's memo and the compiled-program
+// cache want — two kernels that disassemble identically have identical
+// features, identical ground truth and identical compiled code.
+//
+// Results are memoized by pointer (kernels are immutable once built);
+// the memo is bounded by fpMemoCap.
+func Fingerprint(k *Kernel) string {
+	fpMu.Lock()
+	fp, ok := fpMemo[k]
+	fpMu.Unlock()
+	if ok {
+		return fp
+	}
+	sum := sha256.Sum256([]byte(k.Disassemble()))
+	fp = hex.EncodeToString(sum[:16])
+	fpMu.Lock()
+	if len(fpMemo) < fpMemoCap {
+		fpMemo[k] = fp
+	}
+	fpMu.Unlock()
+	return fp
+}

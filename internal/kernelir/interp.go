@@ -15,21 +15,27 @@ type Args struct {
 	ScalarF map[string]float64
 }
 
-// boundArgs holds positionally-resolved parameter bindings.
-type boundArgs struct {
-	bufF [][]float32
-	bufI [][]int32
-	scaI []int64
-	scaF []float64
+// Bound holds positionally-resolved parameter bindings: index i of each
+// slice corresponds to k.Params[i]. It is the environment handed to a
+// Runner, so compiled executors and the interpreter read parameters
+// through the exact same resolution.
+type Bound struct {
+	BufF [][]float32
+	BufI [][]int32
+	ScaI []int64
+	ScaF []float64
 }
 
-func bind(k *Kernel, a Args) (*boundArgs, error) {
+// Bind resolves named Args against the kernel's positional parameter
+// list. All executors (interpreted and compiled) share this single
+// binding step, so binding errors are byte-identical across them.
+func Bind(k *Kernel, a Args) (*Bound, error) {
 	n := len(k.Params)
-	b := &boundArgs{
-		bufF: make([][]float32, n),
-		bufI: make([][]int32, n),
-		scaI: make([]int64, n),
-		scaF: make([]float64, n),
+	b := &Bound{
+		BufF: make([][]float32, n),
+		BufI: make([][]int32, n),
+		ScaI: make([]int64, n),
+		ScaF: make([]float64, n),
 	}
 	for i, p := range k.Params {
 		switch {
@@ -41,7 +47,7 @@ func bind(k *Kernel, a Args) (*boundArgs, error) {
 			if len(buf) == 0 {
 				return nil, fmt.Errorf("kernelir: %s: empty buffer %q", k.Name, p.Name)
 			}
-			b.bufF[i] = buf
+			b.BufF[i] = buf
 		case p.IsBuffer && p.Type == I32:
 			buf, ok := a.I32[p.Name]
 			if !ok {
@@ -50,19 +56,19 @@ func bind(k *Kernel, a Args) (*boundArgs, error) {
 			if len(buf) == 0 {
 				return nil, fmt.Errorf("kernelir: %s: empty buffer %q", k.Name, p.Name)
 			}
-			b.bufI[i] = buf
+			b.BufI[i] = buf
 		case p.Type == I32:
 			v, ok := a.ScalarI[p.Name]
 			if !ok {
 				return nil, fmt.Errorf("kernelir: %s: missing int scalar %q", k.Name, p.Name)
 			}
-			b.scaI[i] = v
+			b.ScaI[i] = v
 		default:
 			v, ok := a.ScalarF[p.Name]
 			if !ok {
 				return nil, fmt.Errorf("kernelir: %s: missing float scalar %q", k.Name, p.Name)
 			}
-			b.scaF[i] = v
+			b.ScaF[i] = v
 		}
 	}
 	return b, nil
@@ -78,9 +84,22 @@ func clampIdx(i int64, n int) int {
 	return int(i)
 }
 
+// prepare runs the shared front half of every execution: validation, the
+// item-count check and parameter binding. Keeping it in one place
+// guarantees interpreted and compiled runs fail with identical errors.
+func prepare(k *Kernel, a Args, items int) (*Bound, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	if items <= 0 {
+		return nil, fmt.Errorf("kernelir: %s: non-positive item count %d", k.Name, items)
+	}
+	return Bind(k, a)
+}
+
 // Execute runs the kernel for work-items [0, items), in parallel across
 // the host CPUs. Work-items must write disjoint locations (as in the
-// benchmark suite); the interpreter does not arbitrate data races.
+// benchmark suite); the executors do not arbitrate data races.
 // GlobalIDX equals the linear id and GlobalIDY is zero (1-D launch).
 func Execute(k *Kernel, a Args, items int) error {
 	return ExecuteGrid(k, a, items, 0)
@@ -89,17 +108,52 @@ func Execute(k *Kernel, a Args, items int) error {
 // ExecuteGrid runs the kernel over a 2-D range: items work-items with
 // row width nx, so GlobalIDX = id %% nx and GlobalIDY = id / nx. A width
 // of zero (or >= items) degenerates to the 1-D semantics.
+//
+// Execution is dispatched to the installed Runner (normally the
+// closure-threaded compiler in kernelir/compile) and falls back to the
+// reference interpreter when none is installed. Both paths are bit-exact
+// by contract; see SetRunner.
 func ExecuteGrid(k *Kernel, a Args, items, nx int) error {
-	if err := k.Validate(); err != nil {
-		return err
-	}
-	if items <= 0 {
-		return fmt.Errorf("kernelir: %s: non-positive item count %d", k.Name, items)
-	}
-	env, err := bind(k, a)
+	env, err := prepare(k, a, items)
 	if err != nil {
 		return err
 	}
+	if r := ActiveRunner(); r != nil {
+		return r.RunGrid(k, env, items, nx)
+	}
+	return interpretBound(k, env, items, nx, 0)
+}
+
+// Interpret runs the kernel on the reference tree-walking interpreter,
+// bypassing any installed Runner. It is the differential-testing oracle
+// compiled execution is checked against.
+func Interpret(k *Kernel, a Args, items int) error {
+	return InterpretGrid(k, a, items, 0)
+}
+
+// InterpretGrid is Interpret over a 2-D range (see ExecuteGrid).
+func InterpretGrid(k *Kernel, a Args, items, nx int) error {
+	return InterpretGridWorkers(k, a, items, nx, 0)
+}
+
+// InterpretGridWorkers is InterpretGrid with an explicit worker count
+// (0 means GOMAXPROCS). workers=1 makes execution fully deterministic
+// even for kernels whose work-items race on clamped stores, which is
+// what the differential fuzzers compare under.
+func InterpretGridWorkers(k *Kernel, a Args, items, nx, workers int) error {
+	env, err := prepare(k, a, items)
+	if err != nil {
+		return err
+	}
+	return interpretBound(k, env, items, nx, workers)
+}
+
+// interpretBound is the interpreter's execution core over a resolved
+// environment. workers <= 0 selects GOMAXPROCS. The worker chunking here
+// is the normative work-item partition: compiled executors replicate it
+// exactly so racy kernels resolve collisions with the same worker
+// geometry.
+func interpretBound(k *Kernel, env *Bound, items, nx, workers int) error {
 	// The loop tree is the shared structured-control normalization; the
 	// interpreter only needs its begin/end matching.
 	tree, err := BuildLoopTree(k.Body)
@@ -108,7 +162,9 @@ func ExecuteGrid(k *Kernel, a Args, items, nx int) error {
 	}
 	match := tree.match
 
-	workers := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > items {
 		workers = items
 	}
@@ -142,7 +198,7 @@ func ExecuteGrid(k *Kernel, a Args, items, nx int) error {
 }
 
 // runItem interprets the kernel body for one work-item.
-func runItem(k *Kernel, env *boundArgs, match []int, gid, nx int64, ints []int64, floats, local []float64) {
+func runItem(k *Kernel, env *Bound, match []int, gid, nx int64, ints []int64, floats, local []float64) {
 	body := k.Body
 	// Remaining trip counts for active repeat blocks, indexed by the pc
 	// of the begin instruction.
@@ -173,9 +229,9 @@ func runItem(k *Kernel, env *boundArgs, match []int, gid, nx int64, ints []int64
 				ints[in.Dst] = 0
 			}
 		case OpParamI:
-			ints[in.Dst] = env.scaI[in.Buf]
+			ints[in.Dst] = env.ScaI[in.Buf]
 		case OpParamF:
-			floats[in.Dst] = env.scaF[in.Buf]
+			floats[in.Dst] = env.ScaF[in.Buf]
 		case OpCvtIF:
 			floats[in.Dst] = float64(ints[in.A])
 		case OpCvtFI:
@@ -261,16 +317,16 @@ func runItem(k *Kernel, env *boundArgs, match []int, gid, nx int64, ints []int64
 		case OpErfF:
 			floats[in.Dst] = math.Erf(floats[in.A])
 		case OpLoadGF:
-			buf := env.bufF[in.Buf]
+			buf := env.BufF[in.Buf]
 			floats[in.Dst] = float64(buf[clampIdx(ints[in.A], len(buf))])
 		case OpStoreGF:
-			buf := env.bufF[in.Buf]
+			buf := env.BufF[in.Buf]
 			buf[clampIdx(ints[in.A], len(buf))] = float32(floats[in.B])
 		case OpLoadGI:
-			buf := env.bufI[in.Buf]
+			buf := env.BufI[in.Buf]
 			ints[in.Dst] = int64(buf[clampIdx(ints[in.A], len(buf))])
 		case OpStoreGI:
-			buf := env.bufI[in.Buf]
+			buf := env.BufI[in.Buf]
 			buf[clampIdx(ints[in.A], len(buf))] = int32(ints[in.B])
 		case OpLoadLF:
 			floats[in.Dst] = local[clampIdx(ints[in.A], len(local))]

@@ -1,0 +1,46 @@
+package kernelir
+
+import "sync/atomic"
+
+// Runner executes a validated kernel over a resolved parameter
+// environment. It is the seam through which alternative executors (the
+// closure-threaded compiler in internal/kernelir/compile) replace the
+// reference interpreter process-wide.
+//
+// The contract is bit-exactness: for any kernel that Validate accepts
+// and any environment Bind produces, RunGrid must leave every buffer in
+// exactly the state the interpreter would (given the same worker
+// partition), return byte-identical errors, and preserve checked-mode
+// trap ordering. The interpreter stays reachable through Interpret /
+// InterpretGrid as the differential-testing oracle for that contract.
+//
+// RunGrid is called only after ExecuteGrid has already validated the
+// kernel, rejected non-positive item counts and bound the arguments, so
+// implementations may assume a well-formed kernel and environment.
+type Runner interface {
+	RunGrid(k *Kernel, env *Bound, items, nx int) error
+}
+
+// runnerBox wraps the Runner so a nil interface can be stored in an
+// atomic.Value (which rejects nil and inconsistently-typed values).
+type runnerBox struct{ r Runner }
+
+var activeRunner atomic.Value // runnerBox
+
+// SetRunner installs r as the process-wide executor behind Execute and
+// ExecuteGrid. Passing nil restores the reference interpreter. The
+// kernelir/compile package installs its default program cache from its
+// init, so importing it (even blankly) switches execution to compiled
+// code; tests swap the runner to force oracle comparisons.
+func SetRunner(r Runner) {
+	activeRunner.Store(runnerBox{r})
+}
+
+// ActiveRunner returns the installed Runner, or nil when execution is
+// interpreted.
+func ActiveRunner() Runner {
+	if b, ok := activeRunner.Load().(runnerBox); ok {
+		return b.r
+	}
+	return nil
+}

@@ -13,16 +13,14 @@ package sweep
 import (
 	"container/list"
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
-	"synergy/internal/features"
 	"synergy/internal/hw"
 	"synergy/internal/kernelir"
+	"synergy/internal/kernelir/compile"
 	"synergy/internal/metrics"
 	"synergy/internal/telemetry"
 )
@@ -48,20 +46,13 @@ func (k Key) String() string {
 	return fmt.Sprintf("%s/%s/%d", k.Device, k.Kernel, k.Items)
 }
 
-// fingerprints caches kernel fingerprints by pointer; kernels are
-// immutable static data, so the disassembly never changes under us.
-var fingerprints sync.Map // *kernelir.Kernel -> string
-
 // Fingerprint returns the content fingerprint of a kernel: the SHA-256
 // of its disassembly (name, parameters, body, locals, traffic factor).
+// It is the same identity the compiled-program cache keys on (see
+// kernelir.Fingerprint), so the engine's memo and the program cache
+// agree on when two kernels are the same kernel.
 func Fingerprint(k *kernelir.Kernel) string {
-	if fp, ok := fingerprints.Load(k); ok {
-		return fp.(string)
-	}
-	sum := sha256.Sum256([]byte(k.Disassemble()))
-	fp := hex.EncodeToString(sum[:16])
-	fingerprints.Store(k, fp)
-	return fp
+	return kernelir.Fingerprint(k)
 }
 
 // specKey identifies a device spec: the name plus the shape of its
@@ -316,10 +307,15 @@ func (e *Engine) GroundTruthContext(ctx context.Context, spec *hw.Spec, k *kerne
 // worker pool. The per-point arithmetic matches the historical serial
 // path exactly, so parallel results are bit-identical to serial ones.
 func (e *Engine) evaluate(ctx context.Context, spec *hw.Spec, k *kernelir.Kernel, items int64) (*metrics.Sweep, error) {
-	w, err := features.KernelWorkload(k, items)
+	// Go through the compiled-program cache: the program carries the
+	// feature vector extracted at compile time, so repeated sweeps of the
+	// same kernel skip re-walking the body. Compile and KernelWorkload
+	// both bottom out in Validate, so error behaviour is unchanged.
+	prog, err := compile.Cached(k)
 	if err != nil {
 		return nil, err
 	}
+	w := prog.Workload(items)
 	pts := make([]metrics.Point, len(spec.CoreFreqsMHz))
 	err = e.ForEachContext(ctx, len(pts), func(i int) error {
 		f := spec.CoreFreqsMHz[i]

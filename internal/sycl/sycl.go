@@ -19,6 +19,10 @@ import (
 	"synergy/internal/features"
 	"synergy/internal/hw"
 	"synergy/internal/kernelir"
+
+	// Importing compile installs the closure-threaded executor as the
+	// process-wide kernelir.Runner, so queue submissions run compiled.
+	_ "synergy/internal/kernelir/compile"
 )
 
 // ErrSubmitFailed reports a command group the device rejected at launch
