@@ -1,0 +1,103 @@
+// Command synergy-serve runs the frequency-advice daemon: an HTTP/JSON
+// service that answers "at which core frequency should this kernel run
+// for this energy target?" from one trained per-device model bundle.
+//
+// The bundle either comes from a synergy-train artifact (-bundle) or is
+// trained at startup on the micro-benchmark suite. Endpoints:
+//
+//	POST /v1/advise  one advice request (features map or raw .kir)
+//	POST /v1/batch   an array of advice requests
+//	GET  /healthz    liveness + bundle identity
+//	GET  /metrics    Prometheus-style text exposition
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"synergy/internal/hw"
+	"synergy/internal/microbench"
+	"synergy/internal/model"
+	"synergy/internal/serve"
+	"synergy/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("synergy-serve: ")
+	addr := flag.String("addr", "127.0.0.1:8091", "listen address")
+	bundle := flag.String("bundle", "", "trained model bundle (from synergy-train -save); trains at startup when empty")
+	device := flag.String("device", "v100", "device to train for when no bundle is given (v100, a100, mi100, xeon)")
+	algo := flag.String("algo", model.AlgoForest, "training algorithm when no bundle is given")
+	stride := flag.Int("stride", 4, "training-sweep frequency stride when no bundle is given")
+	flag.Parse()
+
+	m, err := loadOrTrain(*bundle, *device, *algo, *stride)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	srv, err := serve.New(m, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("serving %s/%s advice on http://%s", m.Spec.Name, m.Algo, *addr)
+		done <- hs.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case s := <-sig:
+		log.Printf("%v: shutting down", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}
+
+// loadOrTrain resolves the model bundle: load the synergy-train
+// artifact when given, otherwise run the §6.1 installation step here.
+func loadOrTrain(bundle, device, algo string, stride int) (*model.Models, error) {
+	if bundle != "" {
+		f, err := os.Open(bundle)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return model.LoadModels(f)
+	}
+	spec, err := hw.SpecByName(device)
+	if err != nil {
+		return nil, err
+	}
+	kernels, err := microbench.Kernels(microbench.DefaultSet())
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("no bundle given: training %s on %s (stride %d)", algo, spec.Name, stride)
+	ts, err := model.CollectTraining(spec, kernels, stride)
+	if err != nil {
+		return nil, err
+	}
+	return model.Train(spec, ts, algo)
+}

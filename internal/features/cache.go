@@ -1,0 +1,146 @@
+package features
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultCacheCap bounds the extraction memo, mirroring the sweep
+// engine's and the compiled-program cache's LRU-cap pattern: real
+// kernel populations are far below this; the cap exists so adversarial
+// churn (fuzzers, per-call instrumented clones) cannot grow the cache
+// without bound.
+const DefaultCacheCap = 4096
+
+// vecEntry is one memoized vector with its position in the LRU list.
+type vecEntry struct {
+	fp   string
+	vec  Vector
+	elem *list.Element
+}
+
+var (
+	cacheMu      sync.Mutex
+	cacheEntries = map[string]*vecEntry{}
+	cacheOrder   = list.New() // front = most recently used; values are *vecEntry
+	cacheCap     = DefaultCacheCap
+	cacheHook    func(fingerprint string)
+
+	extractions atomic.Int64
+	cacheHits   atomic.Int64
+)
+
+// cacheGet returns the memoized vector for a fingerprint.
+func cacheGet(fp string) (Vector, bool) {
+	cacheMu.Lock()
+	e, ok := cacheEntries[fp]
+	if !ok {
+		cacheMu.Unlock()
+		return Vector{}, false
+	}
+	cacheOrder.MoveToFront(e.elem)
+	v := e.vec
+	cacheMu.Unlock()
+	cacheHits.Add(1)
+	return v, true
+}
+
+// cachePut memoizes a successful extraction. If another goroutine
+// raced the same fingerprint in, the existing entry wins and neither
+// the hook nor the extraction counter fires again — the hook observes
+// at most one extraction per live fingerprint.
+func cachePut(fp string, v Vector) {
+	cacheMu.Lock()
+	if _, ok := cacheEntries[fp]; ok {
+		cacheMu.Unlock()
+		return
+	}
+	e := &vecEntry{fp: fp, vec: v}
+	e.elem = cacheOrder.PushFront(e)
+	cacheEntries[fp] = e
+	for cacheCap > 0 && len(cacheEntries) > cacheCap {
+		back := cacheOrder.Back()
+		victim := back.Value.(*vecEntry)
+		cacheOrder.Remove(back)
+		delete(cacheEntries, victim.fp)
+	}
+	hook := cacheHook
+	cacheMu.Unlock()
+	extractions.Add(1)
+	if hook != nil {
+		hook(fp)
+	}
+}
+
+// SetHook registers fn to be called once per completed (and memoized)
+// extraction with the kernel fingerprint, mirroring sweep.Engine's
+// hook: tests use it to assert exactly-once extraction. nil removes it.
+func SetHook(fn func(fingerprint string)) {
+	cacheMu.Lock()
+	cacheHook = fn
+	cacheMu.Unlock()
+}
+
+// Extractions returns how many feature vectors have actually been
+// computed (cache misses). Requests served from the memo do not count.
+func Extractions() int64 { return extractions.Load() }
+
+// CacheHits returns how many Extract calls were served from the memo.
+func CacheHits() int64 { return cacheHits.Load() }
+
+// CacheSize returns the number of memoized vectors.
+func CacheSize() int {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	return len(cacheEntries)
+}
+
+// ResetCache drops every memoized vector (test isolation).
+func ResetCache() {
+	cacheMu.Lock()
+	cacheEntries = map[string]*vecEntry{}
+	cacheOrder = list.New()
+	cacheMu.Unlock()
+}
+
+// FromMap builds a Vector from canonical Table-1 feature names
+// (features.Names); it rejects unknown names and negative counts. This
+// is the serve daemon's JSON input format for pre-extracted kernels.
+func FromMap(m map[string]float64) (Vector, error) {
+	var v Vector
+	fields := [...]*float64{
+		&v.IntAdd, &v.IntMul, &v.IntDiv, &v.IntBw,
+		&v.FloatAdd, &v.FloatMul, &v.FloatDiv, &v.SF,
+		&v.GlAccess, &v.LocAccess,
+	}
+	for name, val := range m {
+		idx := -1
+		for i, n := range Names {
+			if n == name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return Vector{}, fmt.Errorf("features: unknown feature %q (want one of %v)", name, Names)
+		}
+		if val < 0 {
+			return Vector{}, fmt.Errorf("features: feature %q must be non-negative, got %g", name, val)
+		}
+		*fields[idx] = val
+	}
+	return v, nil
+}
+
+// ToMap renders the vector under canonical names (the inverse of
+// FromMap for all non-negative vectors).
+func (v Vector) ToMap() map[string]float64 {
+	s := v.Slice()
+	m := make(map[string]float64, len(s))
+	for i, n := range Names {
+		m[n] = s[i]
+	}
+	return m
+}

@@ -120,7 +120,27 @@ func classify(op kernelir.Op) (field int, counted bool) {
 // Extract runs the static pass over the kernel and returns its feature
 // vector. Counts inside Repeat blocks are multiplied by the trip counts
 // of every enclosing block.
+//
+// Results are memoized under the kernel's content fingerprint (the same
+// identity the sweep engine and the compiled-program cache key on), so
+// on the repeat path — the serve daemon's hot path — Extract is a map
+// lookup that skips Validate and BuildLoopTree entirely and performs no
+// allocations. Failed extractions are not memoized.
 func Extract(k *kernelir.Kernel) (Vector, error) {
+	fp := kernelir.Fingerprint(k)
+	if v, ok := cacheGet(fp); ok {
+		return v, nil
+	}
+	v, err := extract(k)
+	if err != nil {
+		return Vector{}, err
+	}
+	cachePut(fp, v)
+	return v, nil
+}
+
+// extract is the uncached static pass.
+func extract(k *kernelir.Kernel) (Vector, error) {
 	if err := k.Validate(); err != nil {
 		return Vector{}, err
 	}

@@ -1,0 +1,25 @@
+//go:build !race
+
+package ml
+
+import "testing"
+
+// The flattened predict path is the serve daemon's inner loop: it must
+// not allocate. (Skipped under -race, whose instrumentation allocates.)
+func TestForestPredictZeroAlloc(t *testing.T) {
+	f, x := fitTestForest(t, 16, 300, 6)
+	row := x[0]
+	sink := 0.0
+	if allocs := testing.AllocsPerRun(1000, func() { sink += f.Predict(row) }); allocs != 0 {
+		t.Errorf("Forest.Predict allocates %v per run, want 0", allocs)
+	}
+	dst := make([]float64, 64)
+	rows := x[:64]
+	if allocs := testing.AllocsPerRun(1000, func() { f.PredictInto(dst, rows) }); allocs != 0 {
+		t.Errorf("Forest.PredictInto allocates %v per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { PredictAllInto(f, dst, rows) }); allocs != 0 {
+		t.Errorf("PredictAllInto(Forest) allocates %v per run, want 0", allocs)
+	}
+	_ = sink
+}

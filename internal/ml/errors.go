@@ -19,15 +19,28 @@ func APE(actual, pred float64) float64 {
 }
 
 // MAPE returns the mean absolute percentage error over paired slices.
-func MAPE(actual, pred []float64) (float64, error) {
+// Samples with actual == 0 have an undefined percentage error (APE
+// would return +Inf for any imperfect prediction), so they are skipped
+// rather than letting a single degenerate sample poison the whole mean;
+// skipped reports how many were left out. It is an error if every
+// sample is skipped.
+func MAPE(actual, pred []float64) (mape float64, skipped int, err error) {
 	if len(actual) == 0 || len(actual) != len(pred) {
-		return 0, errors.New("ml: MAPE needs equal-length non-empty slices")
+		return 0, 0, errors.New("ml: MAPE needs equal-length non-empty slices")
 	}
 	s := 0.0
 	for i := range actual {
+		if actual[i] == 0 {
+			skipped++
+			continue
+		}
 		s += APE(actual[i], pred[i])
 	}
-	return s / float64(len(actual)), nil
+	n := len(actual) - skipped
+	if n == 0 {
+		return 0, skipped, errors.New("ml: MAPE undefined, every actual value is zero")
+	}
+	return s / float64(n), skipped, nil
 }
 
 // RMSE returns the root mean squared error over paired slices.

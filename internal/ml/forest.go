@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -8,6 +9,12 @@ import (
 
 // Forest is a random-forest regressor: bootstrap-aggregated CART trees
 // with per-split feature subsampling. Deterministic for a fixed Seed.
+//
+// Internally the ensemble is stored twice: the pointer-linked trees the
+// builder produces (retained as the reference implementation and the
+// persistence form) and a flattened structure-of-arrays copy that the
+// prediction hot path walks by index. Predict and PredictInto touch only
+// the flattened arrays and perform no allocations.
 type Forest struct {
 	// Trees is the ensemble size (default 100).
 	Trees int
@@ -22,6 +29,7 @@ type Forest struct {
 	Seed int64
 
 	trees []*treeNode
+	flat  flatForest
 }
 
 type treeNode struct {
@@ -32,8 +40,102 @@ type treeNode struct {
 	leafFlag bool
 }
 
+// leafFeature marks a leaf in the flattened feature array; lo/hi of a
+// leaf are unused and value holds the prediction.
+const leafFeature = int32(-1)
+
+// flatForest is the contiguous inference form of the ensemble: all
+// nodes of all trees in one structure-of-arrays block, trees identified
+// by their root index. Children are stored as absolute node indices, so
+// a predict walk is pure index chasing over five dense slices — no
+// pointers, no per-call allocation, cache-friendly.
+type flatForest struct {
+	roots   []int32
+	feature []int32 // split feature, or leafFeature for a leaf
+	thresh  []float64
+	lo, hi  []int32
+	value   []float64 // leaf prediction (meaningful when feature < 0)
+}
+
+// flattenInto appends one pointer tree in preorder and returns its root
+// index.
+func (ff *flatForest) flattenInto(n *treeNode) int32 {
+	idx := int32(len(ff.feature))
+	if n.leafFlag {
+		ff.feature = append(ff.feature, leafFeature)
+		ff.thresh = append(ff.thresh, 0)
+		ff.lo = append(ff.lo, 0)
+		ff.hi = append(ff.hi, 0)
+		ff.value = append(ff.value, n.value)
+		return idx
+	}
+	ff.feature = append(ff.feature, int32(n.feature))
+	ff.thresh = append(ff.thresh, n.thresh)
+	ff.lo = append(ff.lo, 0)
+	ff.hi = append(ff.hi, 0)
+	ff.value = append(ff.value, 0)
+	ff.lo[idx] = ff.flattenInto(n.lo)
+	ff.hi[idx] = ff.flattenInto(n.hi)
+	return idx
+}
+
+// flatten rebuilds the flattened arrays from the pointer trees.
+func flatten(trees []*treeNode) flatForest {
+	var ff flatForest
+	ff.roots = make([]int32, 0, len(trees))
+	for _, t := range trees {
+		ff.roots = append(ff.roots, ff.flattenInto(t))
+	}
+	return ff
+}
+
+// validate checks the structural invariants a well-formed flattened
+// forest satisfies: non-empty ensemble, every root and child index
+// in-bounds, and interior nodes pointing strictly forward (the preorder
+// layout guarantee, which rules out cycles).
+func (ff *flatForest) validate() error {
+	if len(ff.roots) == 0 {
+		return fmt.Errorf("ml: forest has no trees")
+	}
+	n := len(ff.feature)
+	if len(ff.thresh) != n || len(ff.lo) != n || len(ff.hi) != n || len(ff.value) != n {
+		return fmt.Errorf("ml: forest node arrays have mismatched lengths")
+	}
+	if n == 0 {
+		return fmt.Errorf("ml: forest has no nodes")
+	}
+	for _, r := range ff.roots {
+		if r < 0 || int(r) >= n {
+			return fmt.Errorf("ml: forest root index %d out of bounds [0, %d)", r, n)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if ff.feature[i] == leafFeature {
+			continue
+		}
+		if ff.feature[i] < 0 {
+			return fmt.Errorf("ml: forest node %d has invalid feature %d", i, ff.feature[i])
+		}
+		for _, c := range [2]int32{ff.lo[i], ff.hi[i]} {
+			if int(c) >= n || c <= int32(i) {
+				return fmt.Errorf("ml: forest node %d child index %d out of bounds (%d nodes)", i, c, n)
+			}
+		}
+	}
+	return nil
+}
+
 // Name implements Regressor.
 func (f *Forest) Name() string { return "RandomForest" }
+
+// CheckFitted implements FitChecker: an error describes why the forest
+// cannot predict (never fitted, or loaded from a corrupt bundle).
+func (f *Forest) CheckFitted() error {
+	if len(f.trees) == 0 {
+		return fmt.Errorf("ml: RandomForest is not fitted (no trees)")
+	}
+	return f.flat.validate()
+}
 
 // Fit implements Regressor.
 func (f *Forest) Fit(x [][]float64, y []float64) error {
@@ -76,6 +178,7 @@ func (f *Forest) Fit(x [][]float64, y []float64) error {
 		}
 		f.trees[t] = b.build(idx, maxDepth)
 	}
+	f.flat = flatten(f.trees)
 	return nil
 }
 
@@ -172,10 +275,57 @@ func constantTargets(y []float64, idx []int) bool {
 	return true
 }
 
-// Predict implements Regressor.
+// Predict implements Regressor by walking the flattened arrays; it
+// performs no allocations. An unfitted forest returns NaN — callers that
+// can surface errors should gate on CheckFitted (the model layer does),
+// and NaN poisons any downstream arithmetic instead of masquerading as
+// a confident zero prediction.
 func (f *Forest) Predict(x []float64) float64 {
+	if len(f.flat.roots) == 0 {
+		return math.NaN()
+	}
+	return f.flat.predict(x)
+}
+
+func (ff *flatForest) predict(x []float64) float64 {
+	feature, thresh := ff.feature, ff.thresh
+	lo, hi, value := ff.lo, ff.hi, ff.value
+	s := 0.0
+	for _, n := range ff.roots {
+		for feature[n] >= 0 {
+			if x[feature[n]] <= thresh[n] {
+				n = lo[n]
+			} else {
+				n = hi[n]
+			}
+		}
+		s += value[n]
+	}
+	return s / float64(len(ff.roots))
+}
+
+// PredictInto implements BatchRegressor: it fills dst[i] with the
+// prediction for rows[i], allocation-free. dst must be at least as long
+// as rows.
+func (f *Forest) PredictInto(dst []float64, rows [][]float64) {
+	if len(f.flat.roots) == 0 {
+		for i := range rows {
+			dst[i] = math.NaN()
+		}
+		return
+	}
+	for i, r := range rows {
+		dst[i] = f.flat.predict(r)
+	}
+}
+
+// PredictReference walks the original pointer-linked trees. It is the
+// differential oracle for the flattened Predict: both walks visit the
+// same nodes in the same order and accumulate in the same order, so the
+// results are bit-identical.
+func (f *Forest) PredictReference(x []float64) float64 {
 	if len(f.trees) == 0 {
-		return 0
+		return math.NaN()
 	}
 	s := 0.0
 	for _, t := range f.trees {

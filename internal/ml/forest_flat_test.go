@@ -1,0 +1,171 @@
+package ml
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// fitTestForest trains a small forest on a deterministic nonlinear
+// surface wide enough to produce real splits on every feature.
+func fitTestForest(t *testing.T, trees, n, d int) (*Forest, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.Float64()*4 - 2
+		}
+		x[i] = row
+		y[i] = math.Sin(row[0]) + row[1]*row[1] + 0.25*row[d-1] + 0.01*rng.NormFloat64()
+	}
+	f := &Forest{Trees: trees, Seed: 3}
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	return f, x
+}
+
+// The flattened index-walking Predict must be bit-identical to the
+// pointer-tree reference walk on every input, including points far
+// outside the training range.
+func TestFlattenedPredictMatchesReference(t *testing.T) {
+	f, x := fitTestForest(t, 24, 400, 6)
+	rng := rand.New(rand.NewSource(5))
+	probe := make([]float64, 6)
+	for trial := 0; trial < 2000; trial++ {
+		var row []float64
+		if trial < len(x) {
+			row = x[trial]
+		} else {
+			for j := range probe {
+				probe[j] = rng.Float64()*20 - 10
+			}
+			row = probe
+		}
+		got := f.Predict(row)
+		want := f.PredictReference(row)
+		if got != want {
+			t.Fatalf("trial %d: flattened %v != reference %v", trial, got, want)
+		}
+	}
+}
+
+func TestPredictIntoMatchesPredict(t *testing.T) {
+	f, x := fitTestForest(t, 12, 200, 4)
+	dst := make([]float64, len(x))
+	f.PredictInto(dst, x)
+	for i, row := range x {
+		if want := f.Predict(row); dst[i] != want {
+			t.Fatalf("row %d: PredictInto %v != Predict %v", i, dst[i], want)
+		}
+	}
+	// The generic batch helper must route through the same path.
+	dst2 := make([]float64, len(x))
+	PredictAllInto(f, dst2, x)
+	for i := range dst {
+		if dst[i] != dst2[i] {
+			t.Fatalf("row %d: PredictAllInto diverges", i)
+		}
+	}
+}
+
+// An unfit forest must not serve a silent zero: Predict returns NaN and
+// CheckFitted explains why.
+func TestUnfitForestGuards(t *testing.T) {
+	var f Forest
+	if got := f.Predict([]float64{1, 2}); !math.IsNaN(got) {
+		t.Errorf("unfit Predict = %v, want NaN", got)
+	}
+	dst := make([]float64, 2)
+	f.PredictInto(dst, [][]float64{{1}, {2}})
+	for i, v := range dst {
+		if !math.IsNaN(v) {
+			t.Errorf("unfit PredictInto dst[%d] = %v, want NaN", i, v)
+		}
+	}
+	if err := f.CheckFitted(); err == nil || !strings.Contains(err.Error(), "not fitted") {
+		t.Errorf("CheckFitted = %v, want descriptive not-fitted error", err)
+	}
+	fitted, _ := fitTestForest(t, 4, 50, 3)
+	if err := fitted.CheckFitted(); err != nil {
+		t.Errorf("fitted forest CheckFitted = %v", err)
+	}
+}
+
+func TestCheckFittedAcrossAlgorithms(t *testing.T) {
+	for _, r := range []Regressor{&Linear{}, &Lasso{Alpha: 0.001}, &Forest{Trees: 4}, &SVR{}} {
+		if err := CheckFitted(r); err == nil {
+			t.Errorf("%s: unfit model passed CheckFitted", r.Name())
+		}
+	}
+	x := [][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 1}, {1, 2}}
+	y := []float64{0, 1, 2, 3, 4, 5}
+	for _, r := range []Regressor{&Linear{}, &Lasso{Alpha: 0.001}, &Forest{Trees: 4, MinLeaf: 1}, &SVR{C: 10, Gamma: 0.5}} {
+		if err := r.Fit(x, y); err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		if err := CheckFitted(r); err != nil {
+			t.Errorf("%s: fitted model failed CheckFitted: %v", r.Name(), err)
+		}
+	}
+}
+
+// Persistence must reject bundles whose tree arrays are empty, and a
+// round-trip must preserve predictions bit-exactly (the loaded forest
+// re-flattens from the decoded pointer trees).
+func TestForestPersistValidation(t *testing.T) {
+	if _, err := LoadModel(strings.NewReader(`{"algo":"RandomForest","data":{"trees":[]}}`)); err == nil {
+		t.Error("empty-tree forest bundle accepted")
+	}
+
+	f, x := fitTestForest(t, 8, 120, 4)
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, ok := loaded.(*Forest)
+	if !ok {
+		t.Fatalf("loaded %T, want *Forest", loaded)
+	}
+	if err := lf.CheckFitted(); err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range x {
+		if got, want := lf.Predict(row), f.Predict(row); got != want {
+			t.Fatalf("row %d: loaded %v != original %v", i, got, want)
+		}
+	}
+}
+
+func TestFlatForestValidate(t *testing.T) {
+	f, _ := fitTestForest(t, 4, 60, 3)
+	if err := f.flat.validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a child index out of bounds.
+	broken := f.flat
+	broken.feature = append([]int32(nil), f.flat.feature...)
+	broken.lo = append([]int32(nil), f.flat.lo...)
+	for i, ft := range broken.feature {
+		if ft != leafFeature {
+			broken.lo[i] = int32(len(broken.feature)) + 7
+			break
+		}
+	}
+	if err := broken.validate(); err == nil {
+		t.Error("out-of-bounds child index accepted")
+	}
+	empty := flatForest{}
+	if err := empty.validate(); err == nil {
+		t.Error("empty flat forest accepted")
+	}
+}

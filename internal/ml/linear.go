@@ -1,6 +1,9 @@
 package ml
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Linear is ordinary least-squares linear regression, solved through the
 // normal equations with a tiny ridge term for numerical stability.
@@ -41,6 +44,14 @@ func (m *Linear) Predict(x []float64) float64 {
 	return m.Intercept + dot(m.Coef, x)
 }
 
+// CheckFitted implements FitChecker.
+func (m *Linear) CheckFitted() error {
+	if len(m.Coef) == 0 {
+		return fmt.Errorf("ml: Linear is not fitted (no coefficients)")
+	}
+	return nil
+}
+
 // Lasso is least-absolute-shrinkage linear regression solved by cyclic
 // coordinate descent on standardized features.
 type Lasso struct {
@@ -59,6 +70,14 @@ type Lasso struct {
 
 // Name implements Regressor.
 func (m *Lasso) Name() string { return "Lasso" }
+
+// CheckFitted implements FitChecker.
+func (m *Lasso) CheckFitted() error {
+	if len(m.Coef) == 0 {
+		return fmt.Errorf("ml: Lasso is not fitted (no coefficients)")
+	}
+	return nil
+}
 
 // Fit implements Regressor.
 func (m *Lasso) Fit(x [][]float64, y []float64) error {

@@ -24,12 +24,15 @@ func TestAPE(t *testing.T) {
 func TestMAPEAndRMSE(t *testing.T) {
 	actual := []float64{100, 200}
 	pred := []float64{110, 180}
-	mape, err := MAPE(actual, pred)
+	mape, skipped, err := MAPE(actual, pred)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(mape-0.1) > 1e-12 { // (0.1 + 0.1)/2
 		t.Errorf("MAPE = %v, want 0.1", mape)
+	}
+	if skipped != 0 {
+		t.Errorf("MAPE skipped = %d, want 0", skipped)
 	}
 	rmse, err := RMSE(actual, pred)
 	if err != nil {
@@ -39,8 +42,28 @@ func TestMAPEAndRMSE(t *testing.T) {
 	if math.Abs(rmse-want) > 1e-12 {
 		t.Errorf("RMSE = %v, want %v", rmse, want)
 	}
-	if _, err := MAPE(nil, nil); err == nil {
+	if _, _, err := MAPE(nil, nil); err == nil {
 		t.Error("empty MAPE accepted")
+	}
+}
+
+// A single actual == 0 sample must be skipped and counted, not poison
+// the whole mean with +Inf; all-zero actuals are an error.
+func TestMAPESkipsZeroActuals(t *testing.T) {
+	actual := []float64{100, 0, 200}
+	pred := []float64{110, 5, 180}
+	mape, skipped, err := MAPE(actual, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+	if math.IsInf(mape, 0) || math.Abs(mape-0.1) > 1e-12 {
+		t.Errorf("MAPE = %v, want 0.1 (zero-actual sample skipped)", mape)
+	}
+	if _, skipped, err := MAPE([]float64{0, 0}, []float64{1, 2}); err == nil || skipped != 2 {
+		t.Errorf("all-zero actuals: err=%v skipped=%d, want error and 2", err, skipped)
 	}
 	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
 		t.Error("length mismatch accepted")

@@ -137,6 +137,9 @@ func LoadModel(r io.Reader) (Regressor, error) {
 		if err := json.Unmarshal(env.Data, &st); err != nil {
 			return nil, err
 		}
+		if len(st.Trees) == 0 {
+			return nil, fmt.Errorf("ml: forest bundle has no trees")
+		}
 		f := &Forest{trees: make([]*treeNode, len(st.Trees))}
 		for i, ts := range st.Trees {
 			n, err := stateToNode(ts)
@@ -147,6 +150,13 @@ func LoadModel(r io.Reader) (Regressor, error) {
 				return nil, fmt.Errorf("ml: forest contains empty tree")
 			}
 			f.trees[i] = n
+		}
+		f.flat = flatten(f.trees)
+		// A bundle that decodes but violates the structural invariants
+		// (empty node arrays, out-of-bounds child indices) must not be
+		// allowed to serve predictions.
+		if err := f.CheckFitted(); err != nil {
+			return nil, fmt.Errorf("ml: corrupt forest bundle: %w", err)
 		}
 		return f, nil
 	case "SVR_RBF":

@@ -1,5 +1,7 @@
 package ml
 
+import "fmt"
+
 // Regressor is the common interface of all models: fit on a design
 // matrix (rows = samples) and predict single samples.
 type Regressor interface {
@@ -12,11 +14,50 @@ type Regressor interface {
 	Predict(x []float64) float64
 }
 
+// BatchRegressor is implemented by models with a vectorised prediction
+// path: PredictInto fills dst[i] with the prediction for rows[i]
+// without allocating. dst must be at least as long as rows.
+type BatchRegressor interface {
+	Regressor
+	PredictInto(dst []float64, rows [][]float64)
+}
+
+// FitChecker is implemented by models that can report whether they are
+// in a usable fitted state. The error is descriptive — it names the
+// algorithm and what is missing — so the model layer can refuse to
+// serve predictions from an unfit or corrupt model instead of silently
+// returning garbage.
+type FitChecker interface {
+	CheckFitted() error
+}
+
+// CheckFitted reports whether a regressor is ready to predict. Models
+// that do not implement FitChecker are assumed fitted.
+func CheckFitted(r Regressor) error {
+	if r == nil {
+		return fmt.Errorf("ml: nil regressor")
+	}
+	if c, ok := r.(FitChecker); ok {
+		return c.CheckFitted()
+	}
+	return nil
+}
+
 // PredictAll applies the model to every row.
 func PredictAll(m Regressor, x [][]float64) []float64 {
 	out := make([]float64, len(x))
-	for i, r := range x {
-		out[i] = m.Predict(r)
-	}
+	PredictAllInto(m, out, x)
 	return out
+}
+
+// PredictAllInto fills dst with per-row predictions, using the model's
+// batch path when it has one. dst must be at least as long as x.
+func PredictAllInto(m Regressor, dst []float64, x [][]float64) {
+	if b, ok := m.(BatchRegressor); ok {
+		b.PredictInto(dst, x)
+		return
+	}
+	for i, r := range x {
+		dst[i] = m.Predict(r)
+	}
 }

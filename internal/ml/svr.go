@@ -1,6 +1,9 @@
 package ml
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // SVR is ε-insensitive support-vector regression with an RBF kernel,
 // trained by exact cyclic coordinate descent on the (bias-absorbed)
@@ -157,3 +160,11 @@ func (m *SVR) Predict(x []float64) float64 {
 
 // NumSupport returns the number of support vectors (for tests/tooling).
 func (m *SVR) NumSupport() int { return len(m.support) }
+
+// CheckFitted implements FitChecker.
+func (m *SVR) CheckFitted() error {
+	if m.scaler == nil || len(m.support) == 0 {
+		return fmt.Errorf("ml: SVR_RBF is not fitted (no support vectors)")
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+//go:build !race
+
+package model
+
+import (
+	"testing"
+
+	"synergy/internal/benchsuite"
+	"synergy/internal/hw"
+)
+
+// The whole-curve prediction — featuresRowInto per frequency plus the
+// four batch model evaluations — is the serve daemon's hot path and
+// must not allocate once the session scratch exists. (Skipped under
+// -race, whose instrumentation allocates.)
+func TestPredictorCurveZeroAlloc(t *testing.T) {
+	m := forestBundle(t, hw.V100())
+	p, err := m.NewPredictor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := benchsuite.ByName("matmul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := bundleFeatures(t, b)
+	p.Curve(v) // warm
+	var sink float64
+	allocs := testing.AllocsPerRun(200, func() {
+		c := p.Curve(v)
+		sink += c[0].EnergyNanoJ
+	})
+	if allocs != 0 {
+		t.Errorf("Predictor.Curve allocates %v per run, want 0", allocs)
+	}
+	_ = sink
+}

@@ -8,6 +8,7 @@ import (
 	"synergy/internal/hw"
 	"synergy/internal/kernelir"
 	"synergy/internal/metrics"
+	"synergy/internal/ml"
 	"synergy/internal/sweep"
 )
 
@@ -115,9 +116,13 @@ func AlgosFor(t metrics.Target) []string {
 	return EnergyAlgos
 }
 
-// Cell is one Table-2 entry.
+// Cell is one Table-2 entry. Skipped counts benchmark cases whose
+// actual objective value was zero: their percentage error is undefined,
+// so they are excluded from the MAPE mean (ml.MAPE) instead of printing
+// +Inf in the error tables.
 type Cell struct {
 	RMSE, MAPE float64
+	Skipped    int
 	Computed   bool
 }
 
@@ -162,32 +167,45 @@ func BuildTable2(spec *hw.Spec, ts *TrainingSet, cases []BenchCase, targets []me
 		byAlgo[algo] = errs
 	}
 
+	rows, all := AggregateTable2(byAlgo, targets)
+	return rows, all, nil
+}
+
+// AggregateTable2 folds per-benchmark prediction errors into Table-2
+// rows. Error statistics go through ml.MAPE / ml.RMSE, so a benchmark
+// whose actual objective value is zero is skipped (and counted in
+// Cell.Skipped) rather than poisoning the whole mean with +Inf.
+func AggregateTable2(byAlgo map[string][]PredictionError, targets []metrics.Target) ([]Table2Row, []PredictionError) {
 	var rows []Table2Row
 	var all []PredictionError
 	for _, tgt := range targets {
 		row := Table2Row{Target: tgt, Cells: map[string]Cell{}}
 		bestMAPE := math.Inf(1)
 		for _, algo := range AllAlgos {
-			var apes, actual, pred []float64
+			var actual, pred []float64
 			for _, e := range byAlgo[algo] {
 				if e.Target == tgt {
-					apes = append(apes, e.APE)
 					actual = append(actual, e.ActualObj)
 					pred = append(pred, e.PredObj)
 					all = append(all, e)
 				}
 			}
-			if len(apes) == 0 {
+			if len(actual) == 0 {
 				continue
 			}
-			mape := mean(apes)
-			rmse := 0.0
-			for i := range actual {
-				d := pred[i] - actual[i]
-				rmse += d * d
+			mape, skipped, err := ml.MAPE(actual, pred)
+			if err != nil {
+				// Every actual value was zero — no finite percentage
+				// error exists; leave the cell uncomputed.
+				row.Cells[algo] = Cell{Skipped: skipped}
+				continue
 			}
-			rmse = math.Sqrt(rmse / float64(len(actual)))
-			row.Cells[algo] = Cell{RMSE: rmse, MAPE: mape, Computed: true}
+			rmse, err := ml.RMSE(actual, pred)
+			if err != nil {
+				row.Cells[algo] = Cell{Skipped: skipped}
+				continue
+			}
+			row.Cells[algo] = Cell{RMSE: rmse, MAPE: mape, Skipped: skipped, Computed: true}
 			if mape < bestMAPE {
 				bestMAPE = mape
 				row.Best = algo
@@ -195,13 +213,5 @@ func BuildTable2(spec *hw.Spec, ts *TrainingSet, cases []BenchCase, targets []me
 		}
 		rows = append(rows, row)
 	}
-	return rows, all, nil
-}
-
-func mean(xs []float64) float64 {
-	s := 0.0
-	for _, x := range xs {
-		s += x
-	}
-	return s / float64(len(xs))
+	return rows, all
 }

@@ -132,6 +132,11 @@ func kernelScale(v features.Vector) float64 {
 	return s
 }
 
+// rowLen is the model-input width: the ten Table-1 features as mix
+// fractions, frequency in GHz, its reciprocal, and the per-fraction /f
+// interaction terms.
+const rowLen = 2*10 + 2
+
 // featuresRow builds the model input: the ten Table-1 features as mix
 // fractions, the core frequency in GHz, its reciprocal, and the
 // per-fraction /f interaction terms. The interactions encode the
@@ -140,18 +145,36 @@ func kernelScale(v features.Vector) float64 {
 // (Table 2) while the energy targets — nonlinear in f through V(f)² —
 // favour the forest.
 func featuresRow(v features.Vector, freqMHz int) []float64 {
-	ks := v.Slice()
-	scale := kernelScale(v)
-	fGHz := float64(freqMHz) / 1000
-	row := make([]float64, 0, 2*len(ks)+2)
-	for _, k := range ks {
-		row = append(row, k/scale)
-	}
-	row = append(row, fGHz, 1/fGHz)
-	for _, k := range ks {
-		row = append(row, k/scale/fGHz)
-	}
+	row := make([]float64, rowLen)
+	featuresRowInto(row, v, freqMHz)
 	return row
+}
+
+// featuresRowInto fills a rowLen-sized scratch row in place — the
+// allocation-free form the prediction hot path uses (a stack array
+// instead of Vector.Slice, which allocates).
+func featuresRowInto(row []float64, v features.Vector, freqMHz int) {
+	ks := [10]float64{
+		v.IntAdd, v.IntMul, v.IntDiv, v.IntBw,
+		v.FloatAdd, v.FloatMul, v.FloatDiv, v.SF,
+		v.GlAccess, v.LocAccess,
+	}
+	scale := 0.0
+	for _, k := range ks {
+		scale += k
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	fGHz := float64(freqMHz) / 1000
+	for i, k := range ks {
+		row[i] = k / scale
+	}
+	row[len(ks)] = fGHz
+	row[len(ks)+1] = 1 / fGHz
+	for i, k := range ks {
+		row[len(ks)+2+i] = k / scale / fGHz
+	}
 }
 
 // Models bundles the four single-target models of §6.1 step ③.
@@ -210,21 +233,37 @@ type PredictedPoint struct {
 	EDPPred, ED2PPredicted float64
 }
 
+// Check verifies the bundle is able to serve predictions: the device
+// spec is present and all four models are in a fitted state. A bundle
+// that was never trained — or was loaded from a corrupt artifact — is
+// refused with a descriptive error here instead of silently predicting
+// garbage (an unfit forest, for instance, used to return a flat 0).
+func (m *Models) Check() error {
+	if m.Spec == nil {
+		return fmt.Errorf("model: bundle has no device spec")
+	}
+	for _, part := range []struct {
+		name string
+		r    ml.Regressor
+	}{
+		{"time", m.Time}, {"energy", m.Energy}, {"EDP", m.EDP}, {"ED2P", m.ED2P},
+	} {
+		if part.r == nil {
+			return fmt.Errorf("model: bundle for %s is missing the %s model", m.Spec.Name, part.name)
+		}
+		if err := ml.CheckFitted(part.r); err != nil {
+			return fmt.Errorf("model: %s model for %s cannot predict: %w", part.name, m.Spec.Name, err)
+		}
+	}
+	return nil
+}
+
 // PredictCurve evaluates the four models at every supported frequency
 // for the kernel's feature vector (§6.2 steps ④–⑤).
 func (m *Models) PredictCurve(v features.Vector) []PredictedPoint {
-	out := make([]PredictedPoint, len(m.Spec.CoreFreqsMHz))
-	sc := kernelScale(v)
-	for i, f := range m.Spec.CoreFreqsMHz {
-		row := featuresRow(v, f)
-		out[i] = PredictedPoint{
-			FreqMHz:       f,
-			TimeNs:        m.Time.Predict(row) * sc,
-			EnergyNanoJ:   m.Energy.Predict(row) * sc,
-			EDPPred:       m.EDP.Predict(row) * sc * sc,
-			ED2PPredicted: math.Exp(m.ED2P.Predict(row)) * sc * sc * sc,
-		}
-	}
+	c := m.predictor().Curve(v)
+	out := make([]PredictedPoint, len(c))
+	copy(out, c)
 	return out
 }
 
@@ -233,39 +272,15 @@ func (m *Models) PredictCurve(v features.Vector) []PredictedPoint {
 // MIN_ED2P use their dedicated models; the remaining targets operate on
 // the predicted time/energy curves through the metrics definitions.
 func (m *Models) SearchFrequency(v features.Vector, target metrics.Target) (int, error) {
-	if err := target.Validate(); err != nil {
-		return 0, err
-	}
-	curve := m.PredictCurve(v)
-	switch target.Kind {
-	case metrics.KindMinEDP:
-		return argminFreq(curve, func(p PredictedPoint) float64 { return p.EDPPred }), nil
-	case metrics.KindMinED2P:
-		return argminFreq(curve, func(p PredictedPoint) float64 { return p.ED2PPredicted }), nil
-	}
-	pts := make([]metrics.Point, len(curve))
-	for i, p := range curve {
-		t := p.TimeNs
-		e := p.EnergyNanoJ
-		// Predicted values can go slightly non-positive at the edges of
-		// the training distribution; clamp for the sweep invariants.
-		if t <= 0 {
-			t = 1e-9
-		}
-		if e <= 0 {
-			e = 1e-9
-		}
-		pts[i] = metrics.Point{FreqMHz: p.FreqMHz, TimeSec: t, EnergyJ: e}
-	}
-	sweep, err := metrics.NewSweep(pts, m.Spec.BaselineCoreMHz())
+	p, err := m.NewPredictor()
 	if err != nil {
 		return 0, err
 	}
-	sel, err := sweep.Select(target)
+	a, err := p.Advise(v, target)
 	if err != nil {
 		return 0, err
 	}
-	return sel.FreqMHz, nil
+	return a.FreqMHz, nil
 }
 
 func argminFreq(curve []PredictedPoint, f func(PredictedPoint) float64) int {

@@ -82,5 +82,11 @@ func LoadModels(r io.Reader) (*Models, error) {
 		}
 		*part.dst = reg
 	}
+	// Refuse bundles that decode but cannot predict (e.g. a forest with
+	// no trees): serving zero-frequency advice from a corrupt bundle is
+	// strictly worse than failing the load.
+	if err := m.Check(); err != nil {
+		return nil, err
+	}
 	return m, nil
 }

@@ -1,0 +1,160 @@
+package model
+
+import (
+	"math"
+
+	"synergy/internal/features"
+	"synergy/internal/metrics"
+	"synergy/internal/ml"
+)
+
+// Predictor is a reusable prediction session over one Models bundle:
+// all scratch buffers (feature rows, per-model outputs, the predicted
+// curve and the sweep points) are allocated once and reused, and the
+// four models are driven through their batch path, so evaluating the
+// whole frequency curve performs no per-call allocations. A Predictor
+// is not safe for concurrent use — the serve daemon pools them.
+type Predictor struct {
+	m     *Models
+	rows  [][]float64
+	back  []float64
+	yT    []float64
+	yE    []float64
+	yEDP  []float64
+	yED2P []float64
+	curve []PredictedPoint
+	pts   []metrics.Point
+}
+
+// predictor builds the scratch without checking fitted state (the
+// legacy PredictCurve path keeps its error-free signature).
+func (m *Models) predictor() *Predictor {
+	n := len(m.Spec.CoreFreqsMHz)
+	p := &Predictor{
+		m:     m,
+		rows:  make([][]float64, n),
+		back:  make([]float64, n*rowLen),
+		yT:    make([]float64, n),
+		yE:    make([]float64, n),
+		yEDP:  make([]float64, n),
+		yED2P: make([]float64, n),
+		curve: make([]PredictedPoint, n),
+		pts:   make([]metrics.Point, n),
+	}
+	for i := range p.rows {
+		p.rows[i] = p.back[i*rowLen : (i+1)*rowLen : (i+1)*rowLen]
+	}
+	return p
+}
+
+// NewPredictor validates the bundle (Models.Check) and builds a
+// prediction session for it.
+func (m *Models) NewPredictor() (*Predictor, error) {
+	if err := m.Check(); err != nil {
+		return nil, err
+	}
+	return m.predictor(), nil
+}
+
+// Models returns the bundle the session predicts with.
+func (p *Predictor) Models() *Models { return p.m }
+
+// Curve evaluates the four models at every supported frequency. The
+// returned slice is the session's internal buffer: it is valid until
+// the next Curve or Advise call and must not be retained. The values
+// are bit-identical to Models.PredictCurve.
+func (p *Predictor) Curve(v features.Vector) []PredictedPoint {
+	m := p.m
+	sc := kernelScale(v)
+	for i, f := range m.Spec.CoreFreqsMHz {
+		featuresRowInto(p.rows[i], v, f)
+	}
+	ml.PredictAllInto(m.Time, p.yT, p.rows)
+	ml.PredictAllInto(m.Energy, p.yE, p.rows)
+	ml.PredictAllInto(m.EDP, p.yEDP, p.rows)
+	ml.PredictAllInto(m.ED2P, p.yED2P, p.rows)
+	for i, f := range m.Spec.CoreFreqsMHz {
+		p.curve[i] = PredictedPoint{
+			FreqMHz:       f,
+			TimeNs:        p.yT[i] * sc,
+			EnergyNanoJ:   p.yE[i] * sc,
+			EDPPred:       p.yEDP[i] * sc * sc,
+			ED2PPredicted: math.Exp(p.yED2P[i]) * sc * sc * sc,
+		}
+	}
+	return p.curve
+}
+
+// Advice is one frequency recommendation: the chosen configuration and
+// the model's view of what it buys, in the paper's ES/PL terms.
+type Advice struct {
+	// Target is the energy target the advice optimises.
+	Target metrics.Target
+	// FreqMHz is the recommended core frequency.
+	FreqMHz int
+	// BaselineMHz is the device's default core clock the ES/PL figures
+	// are relative to.
+	BaselineMHz int
+	// TimeNs and EnergyNanoJ are the predicted per-work-item time and
+	// energy at FreqMHz.
+	TimeNs, EnergyNanoJ float64
+	// ESPct and PLPct are the predicted energy saving and performance
+	// loss at FreqMHz relative to the baseline configuration (percent,
+	// from the predicted curve).
+	ESPct, PLPct float64
+}
+
+// Advise runs the full §6.2 frequency search for one kernel and target
+// and reports the predicted energy-saving / performance-loss tradeoff
+// of the chosen configuration.
+func (p *Predictor) Advise(v features.Vector, target metrics.Target) (Advice, error) {
+	if err := target.Validate(); err != nil {
+		return Advice{}, err
+	}
+	curve := p.Curve(v)
+	for i, pt := range curve {
+		t := pt.TimeNs
+		e := pt.EnergyNanoJ
+		// Predicted values can go slightly non-positive at the edges of
+		// the training distribution; clamp for the sweep invariants.
+		if t <= 0 {
+			t = 1e-9
+		}
+		if e <= 0 {
+			e = 1e-9
+		}
+		p.pts[i] = metrics.Point{FreqMHz: pt.FreqMHz, TimeSec: t, EnergyJ: e}
+	}
+	sweep, err := metrics.NewSweep(p.pts, p.m.Spec.BaselineCoreMHz())
+	if err != nil {
+		return Advice{}, err
+	}
+	var freq int
+	switch target.Kind {
+	case metrics.KindMinEDP:
+		freq = argminFreq(curve, func(p PredictedPoint) float64 { return p.EDPPred })
+	case metrics.KindMinED2P:
+		freq = argminFreq(curve, func(p PredictedPoint) float64 { return p.ED2PPredicted })
+	default:
+		sel, err := sweep.Select(target)
+		if err != nil {
+			return Advice{}, err
+		}
+		freq = sel.FreqMHz
+	}
+	chosen, _ := sweep.PointAt(freq)
+	a := Advice{
+		Target:      target,
+		FreqMHz:     freq,
+		BaselineMHz: p.m.Spec.BaselineCoreMHz(),
+		ESPct:       sweep.EnergySavingPct(chosen),
+		PLPct:       sweep.PerfLossPct(chosen),
+	}
+	for _, pt := range curve {
+		if pt.FreqMHz == freq {
+			a.TimeNs, a.EnergyNanoJ = pt.TimeNs, pt.EnergyNanoJ
+			break
+		}
+	}
+	return a, nil
+}

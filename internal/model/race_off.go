@@ -1,0 +1,7 @@
+//go:build !race
+
+package model
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; heavyweight bit-exactness tests slim their matrix under race.
+const raceEnabled = false

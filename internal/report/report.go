@@ -424,11 +424,17 @@ func (m *ModelEvaluation) RenderTable2() string {
 		cells := []string{row.Target.String()}
 		for _, a := range model.AllAlgos {
 			c, ok := row.Cells[a]
-			if !ok {
+			if !ok || !c.Computed {
 				cells = append(cells, "-", "-")
 				continue
 			}
-			cells = append(cells, fmt.Sprintf("%.4g", c.RMSE), fmt.Sprintf("%.4f", c.MAPE))
+			mape := fmt.Sprintf("%.4f", c.MAPE)
+			if c.Skipped > 0 {
+				// Zero-valued actual objectives have no percentage error;
+				// surface how many were excluded from the mean.
+				mape += fmt.Sprintf(" (skip %d)", c.Skipped)
+			}
+			cells = append(cells, fmt.Sprintf("%.4g", c.RMSE), mape)
 		}
 		cells = append(cells, row.Best)
 		t.addRow(cells...)

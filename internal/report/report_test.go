@@ -7,6 +7,7 @@ import (
 	"synergy/internal/hw"
 	"synergy/internal/kernelir/analysis"
 	"synergy/internal/metrics"
+	"synergy/internal/model"
 )
 
 func TestBuildFig1MatchesPaper(t *testing.T) {
@@ -195,5 +196,40 @@ func TestBuildFig10Small(t *testing.T) {
 	}
 	if !strings.Contains(RenderFig10(pts), "cloverleaf") {
 		t.Error("Fig 10 render incomplete")
+	}
+}
+
+// A benchmark whose actual objective value is zero used to print "+Inf"
+// in the Table-2 MAPE column (one division by zero poisoned the mean).
+// It must now be skipped, counted, and annotated.
+func TestRenderTable2SkipsZeroActuals(t *testing.T) {
+	tgt := metrics.MinEnergy
+	byAlgo := map[string][]model.PredictionError{
+		model.AlgoForest: {
+			{Bench: "a", Target: tgt, Algo: model.AlgoForest, ActualObj: 100, PredObj: 110},
+			{Bench: "b", Target: tgt, Algo: model.AlgoForest, ActualObj: 0, PredObj: 1},
+			{Bench: "c", Target: tgt, Algo: model.AlgoForest, ActualObj: 200, PredObj: 180},
+		},
+	}
+	rows, _ := model.AggregateTable2(byAlgo, []metrics.Target{tgt})
+	if len(rows) != 1 {
+		t.Fatalf("%d rows, want 1", len(rows))
+	}
+	c := rows[0].Cells[model.AlgoForest]
+	if !c.Computed {
+		t.Fatal("cell not computed")
+	}
+	if c.Skipped != 1 {
+		t.Fatalf("Skipped = %d, want 1", c.Skipped)
+	}
+	if got, want := c.MAPE, 0.1; got < want-1e-12 || got > want+1e-12 {
+		t.Fatalf("MAPE = %v, want %v", got, want)
+	}
+	out := (&ModelEvaluation{Device: "test", Rows: rows}).RenderTable2()
+	if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+		t.Fatalf("rendered table carries non-finite values:\n%s", out)
+	}
+	if !strings.Contains(out, "(skip 1)") {
+		t.Fatalf("rendered table missing skip annotation:\n%s", out)
 	}
 }

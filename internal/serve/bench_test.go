@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"synergy/internal/features"
+	"synergy/internal/metrics"
+)
+
+// BenchmarkServePredict is the daemon's in-process hot path: one advice
+// resolution — target parse, feature-map decode, pooled predictor,
+// whole-curve batch prediction, target search. The preds/s metric
+// counts individual model evaluations (four models x every supported
+// frequency per advise); BENCH_serve.json records the reference rate.
+func BenchmarkServePredict(b *testing.B) {
+	s, _ := testServer(b)
+	fm := featureMap(b, "black_scholes")
+	req := Request{Target: "MIN_ENERGY", Features: fm}
+	if _, err := s.advise(&req); err != nil {
+		b.Fatal(err)
+	}
+	perAdvise := 4 * len(s.Models().Spec.CoreFreqsMHz)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.advise(&req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perSec := float64(perAdvise) * float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(perSec, "preds/s")
+}
+
+// BenchmarkServeCurve isolates the prediction kernel itself: the four
+// flattened forests batch-evaluated over the full frequency table
+// through reused session scratch (no target search, no JSON).
+func BenchmarkServeCurve(b *testing.B) {
+	m := testBundle(b)
+	p, err := m.NewPredictor()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fm := featureMap(b, "black_scholes")
+	v, err := features.FromMap(fm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	perCurve := 4 * len(m.Spec.CoreFreqsMHz)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Curve(v)
+	}
+	b.StopTimer()
+	perSec := float64(perCurve) * float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(perSec, "preds/s")
+}
+
+// BenchmarkServeAdvise measures the library advice path (no HTTP), the
+// per-request cost a colocated caller pays.
+func BenchmarkServeAdvise(b *testing.B) {
+	m := testBundle(b)
+	p, err := m.NewPredictor()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fm := featureMap(b, "black_scholes")
+	v, err := features.FromMap(fm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Advise(v, metrics.MinEnergy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeHTTP is the end-to-end cost over real HTTP: JSON
+// decode, advice, JSON encode, loopback transport.
+func BenchmarkServeHTTP(b *testing.B) {
+	s, _ := testServer(b)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	fm := featureMap(b, "black_scholes")
+	body, err := json.Marshal(Request{Target: "MIN_ENERGY", Features: fm})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/advise", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var r Response
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}

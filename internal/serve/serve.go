@@ -1,0 +1,292 @@
+// Package serve implements the SYnergy frequency-advice daemon: an
+// HTTP/JSON front-end over one trained per-device model bundle
+// (internal/model). A client submits either the kernel's static feature
+// counts (the compiler-pass output of §5) or a raw .kir kernel body,
+// plus an energy target, and receives the recommended core frequency
+// with the model's predicted time/energy and ES/PL tradeoff.
+//
+// The hot path is allocation-lean by construction: prediction sessions
+// (model.Predictor) are pooled and reused, the flattened forests walk
+// index arrays, and repeated kernels hit the fingerprint-keyed feature
+// cache. Request counters are exported on /metrics through the shared
+// telemetry registry.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"synergy/internal/features"
+	"synergy/internal/kernelir"
+	"synergy/internal/metrics"
+	"synergy/internal/model"
+	"synergy/internal/sweep"
+	"synergy/internal/telemetry"
+)
+
+// MaxBatch bounds /v1/batch request fan-out so one request cannot pin
+// the daemon arbitrarily long.
+const MaxBatch = 1024
+
+// Request is one advice query. Exactly one of Features and KIR must be
+// set: Features carries the Table-1 static counts by canonical name
+// (features.Names); KIR carries a kernel in .kir assembly, which the
+// daemon assembles and runs through the static feature extractor.
+type Request struct {
+	// Target is the energy target in the paper's notation: MAX_PERF,
+	// MIN_ENERGY, MIN_EDP, MIN_ED2P, ES_x, PL_x.
+	Target string `json:"target"`
+	// Features maps canonical feature names to per-work-item counts.
+	Features map[string]float64 `json:"features,omitempty"`
+	// KIR is a kernel body in .kir assembly.
+	KIR string `json:"kir,omitempty"`
+	// Items is the launch size; only consulted with GroundTruth.
+	Items int64 `json:"items,omitempty"`
+	// GroundTruth asks the daemon to also sweep the kernel through the
+	// device model (requires KIR and Items) and report the measured
+	// optimum next to the prediction.
+	GroundTruth bool `json:"ground_truth,omitempty"`
+}
+
+// Response is the advice for one Request.
+type Response struct {
+	Device      string `json:"device"`
+	Algo        string `json:"algo"`
+	Target      string `json:"target"`
+	FreqMHz     int    `json:"freq_mhz"`
+	BaselineMHz int    `json:"baseline_mhz"`
+	// TimeNs and EnergyNanoJ are the predicted per-work-item cost at
+	// FreqMHz.
+	TimeNs      float64 `json:"time_ns_per_item"`
+	EnergyNanoJ float64 `json:"energy_nj_per_item"`
+	// ESPct / PLPct are the predicted energy saving and performance
+	// loss at FreqMHz versus the baseline clock, in percent.
+	ESPct float64 `json:"es_pct"`
+	PLPct float64 `json:"pl_pct"`
+	// ActualFreqMHz is the ground-truth optimum (GroundTruth only).
+	ActualFreqMHz int `json:"actual_freq_mhz,omitempty"`
+}
+
+// BatchResult wraps one Response in /v1/batch, where a single bad item
+// must not fail the whole batch.
+type BatchResult struct {
+	*Response
+	Error string `json:"error,omitempty"`
+}
+
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// Server is the daemon: one model bundle, a pool of prediction
+// sessions, and the telemetry registry backing /metrics.
+type Server struct {
+	m    *model.Models
+	reg  *telemetry.Registry
+	pool sync.Pool
+	mux  *http.ServeMux
+
+	advises  *telemetry.Counter
+	predicts *telemetry.Counter
+	errors   *telemetry.Counter
+}
+
+// New validates the bundle and builds the daemon around it. reg may be
+// nil (metrics become no-ops and /metrics serves an empty exposition).
+func New(m *model.Models, reg *telemetry.Registry) (*Server, error) {
+	if err := m.Check(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		m:        m,
+		reg:      reg,
+		advises:  reg.Counter("serve_advises_total"),
+		predicts: reg.Counter("serve_predictions_total"),
+		errors:   reg.Counter("serve_errors_total"),
+	}
+	s.pool.New = func() any {
+		p, err := m.NewPredictor()
+		if err != nil {
+			// New checked the bundle; a pooled constructor cannot fail
+			// after that.
+			panic(err)
+		}
+		return p
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/advise", s.handleAdvise)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Models returns the bundle the daemon serves.
+func (s *Server) Models() *model.Models { return s.m }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// advise resolves one request through a pooled prediction session.
+func (s *Server) advise(req *Request) (*Response, error) {
+	target, err := metrics.ParseTarget(req.Target)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	var v features.Vector
+	var k *kernelir.Kernel
+	switch {
+	case req.KIR != "" && req.Features != nil:
+		return nil, badRequest(`serve: "features" and "kir" are mutually exclusive`)
+	case req.KIR != "":
+		k, err = kernelir.Assemble(req.KIR)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		v, err = features.Extract(k)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+	case req.Features != nil:
+		v, err = features.FromMap(req.Features)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+	default:
+		return nil, badRequest(`serve: request needs either "features" or "kir"`)
+	}
+
+	p := s.pool.Get().(*model.Predictor)
+	a, err := p.Advise(v, target)
+	s.pool.Put(p)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	s.advises.Inc()
+	// One advise evaluates four models over the whole frequency table.
+	s.predicts.Add(int64(4 * len(s.m.Spec.CoreFreqsMHz)))
+
+	resp := &Response{
+		Device:      s.m.Spec.Name,
+		Algo:        s.m.Algo,
+		Target:      target.String(),
+		FreqMHz:     a.FreqMHz,
+		BaselineMHz: a.BaselineMHz,
+		TimeNs:      a.TimeNs,
+		EnergyNanoJ: a.EnergyNanoJ,
+		ESPct:       a.ESPct,
+		PLPct:       a.PLPct,
+	}
+	if req.GroundTruth {
+		if k == nil {
+			return nil, badRequest(`serve: "ground_truth" needs a "kir" kernel`)
+		}
+		gt, err := sweep.GroundTruth(s.m.Spec, k, req.Items)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		sel, err := gt.Select(target)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		resp.ActualFreqMHz = sel.FreqMHz
+	}
+	return resp, nil
+}
+
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePost(w, r) {
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, badRequest("serve: decoding request: %v", err))
+		return
+	}
+	resp, err := s.advise(&req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePost(w, r) {
+		return
+	}
+	var reqs []Request
+	if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
+		s.fail(w, badRequest("serve: decoding batch: %v", err))
+		return
+	}
+	if len(reqs) == 0 {
+		s.fail(w, badRequest("serve: empty batch"))
+		return
+	}
+	if len(reqs) > MaxBatch {
+		s.fail(w, badRequest("serve: batch of %d exceeds limit %d", len(reqs), MaxBatch))
+		return
+	}
+	results := make([]BatchResult, len(reqs))
+	for i := range reqs {
+		resp, err := s.advise(&reqs[i])
+		if err != nil {
+			s.errors.Inc()
+			results[i].Error = err.Error()
+			continue
+		}
+		results[i].Response = resp
+	}
+	writeJSON(w, http.StatusOK, results)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status": "ok",
+		"device": s.m.Spec.Name,
+		"algo":   s.m.Algo,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if s.reg == nil {
+		return
+	}
+	_ = s.reg.WriteText(w)
+}
+
+func (s *Server) requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		s.fail(w, &httpError{code: http.StatusMethodNotAllowed, msg: "serve: POST only"})
+		return false
+	}
+	return true
+}
+
+// fail writes the JSON error envelope and counts the failure.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	s.errors.Inc()
+	code := http.StatusInternalServerError
+	if he, ok := err.(*httpError); ok {
+		code = he.code
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
