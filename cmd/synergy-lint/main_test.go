@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestJSONGolden pins the -json output byte for byte: the JSON array of
+// analysis.Report is the machine-facing schema of the tool, and any
+// field rename, reorder or formatting change must show up as a
+// deliberate golden update, not drift.
+func TestJSONGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "-device", "v100", "testdata/uninit.kir"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (fixture has error findings); stderr: %s", code, stderr.String())
+	}
+	const golden = "testdata/uninit.golden.json"
+	if *update {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("-json output drifted from %s (run with -update to accept):\n got: %s\nwant: %s",
+			golden, stdout.Bytes(), want)
+	}
+}
+
+// TestOptJSONConflict pins the refusal to mix -opt into the JSON
+// schema.
+func TestOptJSONConflict(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-opt", "-json"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-opt -json exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-opt cannot be combined with -json") {
+		t.Errorf("missing conflict message, got: %s", stderr.String())
+	}
+}
+
+// TestOptTextOutput smoke-tests the optimizer summary lines: per-kernel
+// delta, aggregate total, and under -diff one justification line per
+// rewrite.
+func TestOptTextOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-quiet", "-opt", "median"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "opt: 67 -> 57 instructions") {
+		t.Errorf("missing per-kernel opt summary:\n%s", out)
+	}
+	if !strings.Contains(out, "total: 67 -> 57 instructions") {
+		t.Errorf("missing aggregate total:\n%s", out)
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-quiet", "-diff", "median"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-diff exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	diffOut := stdout.String()
+	if !strings.Contains(diffOut, "dce") || !strings.Contains(diffOut, "pc") {
+		t.Errorf("-diff output lacks rewrite justification lines:\n%s", diffOut)
+	}
+}
+
+// TestUnknownTarget pins the load-failure exit code.
+func TestUnknownTarget(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"no_such_kernel"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestOptSummaryAndOutput drives the CLI end to end: optimize one
+// benchmark, write the optimized .kir, and re-run the tool on that file
+// — the second pass must be a no-op because Optimize is idempotent, so
+// emitted kernels are already in normal form.
+func TestOptSummaryAndOutput(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-o", dir, "median"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "median: 67 -> 57 instructions") {
+		t.Errorf("missing summary line:\n%s", stdout.String())
+	}
+	path := filepath.Join(dir, "median.kir")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("optimized file not written: %v", err)
+	}
+
+	stdout.Reset()
+	if code := run([]string{path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("re-run exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "median: 57 -> 57 instructions (+0.0%)") {
+		t.Errorf("re-optimizing emitted normal form was not a no-op:\n%s", stdout.String())
+	}
+}
+
+// TestOptFullSuiteReduces runs the default full-suite mode and pins
+// that the aggregate static delta is a genuine reduction.
+func TestOptFullSuiteReduces(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	i := strings.Index(out, "total: ")
+	if i < 0 {
+		t.Fatalf("missing total line:\n%s", out)
+	}
+	if !strings.Contains(out[i:], "-") {
+		t.Errorf("aggregate delta is not a reduction: %s", out[i:])
+	}
+}
+
+// TestOptUnknownTarget pins the load-failure exit code.
+func TestOptUnknownTarget(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"no_such_kernel"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

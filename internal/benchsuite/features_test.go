@@ -9,15 +9,21 @@ import (
 // TestGoldenFeatureVectors locks the Table-1 feature vectors of the
 // figure benchmarks: any change to these kernels' instruction mixes
 // shifts the paper-facing characterisations and must be deliberate.
+//
+// Extraction measures the optimizer normal form (features.Extract runs
+// kernelir/opt first), so these goldens reflect post-optimization
+// counts: matmul's row-stride multiply strength-reduces to a shift
+// (IntMul -> IntBw), and median loses one staging add plus the eight
+// float adds of its dead sorting-network lanes.
 func TestGoldenFeatureVectors(t *testing.T) {
 	golden := map[string]features.Vector{
 		"vec_add": {FloatAdd: 1, GlAccess: 3},
 		"matmul": {
-			IntAdd: 128, IntMul: 1, IntDiv: 2,
+			IntAdd: 128, IntBw: 1, IntDiv: 2,
 			FloatAdd: 64, FloatMul: 64, GlAccess: 129,
 		},
 		"median": {
-			IntAdd: 9, FloatAdd: 38, GlAccess: 10,
+			IntAdd: 8, FloatAdd: 30, GlAccess: 10,
 		},
 		"black_scholes": {
 			FloatAdd: 8, FloatMul: 12, FloatDiv: 2, SF: 5, GlAccess: 5,

@@ -10,6 +10,7 @@ import (
 
 	"synergy/internal/hw"
 	"synergy/internal/kernelir"
+	"synergy/internal/kernelir/opt"
 )
 
 // Vector is the static code feature vector k⃗ of Table 1. Every element
@@ -121,17 +122,27 @@ func classify(op kernelir.Op) (field int, counted bool) {
 // vector. Counts inside Repeat blocks are multiplied by the trip counts
 // of every enclosing block.
 //
-// Results are memoized under the kernel's content fingerprint (the same
-// identity the sweep engine and the compiled-program cache key on), so
-// on the repeat path — the serve daemon's hot path — Extract is a map
-// lookup that skips Validate and BuildLoopTree entirely and performs no
+// The kernel is first brought into optimizer normal form (opt.Cached),
+// so the vector describes the instructions a device would actually
+// execute rather than folded constants, duplicate subexpressions and
+// dead code the optimizer removes. Extraction is the single choke point
+// for the feature view of a kernel — the sweep ground truth, the
+// roofline classifier, the energy model and the serve daemon all see
+// the same post-optimization counts. If the optimizer fails safe, the
+// original body is measured (never an error: unoptimized counts are a
+// valid over-approximation).
+//
+// Results are memoized under the ORIGINAL kernel's content fingerprint
+// (the same identity the sweep engine keys on), so on the repeat path —
+// the serve daemon's hot path — Extract is a map lookup that skips the
+// optimizer, Validate and BuildLoopTree entirely and performs no
 // allocations. Failed extractions are not memoized.
 func Extract(k *kernelir.Kernel) (Vector, error) {
 	fp := kernelir.Fingerprint(k)
 	if v, ok := cacheGet(fp); ok {
 		return v, nil
 	}
-	v, err := extract(k)
+	v, err := extract(opt.Cached(k))
 	if err != nil {
 		return Vector{}, err
 	}

@@ -27,9 +27,15 @@ import (
 // before one final reporting pass. Widening only ever grows intervals,
 // so the abstraction stays sound.
 
-// iInf and iNegInf are the interval infinities. Arithmetic saturates at
-// them (see sadd/smul); any computation that could overflow int64 range
-// widens to them rather than wrapping, keeping the domain sound.
+// iInf and iNegInf are the interval infinities. An infinite bound means
+// "unknown in that direction" and absorbs in arithmetic; a computation
+// on finite bounds that would overflow int64 instead widens the whole
+// interval to ⊤ (the interpreter wraps on overflow, so a saturated bound
+// would wrongly exclude the wrapped values — see ival.add).
+//
+// The sentinels coincide with MinInt64/MaxInt64, so those two values
+// cannot be represented as finite bounds; constIval maps them to ⊤
+// rather than letting a genuine constant masquerade as an infinity.
 const (
 	iInf    = int64(math.MaxInt64)
 	iNegInf = int64(math.MinInt64)
@@ -39,62 +45,180 @@ const (
 type ival struct{ lo, hi int64 }
 
 func fullIval() ival            { return ival{iNegInf, iInf} }
-func constIval(v int64) ival    { return ival{v, v} }
 func (v ival) isConst() bool    { return v.lo == v.hi && v.lo != iInf && v.lo != iNegInf }
 func (v ival) nonNeg() bool     { return v.lo >= 0 }
 func (v ival) join(w ival) ival { return ival{min64(v.lo, w.lo), max64(v.hi, w.hi)} }
 
-// sadd is saturating addition on interval bounds.
-func sadd(a, b int64) int64 {
-	switch {
-	case a == iInf || b == iInf:
-		return iInf
-	case a == iNegInf || b == iNegInf:
-		return iNegInf
-	case b > 0 && a > iInf-b:
-		return iInf
-	case b < 0 && a < iNegInf-b:
-		return iNegInf
+// constIval tracks an exact constant, except for the two values the
+// lattice reserves as ±inf sentinels — those become ⊤ so that later
+// transfer functions never mistake a real MinInt64/MaxInt64 for an
+// unbounded interval (negating a "constant" -inf, say).
+func constIval(v int64) ival {
+	if v == iInf || v == iNegInf {
+		return fullIval()
+	}
+	return ival{v, v}
+}
+
+// sneg negates one bound, mapping the infinities onto each other. Plain
+// negation would wrap iNegInf back onto itself, silently turning a
+// "-inf" lower bound into a "-inf" *upper* bound when subtracting — the
+// unsound corner the enumeration tests in bounds_enum_test.go pin.
+// ok is false for the one finite bound whose negation lands on a
+// sentinel (-(MinInt64+1) == MaxInt64); the caller must widen then.
+func sneg(x int64) (int64, bool) {
+	switch x {
+	case iInf:
+		return iNegInf, true
+	case iNegInf:
+		return iInf, true
+	case iNegInf + 1:
+		return iInf, false
 	default:
-		return a + b
+		return -x, true // safe: x != MinInt64 (that value is the sentinel)
 	}
 }
 
-// smul is saturating multiplication on interval bounds, with 0·∞ = 0
-// (correct for interval corner products).
-func smul(a, b int64) int64 {
+// sadd adds two bounds. ok is false when two *finite* bounds overflowed
+// int64: the result is then saturated, but the caller must widen to ⊤
+// because the interpreter wraps and the wrapped values lie outside any
+// saturated interval. Infinite operands absorb exactly (ok stays true).
+func sadd(a, b int64) (int64, bool) {
+	switch {
+	case a == iInf || b == iInf:
+		return iInf, true
+	case a == iNegInf || b == iNegInf:
+		return iNegInf, true
+	case b > 0 && a > iInf-b:
+		return iInf, false
+	case b < 0 && a < iNegInf-b:
+		return iNegInf, false
+	default:
+		s := a + b
+		if s == iInf || s == iNegInf {
+			// A finite sum landing exactly on a sentinel is unrepresentable
+			// as a finite bound; treat it as overflow so the caller widens.
+			return s, false
+		}
+		return s, true
+	}
+}
+
+// smul multiplies two bounds with 0·∞ = 0 (correct for interval corner
+// products). As with sadd, ok is false when finite bounds overflowed —
+// conservatively judged with float arithmetic well inside int64 range.
+func smul(a, b int64) (int64, bool) {
 	if a == 0 || b == 0 {
-		return 0
+		return 0, true
 	}
 	aInf := a == iInf || a == iNegInf
 	bInf := b == iInf || b == iNegInf
 	if aInf || bInf {
 		if (a > 0) == (b > 0) {
-			return iInf
+			return iInf, true
 		}
-		return iNegInf
+		return iNegInf, true
 	}
-	// Exact when both magnitudes are small; otherwise bound with float
-	// arithmetic and saturate well inside int64 range.
+	// Exact when both magnitudes are small; otherwise judge overflow with
+	// float arithmetic, treating anything past 1e18 as overflowing (the
+	// float product is approximate, so the margin below 2^63 is needed).
 	if abs64(a) < 1<<31 && abs64(b) < 1<<31 {
-		return a * b
+		return a * b, true
 	}
 	if p := float64(a) * float64(b); p > 1e18 {
-		return iInf
+		return iInf, false
 	} else if p < -1e18 {
-		return iNegInf
+		return iNegInf, false
 	}
-	return a * b
+	return a * b, true
 }
 
-func (v ival) add(w ival) ival { return ival{sadd(v.lo, w.lo), sadd(v.hi, w.hi)} }
-func (v ival) sub(w ival) ival { return ival{sadd(v.lo, -w.hi), sadd(v.hi, -w.lo)} }
+// The no-overflow fiction: an infinite bound stands for "unknown in
+// that direction", and the analysis assumes such unknown values are
+// index-scale — magnitude below 2^31, far from the int64 extremes — so
+// arithmetic can absorb an infinity instead of widening everything it
+// touches. The assumption breaks when the *finite* bounds of the same
+// operation are huge: then even fiction-scale unknowns push a sum or
+// product past the wrap line, and because the interpreter wraps, the
+// result set is no longer the interval the corners suggest (wrapped
+// interior points escape it). These margins say how big a finite bound
+// may be before an infinity-absorbing add/sub (resp. mul) must widen to
+// ⊤: 2^62 + 2^31 and 2^31 · 2^31 both stay inside int64.
+const (
+	addFictionMag = int64(1) << 62
+	mulFictionMag = int64(1) << 31
+)
+
+// hasInf reports whether either bound is an infinity sentinel.
+func (v ival) hasInf() bool { return v.lo == iNegInf || v.hi == iInf }
+
+// magBelow reports whether every finite bound of v has magnitude < m.
+func (v ival) magBelow(m int64) bool {
+	ok := func(x int64) bool {
+		return x == iInf || x == iNegInf || (-m < x && x < m)
+	}
+	return ok(v.lo) && ok(v.hi)
+}
+
+// fictionHolds gates infinity absorption for one binary op: with no
+// sentinel involved the corner arithmetic is checked exactly, otherwise
+// all finite bounds must sit below the op's fiction margin.
+func fictionHolds(v, w ival, m int64) bool {
+	if !v.hasInf() && !w.hasInf() {
+		return true
+	}
+	return v.magBelow(m) && w.magBelow(m)
+}
+
+// add, sub and mul widen to ⊤ whenever a corner computed from finite
+// bounds overflows exactly, or an infinite bound mixes with finite
+// bounds too large for the no-overflow fiction: the interpreter's
+// arithmetic wraps, so the true result set is not an interval around
+// the saturated corners.
+func (v ival) add(w ival) ival {
+	if !fictionHolds(v, w, addFictionMag) {
+		return fullIval()
+	}
+	lo, ok1 := sadd(v.lo, w.lo)
+	hi, ok2 := sadd(v.hi, w.hi)
+	if !ok1 || !ok2 {
+		return fullIval()
+	}
+	return ival{lo, hi}
+}
+
+// sub is addition of the negated interval; sneg keeps the infinities on
+// the right side so v - [-inf, x] gets a +inf upper bound, not a -inf.
+func (v ival) sub(w ival) ival {
+	if !fictionHolds(v, w, addFictionMag) {
+		return fullIval()
+	}
+	nhi, ok3 := sneg(w.hi)
+	nlo, ok4 := sneg(w.lo)
+	lo, ok1 := sadd(v.lo, nhi)
+	hi, ok2 := sadd(v.hi, nlo)
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return fullIval()
+	}
+	return ival{lo, hi}
+}
 
 func (v ival) mul(w ival) ival {
-	c := [4]int64{smul(v.lo, w.lo), smul(v.lo, w.hi), smul(v.hi, w.lo), smul(v.hi, w.hi)}
-	out := ival{c[0], c[0]}
-	for _, x := range c[1:] {
-		out.lo, out.hi = min64(out.lo, x), max64(out.hi, x)
+	if !fictionHolds(v, w, mulFictionMag) {
+		return fullIval()
+	}
+	corners := [4][2]int64{{v.lo, w.lo}, {v.lo, w.hi}, {v.hi, w.lo}, {v.hi, w.hi}}
+	var out ival
+	for i, c := range corners {
+		x, ok := smul(c[0], c[1])
+		if !ok {
+			return fullIval()
+		}
+		if i == 0 {
+			out = ival{x, x}
+		} else {
+			out.lo, out.hi = min64(out.lo, x), max64(out.hi, x)
+		}
 	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"synergy/internal/kernelir"
+	"synergy/internal/kernelir/opt"
 )
 
 // DefaultCacheCap bounds the default program cache, mirroring the sweep
@@ -97,8 +98,15 @@ func (c *Cache) hookFn() func(string) {
 // once per fingerprint. Concurrent callers for the same kernel block on
 // the single in-flight compilation. Compile errors are returned but not
 // memoized, so a later call may retry.
+//
+// The cache key is the fingerprint of the kernel's optimizer normal
+// form: Optimize is deterministic and idempotent, so kernels that are
+// structurally equal after optimization — however differently they were
+// written — share one compiled program. (For an invalid kernel the
+// optimizer fails safe and returns the kernel itself, so the key falls
+// back to the raw fingerprint and Compile reports the Validate error.)
 func (c *Cache) Get(k *kernelir.Kernel) (*Program, error) {
-	fp := kernelir.Fingerprint(k)
+	fp := kernelir.Fingerprint(opt.Cached(k))
 	c.mu.Lock()
 	if e, ok := c.entries[fp]; ok {
 		c.order.MoveToFront(e.elem)

@@ -25,20 +25,28 @@ import (
 
 	"synergy/internal/features"
 	"synergy/internal/kernelir"
+	"synergy/internal/kernelir/opt"
 )
 
 // Compile lowers a kernel into executable form. It fails exactly when
 // Validate fails (with the same error), so Compile-then-run and
 // interpret report identical errors for invalid kernels.
+//
+// The kernel is first brought into optimizer normal form (opt.Cached:
+// constant folding, CSE, copy propagation, IR-level LICM, dead-code
+// elimination — each application translation-validated), then lowered.
+// Stats.Hoisted counts IR-level LICM moves plus the lowering's own
+// hoistBody motion; Stats.Instrs reports the optimized body size.
 func Compile(k *kernelir.Kernel) (*Program, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
+	ko, res := opt.CachedResult(k)
 	vec, err := features.Extract(k)
 	if err != nil {
 		return nil, err
 	}
-	body, hoisted := hoistBody(k.Body)
+	body, hoisted := hoistBody(ko.Body)
 	tree, err := kernelir.BuildLoopTree(body)
 	if err != nil {
 		return nil, err
@@ -52,7 +60,7 @@ func Compile(k *kernelir.Kernel) (*Program, error) {
 		numF:   k.NumFloatRegs,
 		localN: k.LocalF32,
 		vec:    vec,
-		stats:  Stats{Instrs: len(k.Body), Steps: lw.steps, Hoisted: hoisted, Fused: lw.fused},
+		stats:  Stats{Instrs: len(ko.Body), Steps: lw.steps, Hoisted: res.Hoisted + hoisted, Fused: lw.fused},
 	}, nil
 }
 

@@ -1,0 +1,90 @@
+package opt
+
+import (
+	"container/list"
+	"sync"
+
+	"synergy/internal/kernelir"
+)
+
+// Fingerprint-keyed memo for Optimize, mirroring the features package's
+// extraction cache: the same kernel arrives on every hot path (compile,
+// feature extraction, sweep, serve), and the pipeline is deterministic,
+// so one run per structural fingerprint suffices. Because Optimize is
+// idempotent, a hit for an already-optimized kernel returns the kernel
+// itself.
+
+const memoCap = 4096
+
+type memoEntry struct {
+	fp  string
+	k   *kernelir.Kernel
+	res Result
+}
+
+var (
+	memoMu  sync.Mutex
+	memo    = make(map[string]*list.Element)
+	memoLRU list.List // front = most recent; values are *memoEntry
+	hits    uint64
+	runs    uint64
+)
+
+// Cached returns Optimize(k)'s kernel, memoized by fingerprint.
+func Cached(k *kernelir.Kernel) *kernelir.Kernel {
+	nk, _ := CachedResult(k)
+	return nk
+}
+
+// CachedResult is Optimize memoized by kernelir.Fingerprint. Equal
+// fingerprints mean structurally identical kernels, so sharing the
+// optimized kernel (and its justification log) across callers is sound.
+// Fail-safe results (Result.Err != nil) are cached too: a kernel that
+// defeats the optimizer today will defeat it identically tomorrow.
+func CachedResult(k *kernelir.Kernel) (*kernelir.Kernel, Result) {
+	fp := kernelir.Fingerprint(k)
+	memoMu.Lock()
+	if el, ok := memo[fp]; ok {
+		memoLRU.MoveToFront(el)
+		ent := el.Value.(*memoEntry)
+		hits++
+		memoMu.Unlock()
+		return ent.k, ent.res
+	}
+	memoMu.Unlock()
+
+	nk, res := Optimize(k)
+
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	if el, ok := memo[fp]; ok {
+		// Raced with another optimizer run; the existing entry wins.
+		ent := el.Value.(*memoEntry)
+		return ent.k, ent.res
+	}
+	runs++
+	memo[fp] = memoLRU.PushFront(&memoEntry{fp: fp, k: nk, res: res})
+	for memoLRU.Len() > memoCap {
+		back := memoLRU.Back()
+		memoLRU.Remove(back)
+		delete(memo, back.Value.(*memoEntry).fp)
+	}
+	return nk, res
+}
+
+// CacheStats reports (memoized runs currently held, hits, total runs).
+func CacheStats() (size int, hitCount, runCount uint64) {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	return len(memo), hits, runs
+}
+
+// ResetCache clears the memo. Tests use it to make runs deterministic.
+func ResetCache() {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	memo = make(map[string]*list.Element)
+	memoLRU.Init()
+	hits = 0
+	runs = 0
+}

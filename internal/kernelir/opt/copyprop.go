@@ -1,0 +1,107 @@
+package opt
+
+import (
+	"fmt"
+
+	"synergy/internal/kernelir"
+)
+
+// Copy propagation: a read of r, where r was last written by a move
+// from s and neither r nor s has been written since, may read s
+// directly. Moves are bit copies in both register files, so the
+// substitution is bit-exact; it is what turns CSE's moves (and the
+// builder's CopyI/CopyF staging moves) into dead code for DCE.
+//
+// This is the one pass allowed to rewrite memory-operation operands
+// (index and stored-value registers): the substituted register provably
+// holds identical bits, so the access itself is unchanged. The per-pass
+// checker still pins the op/buffer/immediate/loop-path sequence and
+// requires every operand change to be logged.
+//
+// Versioning is the CSE scheme: every write bumps the destination's
+// version; a recorded copy is valid only while both r and s still have
+// the versions they had at the move. Repeat entry bumps everything the
+// subtree writes, which invalidates loop-carried copies for the walk of
+// the body.
+func copyPropPass(k *kernelir.Kernel, body []kernelir.Instr) ([]kernelir.Instr, []Rewrite) {
+	tree, err := kernelir.BuildLoopTree(body)
+	if err != nil {
+		return nil, nil
+	}
+	out := append([]kernelir.Instr(nil), body...)
+	var rws []Rewrite
+	vs := &verState{ints: make([]int, k.NumIntRegs), floats: make([]int, k.NumFloatRegs)}
+
+	type cp struct {
+		src            int
+		srcVer, ownVer int
+	}
+	copies := map[kernelir.ScalarType]map[int]cp{
+		kernelir.I32: make(map[int]cp),
+		kernelir.F32: make(map[int]cp),
+	}
+	resolve := func(file kernelir.ScalarType, reg int) (int, bool) {
+		c, ok := copies[file][reg]
+		if !ok || vs.of(file, reg) != c.ownVer || vs.of(file, c.src) != c.srcVer {
+			return reg, false
+		}
+		return c.src, true
+	}
+
+	var scan func(lo, hi int)
+	scan = func(lo, hi int) {
+		for pc := lo; pc < hi; pc++ {
+			in := out[pc]
+			if in.Op == kernelir.OpRepeatBegin {
+				end := tree.Match(pc)
+				for q := pc + 1; q < end; q++ {
+					if file, reg, ok := writeOf(out[q]); ok {
+						vs.bump(file, reg)
+					}
+				}
+				scan(pc+1, end)
+				pc = end
+				continue
+			}
+			if in.Op == kernelir.OpRepeatEnd {
+				continue
+			}
+			// Substitute operands before processing the write.
+			c := kernelir.InfoOf(in.Op)
+			sub := func(slot string, reg *int, file kernelir.ScalarType) {
+				if s, ok := resolve(file, *reg); ok && s != *reg {
+					rws = append(rws, Rewrite{
+						Pass: "copyprop", PC: pc,
+						Note: fmt.Sprintf("%s operand %s: r%d is a live copy of r%d", in.Op, slot, *reg, s),
+					})
+					*reg = s
+				}
+			}
+			if c.HasA {
+				sub("A", &in.A, c.AFile)
+			}
+			if c.HasB {
+				sub("B", &in.B, c.BFile)
+			}
+			if c.HasC {
+				sub("C", &in.C, c.CFile)
+			}
+			out[pc] = in
+
+			file, dst, hasDst := writeOf(in)
+			if !hasDst {
+				continue
+			}
+			vs.bump(file, dst)
+			delete(copies[file], dst)
+			if (in.Op == kernelir.OpMoveI || in.Op == kernelir.OpMoveF) && in.A != dst {
+				copies[file][dst] = cp{src: in.A, srcVer: vs.of(file, in.A), ownVer: vs.of(file, dst)}
+			}
+		}
+	}
+	scan(0, len(body))
+	if len(rws) == 0 {
+		return nil, nil
+	}
+	return out, rws
+}

@@ -1,0 +1,155 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"synergy/internal/kernelir"
+)
+
+// Available-expressions CSE via register versioning. Each register
+// carries a version counter bumped at every write; an expression key
+// combines the opcode, immediate bits and each operand register WITH
+// the operand's version at key-build time. A recorded expression is
+// reusable iff a key built from the current versions matches and the
+// holder register still carries the version it had when recorded —
+// stale operands or an overwritten holder simply fail the lookup.
+//
+// Loops: on entering a Repeat block, every register the subtree writes
+// gets its version bumped, because iterations beyond the first observe
+// the loop-carried value rather than the pre-loop one. Entries created
+// inside the body stay valid for later uses in the same iteration
+// (identical execution order every iteration), which is exactly what
+// the linear walk checks.
+//
+// Loads are never CSE'd (stores may intervene, including colliding
+// stores from other instructions in the same item); moves are never
+// CSE'd (a move of a move is churn, not progress). Everything else pure
+// — constants, parameter reads, global-id reads, arithmetic,
+// conversions, comparisons, selects — participates. Replacing a float
+// recomputation with a move of the first result is bit-exact: same
+// operand bits through the same deterministic operation.
+
+type exprKey struct {
+	op         kernelir.Op
+	imm        uint64 // math.Float64bits so NaN immediates compare equal
+	a, b, c    int
+	va, vb, vc int
+	buf        int
+}
+
+type exprHolder struct {
+	reg int
+	ver int
+}
+
+type verState struct {
+	ints   []int
+	floats []int
+}
+
+func (vs *verState) of(file kernelir.ScalarType, reg int) int {
+	if file == kernelir.I32 {
+		return vs.ints[reg]
+	}
+	return vs.floats[reg]
+}
+
+func (vs *verState) bump(file kernelir.ScalarType, reg int) {
+	if file == kernelir.I32 {
+		vs.ints[reg]++
+	} else {
+		vs.floats[reg]++
+	}
+}
+
+// cseable reports whether in may participate in available-expressions
+// numbering.
+func cseable(in kernelir.Instr) bool {
+	switch in.Op {
+	case kernelir.OpMoveI, kernelir.OpMoveF,
+		kernelir.OpLoadGF, kernelir.OpLoadGI, kernelir.OpLoadLF:
+		return false
+	}
+	return pureOp(in)
+}
+
+func csePass(k *kernelir.Kernel, body []kernelir.Instr) ([]kernelir.Instr, []Rewrite) {
+	tree, err := kernelir.BuildLoopTree(body)
+	if err != nil {
+		return nil, nil
+	}
+	out := append([]kernelir.Instr(nil), body...)
+	var rws []Rewrite
+	vs := &verState{ints: make([]int, k.NumIntRegs), floats: make([]int, k.NumFloatRegs)}
+	avail := make(map[exprKey]exprHolder)
+
+	mkKey := func(in kernelir.Instr) exprKey {
+		c := kernelir.InfoOf(in.Op)
+		key := exprKey{op: in.Op, imm: math.Float64bits(in.Imm)}
+		if c.HasA {
+			key.a, key.va = in.A, vs.of(c.AFile, in.A)
+		}
+		if c.HasB {
+			key.b, key.vb = in.B, vs.of(c.BFile, in.B)
+		}
+		if c.HasC {
+			key.c, key.vc = in.C, vs.of(c.CFile, in.C)
+		}
+		if c.UsesBuf {
+			key.buf = in.Buf
+		}
+		return key
+	}
+
+	var scan func(lo, hi int)
+	scan = func(lo, hi int) {
+		for pc := lo; pc < hi; pc++ {
+			in := out[pc]
+			if in.Op == kernelir.OpRepeatBegin {
+				end := tree.Match(pc)
+				// Kill: iterations beyond the first observe loop-carried
+				// values for everything the subtree writes.
+				for q := pc + 1; q < end; q++ {
+					if file, reg, ok := writeOf(out[q]); ok {
+						vs.bump(file, reg)
+					}
+				}
+				scan(pc+1, end)
+				pc = end
+				continue
+			}
+			if in.Op == kernelir.OpRepeatEnd {
+				continue
+			}
+			file, dst, hasDst := writeOf(in)
+			if !cseable(in) {
+				if hasDst {
+					vs.bump(file, dst)
+				}
+				continue
+			}
+			key := mkKey(in)
+			if h, ok := avail[key]; ok && vs.of(file, h.reg) == h.ver && h.reg != dst {
+				mov := kernelir.OpMoveI
+				if file == kernelir.F32 {
+					mov = kernelir.OpMoveF
+				}
+				out[pc] = kernelir.Instr{Op: mov, Dst: dst, A: h.reg}
+				rws = append(rws, Rewrite{
+					Pass: "cse", PC: pc,
+					Note: fmt.Sprintf("%s over identical operand versions already available in r%d", in.Op, h.reg),
+				})
+				vs.bump(file, dst)
+				continue
+			}
+			vs.bump(file, dst)
+			avail[key] = exprHolder{reg: dst, ver: vs.of(file, dst)}
+		}
+	}
+	scan(0, len(body))
+	if len(rws) == 0 {
+		return nil, nil
+	}
+	return out, rws
+}

@@ -1,0 +1,122 @@
+package opt
+
+import (
+	"fmt"
+
+	"synergy/internal/kernelir"
+)
+
+// Liveness-driven dead-code/dead-store elimination: the promotion of
+// the analysis package's deadPass facts from warnings to deletions. A
+// pure instruction whose destination is not live after it is deleted;
+// memory and local operations are never deleted (loads included — a
+// dead local load still participates in ExecuteChecked trap ordering,
+// and stores are observable output). Empty Repeat blocks left behind by
+// deletions are removed pairwise.
+//
+// Liveness is a backward pass with two carryover-aware conservatisms:
+//
+//   - live-out of the whole body is the use-before-def set: per-worker
+//     register files persist across work items, so the next item's
+//     read-before-write observes this item's last write;
+//   - live at the end of a Repeat body additionally includes every
+//     register the body reads anywhere — the back edge makes any
+//     in-body read reachable from any in-body point.
+func dcePass(k *kernelir.Kernel, body []kernelir.Instr) ([]kernelir.Instr, []Rewrite) {
+	tree, err := kernelir.BuildLoopTree(body)
+	if err != nil {
+		return nil, nil
+	}
+	live := useBeforeDef(k, body)
+	dead := make(map[int]bool)
+
+	var scan func(lo, hi int)
+	scan = func(lo, hi int) {
+		pc := hi - 1
+		for pc >= lo {
+			in := body[pc]
+			if in.Op == kernelir.OpRepeatEnd {
+				begin := matchEnd(tree, body, pc)
+				// Back edge: everything the body reads is live at its end.
+				live.markReads(body, begin+1, pc)
+				scan(begin+1, pc)
+				pc = begin - 1
+				continue
+			}
+			file, dst, hasDst := writeOf(in)
+			if pureOp(in) && hasDst && !live.get(file, dst) {
+				dead[pc] = true
+				pc--
+				continue
+			}
+			if hasDst {
+				live.set(file, dst, false)
+			}
+			eachRead(in, func(f kernelir.ScalarType, r int) {
+				live.set(f, r, true)
+			})
+			pc--
+		}
+	}
+	scan(0, len(body))
+
+	out := make([]kernelir.Instr, 0, len(body)-len(dead))
+	var rws []Rewrite
+	for pc, in := range body {
+		if dead[pc] {
+			rws = append(rws, Rewrite{
+				Pass: "dce", PC: pc,
+				Note: fmt.Sprintf("%s result never read (dead past this point and not live-in of the next item)", in.Op),
+			})
+			continue
+		}
+		out = append(out, in)
+	}
+	return sweepEmptyLoops(out, rws)
+}
+
+// matchEnd finds the RepeatBegin for the RepeatEnd at pc by depth
+// counting (LoopTree.Match maps begins to ends; this is the inverse).
+func matchEnd(tree *kernelir.LoopTree, body []kernelir.Instr, end int) int {
+	depth := 0
+	for pc := end - 1; pc >= 0; pc-- {
+		switch body[pc].Op {
+		case kernelir.OpRepeatEnd:
+			depth++
+		case kernelir.OpRepeatBegin:
+			if depth == 0 {
+				return pc
+			}
+			depth--
+		}
+	}
+	return -1
+}
+
+// sweepEmptyLoops removes RepeatBegin/RepeatEnd pairs with empty bodies
+// (repeatedly, for nests emptied inside-out). A trip-only loop has no
+// effect: the interpreter counts it down and moves on. body must be a
+// copy owned by the caller — it is truncated in place.
+func sweepEmptyLoops(body []kernelir.Instr, rws []Rewrite) ([]kernelir.Instr, []Rewrite) {
+	for {
+		idx := -1
+		for pc := 0; pc+1 < len(body); pc++ {
+			if body[pc].Op == kernelir.OpRepeatBegin && body[pc+1].Op == kernelir.OpRepeatEnd {
+				idx = pc
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		rws = append(rws,
+			Rewrite{Pass: "dce", PC: idx, Note: "empty repeat block (begin)"},
+			Rewrite{Pass: "dce", PC: idx + 1, Note: "empty repeat block (end)"},
+		)
+		body = append(body[:idx], body[idx+2:]...)
+	}
+	if len(rws) == 0 {
+		return nil, nil
+	}
+	return body, rws
+}

@@ -1,0 +1,142 @@
+package opt_test
+
+import (
+	"math"
+	"testing"
+
+	"synergy/internal/kernelir"
+	"synergy/internal/kernelir/opt"
+)
+
+// FuzzOptVsInterp drives the optimizer with arbitrary instruction
+// streams (the FuzzCompiledVsInterp corpus scheme: 5 bytes per
+// instruction, same parameter/register shape) and uses the interpreter
+// as differential oracle:
+//
+//   - Optimize must never fail translation validation on a valid kernel
+//     (fail-safe Err on valid input is itself a pass bug worth finding);
+//   - original and optimized kernels must produce bit-identical buffers
+//     and identical errors under linear and 2-D launches;
+//   - a kernel that runs clean under ExecuteChecked must stay clean
+//     after optimization (the converse does not hold: deleting a dead
+//     instruction legitimately removes its uninitialized-read trap);
+//   - the optimized kernel must be a fixpoint.
+//
+// Single worker keeps racing fuzzed stores deterministic, as in the
+// compile fuzz target.
+func FuzzOptVsInterp(f *testing.F) {
+	f.Add([]byte{byte(kernelir.OpGlobalID), 0, 0, 0, 0,
+		byte(kernelir.OpConstF), 1, 0, 0, 3,
+		byte(kernelir.OpStoreGF), 0, 0, 1, 0})
+	f.Add([]byte{byte(kernelir.OpRepeatBegin), 0, 0, 0, 4,
+		byte(kernelir.OpGlobalID), 1, 0, 0, 0,
+		byte(kernelir.OpAddI), 2, 2, 1, 0,
+		byte(kernelir.OpRepeatEnd), 0, 0, 0, 0,
+		byte(kernelir.OpStoreGI), 0, 2, 2, 1})
+	f.Add([]byte{byte(kernelir.OpConstI), 0, 0, 0, 6,
+		byte(kernelir.OpStoreLF), 0, 0, 1, 0})
+	f.Add([]byte{byte(kernelir.OpConstI), 1, 0, 0, 3,
+		byte(kernelir.OpConstI), 2, 0, 0, 5,
+		byte(kernelir.OpMulI), 3, 1, 2, 0,
+		byte(kernelir.OpStoreGI), 0, 0, 3, 1})
+	f.Add([]byte{byte(kernelir.OpRepeatBegin), 0, 0, 0, 8,
+		byte(kernelir.OpConstF), 1, 0, 0, 2,
+		byte(kernelir.OpSqrtF), 2, 1, 0, 0,
+		byte(kernelir.OpRepeatEnd), 0, 0, 0, 0,
+		byte(kernelir.OpStoreGF), 0, 0, 2, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const numRegs = 4
+		opCount := int(kernelir.OpRepeatEnd) + 1
+		k := &kernelir.Kernel{
+			Name: "fuzz",
+			Params: []kernelir.Param{
+				{Name: "f", IsBuffer: true, Type: kernelir.F32, Access: kernelir.ReadWrite},
+				{Name: "i", IsBuffer: true, Type: kernelir.I32, Access: kernelir.ReadWrite},
+				{Name: "s", Type: kernelir.F32},
+			},
+			NumIntRegs:   numRegs,
+			NumFloatRegs: numRegs,
+			LocalF32:     2,
+		}
+		for i := 0; i+5 <= len(data) && len(k.Body) < 64; i += 5 {
+			in := kernelir.Instr{
+				Op:  kernelir.Op(int(data[i]) % opCount),
+				Dst: int(data[i+1]) % (numRegs + 2),
+				A:   int(data[i+2]) % (numRegs + 2),
+				B:   int(data[i+3]) % (numRegs + 2),
+				C:   int(data[i+3]) % (numRegs + 2),
+				Imm: float64(data[i+4]%8) + 1,
+				Buf: int(data[i+4]) % 4,
+			}
+			k.Body = append(k.Body, in)
+		}
+
+		ko, res := opt.Optimize(k)
+		if k.Validate() != nil {
+			if res.Err == nil {
+				t.Fatalf("invalid kernel optimized without error:\n%s", k.Disassemble())
+			}
+			return
+		}
+		if res.Err != nil {
+			t.Fatalf("translation validation failed on a valid kernel: %v\n%s", res.Err, k.Disassemble())
+		}
+
+		// Bound the dynamic work (nested repeats multiply).
+		work := 0.0
+		if tree, err := kernelir.BuildLoopTree(k.Body); err == nil {
+			tree.Walk(func(_ int, _ kernelir.Instr, mult float64) { work += mult })
+		}
+		if work > 1<<16 {
+			return
+		}
+
+		mkArgs := func() kernelir.Args {
+			return kernelir.Args{
+				F32:     map[string][]float32{"f": {1, 2, 3, 4, 5, 6, 7, 8}},
+				I32:     map[string][]int32{"i": {8, 7, 6, 5, 4, 3, 2, 1}},
+				ScalarF: map[string]float64{"s": 1.5},
+			}
+		}
+
+		for _, nx := range []int{0, 3} {
+			ai, ao := mkArgs(), mkArgs()
+			errI := kernelir.InterpretGridWorkers(k, ai, 4, nx, 1)
+			errO := kernelir.InterpretGridWorkers(ko, ao, 4, nx, 1)
+			if (errI == nil) != (errO == nil) || (errI != nil && errI.Error() != errO.Error()) {
+				t.Fatalf("nx=%d: interpreter err %v, optimized err %v\n%s\n-- optimized --\n%s",
+					nx, errI, errO, k.Disassemble(), ko.Disassemble())
+			}
+			for bi := range ai.F32["f"] {
+				if math.Float32bits(ai.F32["f"][bi]) != math.Float32bits(ao.F32["f"][bi]) {
+					t.Fatalf("nx=%d: f[%d]: original %v != optimized %v\n%s\n-- optimized --\n%s",
+						nx, bi, ai.F32["f"][bi], ao.F32["f"][bi], k.Disassemble(), ko.Disassemble())
+				}
+			}
+			for bi := range ai.I32["i"] {
+				if ai.I32["i"][bi] != ao.I32["i"][bi] {
+					t.Fatalf("nx=%d: i[%d]: original %d != optimized %d\n%s\n-- optimized --\n%s",
+						nx, bi, ai.I32["i"][bi], ao.I32["i"][bi], k.Disassemble(), ko.Disassemble())
+				}
+			}
+		}
+
+		// Checked-trap parity, clean direction.
+		if kernelir.ExecuteChecked(k, mkArgs(), 4) == nil {
+			if err := kernelir.ExecuteChecked(ko, mkArgs(), 4); err != nil {
+				t.Fatalf("optimization introduced a checked-execution trap: %v\n%s\n-- optimized --\n%s",
+					err, k.Disassemble(), ko.Disassemble())
+			}
+		}
+
+		// Fixpoint.
+		k2, res2 := opt.Optimize(ko)
+		if res2.Err != nil {
+			t.Fatalf("re-optimizing failed: %v", res2.Err)
+		}
+		if res2.Changed() || k2 != ko {
+			t.Fatalf("not idempotent: %d extra rewrites\n%s", len(res2.Rewrites), ko.Disassemble())
+		}
+	})
+}

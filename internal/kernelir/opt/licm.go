@@ -1,0 +1,156 @@
+package opt
+
+import (
+	"fmt"
+
+	"synergy/internal/kernelir"
+)
+
+// Loop-invariant code motion over BuildLoopTree. An instruction may
+// move out of its Repeat block when:
+//
+//   - it is pure (no memory, local or control effect);
+//   - its destination is written exactly once in the loop subtree (by
+//     the candidate itself) and never read in the subtree before that
+//     write — iteration one must not observe a pre-loop value, and no
+//     instruction may observe the loop-carried value;
+//   - none of its operand registers is written anywhere in the subtree
+//     (the candidate's inputs are identical in every iteration);
+//   - for div/rem, the divisor is additionally a provably nonzero
+//     constant — a (possibly) zero divisor is never hoisted, keeping
+//     the interpreter's x/0 = 0 evaluation exactly where it was.
+//
+// Validate guarantees trip counts are at least 1, so executing the
+// candidate once before the block is execute-exactly-what-would-have-
+// executed, with identical operand values — bit-exact including floats.
+//
+// Hoisting proceeds innermost-first and reruns to fixpoint, so chains
+// of invariant instructions cascade out of nested loops (the const
+// feeding a mul feeding an add all reach the outermost prologue).
+func licmPass(k *kernelir.Kernel, body []kernelir.Instr) ([]kernelir.Instr, []Rewrite) {
+	out := append([]kernelir.Instr(nil), body...)
+	var rws []Rewrite
+	for {
+		moved := licmRound(out, &rws)
+		if !moved {
+			break
+		}
+	}
+	if len(rws) == 0 {
+		return nil, nil
+	}
+	return out, rws
+}
+
+// licmRound hoists one batch out of the first (innermost) loop that has
+// eligible instructions, rewriting out in place. Returns whether
+// anything moved.
+func licmRound(out []kernelir.Instr, rws *[]Rewrite) bool {
+	tree, err := kernelir.BuildLoopTree(out)
+	if err != nil {
+		return false
+	}
+	// Collect loops innermost-first: deeper begins sort later in a
+	// post-order walk, so recurse children before the node itself.
+	type loop struct{ begin, end int }
+	var loops []loop
+	var collect func(lo, hi int)
+	collect = func(lo, hi int) {
+		for pc := lo; pc < hi; pc++ {
+			if out[pc].Op == kernelir.OpRepeatBegin {
+				end := tree.Match(pc)
+				collect(pc+1, end)
+				loops = append(loops, loop{pc, end})
+				pc = end
+			}
+		}
+	}
+	collect(0, len(out))
+
+	for _, l := range loops {
+		picks := hoistable(out, l.begin, l.end)
+		if len(picks) == 0 {
+			continue
+		}
+		// Rebuild: hoisted instructions, in original order, immediately
+		// before the RepeatBegin; the rest of the subtree keeps its order.
+		pickSet := make(map[int]bool, len(picks))
+		for _, pc := range picks {
+			pickSet[pc] = true
+			*rws = append(*rws, Rewrite{
+				Pass: "licm", PC: pc,
+				Note: fmt.Sprintf("%s is invariant in the repeat at pc %d (operands unwritten in loop, single write, no prior read)", out[pc].Op, l.begin),
+			})
+		}
+		nb := make([]kernelir.Instr, 0, len(out))
+		nb = append(nb, out[:l.begin]...)
+		for _, pc := range picks {
+			nb = append(nb, out[pc])
+		}
+		for pc := l.begin; pc < len(out); pc++ {
+			if !pickSet[pc] {
+				nb = append(nb, out[pc])
+			}
+		}
+		copy(out, nb)
+		return true
+	}
+	return false
+}
+
+// hoistable returns the pcs (ascending) of instructions eligible to
+// move out of the loop whose body spans (begin, end).
+func hoistable(out []kernelir.Instr, begin, end int) []int {
+	lo, hi := begin+1, end
+	var picks []int
+	for pc := lo; pc < hi; pc++ {
+		in := out[pc]
+		if !pureOp(in) {
+			continue
+		}
+		if divisorMayBeZero(out, in) {
+			continue
+		}
+		file, dst, _ := writeOf(in)
+		// Destination written exactly once in the subtree, by this
+		// instruction.
+		writes := 0
+		for q := lo; q < hi; q++ {
+			if f, r, ok := writeOf(out[q]); ok && f == file && r == dst {
+				writes++
+			}
+		}
+		if writes != 1 {
+			continue
+		}
+		// Never read in the subtree at or before its definition: reads at
+		// pc itself (dst as its own operand) observe the loop-carried
+		// value and block the move.
+		readEarly := false
+		for q := lo; q <= pc && !readEarly; q++ {
+			eachRead(out[q], func(f kernelir.ScalarType, r int) {
+				if f == file && r == dst {
+					readEarly = true
+				}
+			})
+		}
+		if readEarly {
+			continue
+		}
+		// Operands invariant: no writes to them anywhere in the subtree.
+		invariant := true
+		eachRead(in, func(f kernelir.ScalarType, r int) {
+			for q := lo; q < hi; q++ {
+				if wf, wr, ok := writeOf(out[q]); ok && wf == f && wr == r {
+					invariant = false
+					return
+				}
+			}
+		})
+		if !invariant {
+			continue
+		}
+		picks = append(picks, pc)
+	}
+	return picks
+}

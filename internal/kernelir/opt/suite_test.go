@@ -1,0 +1,141 @@
+package opt_test
+
+import (
+	"math"
+	"testing"
+
+	"synergy/internal/benchsuite"
+	"synergy/internal/kernelir"
+	"synergy/internal/kernelir/opt"
+)
+
+// TestOptSuiteOracle is the differential half of translation validation
+// over the real workload: for every suite benchmark the optimized
+// kernel must produce bit-identical buffers (linear and 2-D launches,
+// single worker for determinism), pass the benchmark's own output
+// verifier, run clean under ExecuteChecked exactly like the original,
+// and be a fixpoint of the optimizer.
+func TestOptSuiteOracle(t *testing.T) {
+	for _, b := range benchsuite.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			ko, res := opt.Optimize(b.Kernel)
+			if res.Err != nil {
+				t.Fatalf("Optimize: %v", res.Err)
+			}
+			if res.After > res.Before {
+				t.Fatalf("optimizer grew the body: %d -> %d", res.Before, res.After)
+			}
+
+			// Bit-identical buffers on fresh, identical instances.
+			for _, nx := range []int{0, 16} {
+				io, err := b.NewInstance(256)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ip, err := b.NewInstance(256)
+				if err != nil {
+					t.Fatal(err)
+				}
+				errI := kernelir.InterpretGridWorkers(b.Kernel, io.Args, io.Items, nx, 1)
+				errO := kernelir.InterpretGridWorkers(ko, ip.Args, ip.Items, nx, 1)
+				if (errI == nil) != (errO == nil) || (errI != nil && errI.Error() != errO.Error()) {
+					t.Fatalf("nx=%d: original err %v, optimized err %v", nx, errI, errO)
+				}
+				for name, buf := range io.Args.F32 {
+					for i := range buf {
+						if math.Float32bits(buf[i]) != math.Float32bits(ip.Args.F32[name][i]) {
+							t.Fatalf("nx=%d: f32 %s[%d]: %v != %v\noptimized:\n%s",
+								nx, name, i, buf[i], ip.Args.F32[name][i], ko.Disassemble())
+						}
+					}
+				}
+				for name, buf := range io.Args.I32 {
+					for i := range buf {
+						if buf[i] != ip.Args.I32[name][i] {
+							t.Fatalf("nx=%d: i32 %s[%d]: %d != %d\noptimized:\n%s",
+								nx, name, i, buf[i], ip.Args.I32[name][i], ko.Disassemble())
+						}
+					}
+				}
+			}
+
+			// The benchmark's own verifier accepts the optimized kernel.
+			iv, err := b.NewInstance(256)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := iv.Run(ko); err != nil {
+				t.Fatalf("verifier rejected optimized kernel: %v", err)
+			}
+
+			// Trap parity: the suite is lint-clean, so checked execution
+			// must stay clean after optimization.
+			ic, err := b.NewInstance(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := kernelir.ExecuteChecked(b.Kernel, ic.Args, ic.Items); err != nil {
+				t.Fatalf("original kernel fails checked execution: %v", err)
+			}
+			ic2, err := b.NewInstance(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := kernelir.ExecuteChecked(ko, ic2.Args, ic2.Items); err != nil {
+				t.Fatalf("optimized kernel fails checked execution: %v", err)
+			}
+
+			// Fixpoint: optimizing the optimized kernel is a no-op.
+			k2, res2 := opt.Optimize(ko)
+			if res2.Err != nil {
+				t.Fatal(res2.Err)
+			}
+			if res2.Changed() || k2 != ko {
+				t.Fatalf("not idempotent: second run applied %d rewrites", len(res2.Rewrites))
+			}
+
+			// Determinism: a second run from scratch produces the same body.
+			k3, res3 := opt.Optimize(b.Kernel)
+			if res3.Err != nil {
+				t.Fatal(res3.Err)
+			}
+			if len(k3.Body) != len(ko.Body) {
+				t.Fatalf("nondeterministic: %d vs %d instructions", len(k3.Body), len(ko.Body))
+			}
+			for i := range ko.Body {
+				if ko.Body[i] != k3.Body[i] {
+					t.Fatalf("nondeterministic at pc %d: %+v vs %+v", i, ko.Body[i], k3.Body[i])
+				}
+			}
+		})
+	}
+}
+
+// TestOptSuiteReduction is the headline static metric: across the whole
+// suite the optimizer must remove a non-trivial number of instructions
+// (the seed kernels carry folded constants, duplicate subexpressions
+// and dead sorting-network lanes by construction).
+func TestOptSuiteReduction(t *testing.T) {
+	before, after := 0, 0
+	reduced := 0
+	for _, b := range benchsuite.All() {
+		ko, res := opt.Optimize(b.Kernel)
+		if res.Err != nil {
+			t.Fatalf("%s: %v", b.Name, res.Err)
+		}
+		before += len(b.Kernel.Body)
+		after += len(ko.Body)
+		if len(ko.Body) < len(b.Kernel.Body) {
+			reduced++
+		}
+	}
+	if after >= before {
+		t.Fatalf("no aggregate reduction: %d -> %d instructions", before, after)
+	}
+	if reduced < 3 {
+		t.Fatalf("only %d/23 kernels shrank; want at least 3", reduced)
+	}
+	t.Logf("suite static instruction count: %d -> %d (-%.1f%%), %d/23 kernels shrank",
+		before, after, 100*float64(before-after)/float64(before), reduced)
+}

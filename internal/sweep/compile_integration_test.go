@@ -8,6 +8,7 @@ import (
 	"synergy/internal/hw"
 	"synergy/internal/kernelir"
 	"synergy/internal/kernelir/compile"
+	"synergy/internal/kernelir/opt"
 )
 
 // TestEngineUsesCompiledPath asserts the sweep engine goes through the
@@ -28,7 +29,9 @@ func TestEngineUsesCompiledPath(t *testing.T) {
 	})
 	b.StoreF(out, gid, acc)
 	k := b.MustBuild()
-	fp := kernelir.Fingerprint(k)
+	// The program cache keys on the optimizer normal form, so hook on
+	// that fingerprint rather than the raw kernel's.
+	fp := kernelir.Fingerprint(opt.Cached(k))
 
 	var compilations atomic.Int64
 	compile.Default().SetHook(func(got string) {
