@@ -6,6 +6,14 @@
 // seed determinism, energy conservation, bounded retries, goroutine
 // hygiene and closed privilege windows. Any violation exits non-zero,
 // printing the episode seed needed to replay it.
+//
+// With -serve, the soak targets the advice daemon instead: scripted
+// request sequences (with injected sweep stalls, predict blips,
+// extract lag and reload faults) must replay byte-for-byte, and
+// concurrent overload bursts racing advise traffic against hot reloads
+// must satisfy the serve robustness invariants — exactly one terminal
+// outcome per request, in-flight bounded by the gate, single-bundle
+// response stamps, goroutine settling.
 package main
 
 import (
@@ -32,11 +40,16 @@ func main() {
 	deadline := flag.Duration("deadline", 30*time.Second, "real wall-clock deadline per attempt")
 	verbose := flag.Bool("v", true, "print one line per episode")
 	metricsOut := flag.String("metrics-out", "", "write the soak's telemetry exposition (episode/fault/violation counters) to this file")
+	serveSoak := flag.Bool("serve", false, "soak the advice daemon (serve overload/reload chaos) instead of the cluster stack")
 	flag.Parse()
 
 	var reg *telemetry.Registry
 	if *metricsOut != "" {
 		reg = telemetry.NewRegistry()
+	}
+	if *serveSoak {
+		runServeSoak(*seed, *episodes, *verbose, *metricsOut, reg)
+		return
 	}
 	cfg := chaos.Config{
 		Seed:        *seed,
@@ -90,6 +103,45 @@ func main() {
 				break
 			}
 		}
+	}
+	os.Exit(1)
+}
+
+// runServeSoak is the -serve mode: chaos against the advice daemon.
+func runServeSoak(seed int64, episodes int, verbose bool, metricsOut string, reg *telemetry.Registry) {
+	cfg := chaos.ServeConfig{Seed: seed, Episodes: episodes, Telemetry: reg}
+	if verbose {
+		cfg.Logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	}
+	fmt.Printf("serve-chaos soak: %d episodes, seed %d\n", episodes, seed)
+	start := time.Now()
+	rep, err := chaos.ServeSoak(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	viols := rep.Violations()
+	fmt.Printf("\n%d episodes, %d injected faults, archetypes %v, %v elapsed\n",
+		len(rep.Episodes), rep.Faults(), rep.Archetypes(), time.Since(start).Round(time.Millisecond))
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := reg.WriteText(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry exposition written to %s\n", metricsOut)
+	}
+	if len(viols) == 0 {
+		fmt.Println("all serve robustness invariants held")
+		return
+	}
+	fmt.Printf("%d INVARIANT VIOLATIONS:\n", len(viols))
+	for _, v := range viols {
+		fmt.Printf("  %s\n", v)
 	}
 	os.Exit(1)
 }

@@ -28,6 +28,7 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -211,6 +212,25 @@ func (in *Injector) Check(site string) (delaySec float64, err error) {
 		})
 	}
 	return delaySec, err
+}
+
+// SleepContext sleeps an injected delay in *real* time, returning early
+// with the context's error if it is canceled first. The cluster layers
+// apply injected delays to their device's virtual timeline; layers that
+// live on the wall clock (the serve daemon) burn the delay here so that
+// injected latency can actually push a request past its deadline.
+func SleepContext(ctx context.Context, sec float64) error {
+	if sec <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(time.Duration(sec * float64(time.Second)))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // CallCount returns the number of Check calls seen at the qualified site.

@@ -6,6 +6,7 @@
 package features
 
 import (
+	"context"
 	"fmt"
 
 	"synergy/internal/hw"
@@ -138,9 +139,21 @@ func classify(op kernelir.Op) (field int, counted bool) {
 // optimizer, Validate and BuildLoopTree entirely and performs no
 // allocations. Failed extractions are not memoized.
 func Extract(k *kernelir.Kernel) (Vector, error) {
+	return ExtractContext(context.Background(), k)
+}
+
+// ExtractContext is Extract with cancellation: a canceled context
+// abandons a cache-miss extraction before the optimizer and the static
+// pass run. Cache hits are served regardless of context state — they
+// cost a map lookup, and returning memoized data is never wasted work.
+// Failed and abandoned extractions are not memoized.
+func ExtractContext(ctx context.Context, k *kernelir.Kernel) (Vector, error) {
 	fp := kernelir.Fingerprint(k)
 	if v, ok := cacheGet(fp); ok {
 		return v, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return Vector{}, err
 	}
 	v, err := extract(opt.Cached(k))
 	if err != nil {

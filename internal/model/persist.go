@@ -2,6 +2,8 @@ package model
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -89,4 +91,19 @@ func LoadModels(r io.Reader) (*Models, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// Fingerprint returns a short content fingerprint of the bundle: the
+// truncated SHA-256 of its canonical SaveModels serialization. Two
+// bundles fingerprint equal exactly when they would serve identical
+// predictions, so the serve daemon can echo the fingerprint on every
+// response and prove reload atomicity (no response computed from a mix
+// of two bundles).
+func (m *Models) Fingerprint() (string, error) {
+	var buf bytes.Buffer
+	if err := SaveModels(&buf, m); err != nil {
+		return "", fmt.Errorf("model: fingerprinting bundle: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:6]), nil
 }

@@ -1,0 +1,48 @@
+package resilience
+
+import "time"
+
+// Clock supplies the current time in seconds for a wall-clock breaker.
+// It exists so long-running services can run their breakers on real
+// time while tests and the serve-chaos harness substitute a scripted
+// clock and keep breaker transitions byte-for-byte reproducible.
+type Clock func() float64
+
+// WallBreaker adapts the virtual-time Breaker to callers that live on
+// the wall clock (the serve daemon guarding its ground-truth sweep
+// backend). The underlying state machine, transition log and telemetry
+// wiring are exactly the cluster breaker's; only the time source
+// changes — every Allow/RecordSuccess/RecordFailure stamps the
+// transition with the adapter's clock instead of a device timeline.
+type WallBreaker struct {
+	b   *Breaker
+	now Clock
+}
+
+// NewWallBreaker wraps a fresh breaker in a wall-clock adapter. A nil
+// clock uses seconds elapsed since the adapter was built (a monotonic
+// base, immune to wall-clock steps).
+func NewWallBreaker(name string, cfg Config, now Clock) *WallBreaker {
+	if now == nil {
+		start := time.Now()
+		now = func() float64 { return time.Since(start).Seconds() }
+	}
+	return &WallBreaker{b: NewBreaker(name, cfg), now: now}
+}
+
+// Inner returns the wrapped breaker (for transition-log inspection and
+// telemetry attachment).
+func (w *WallBreaker) Inner() *Breaker { return w.b }
+
+// Allow reports whether a call may proceed now; an open breaker past
+// its cool-down half-opens and admits the call as a probe.
+func (w *WallBreaker) Allow() bool { return w.b.Allow(w.now()) }
+
+// RecordSuccess reports a successful call.
+func (w *WallBreaker) RecordSuccess() { w.b.RecordSuccess(w.now()) }
+
+// RecordFailure reports a failed call.
+func (w *WallBreaker) RecordFailure() { w.b.RecordFailure(w.now()) }
+
+// Current returns the breaker's state as of its last recorded event.
+func (w *WallBreaker) Current() State { return w.b.Current() }

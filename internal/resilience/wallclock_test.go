@@ -1,0 +1,56 @@
+package resilience
+
+import "testing"
+
+// TestWallBreakerScriptedClock drives the adapter through a full
+// closed -> open -> half-open -> closed cycle on a scripted clock and
+// checks the transitions carry the scripted timestamps.
+func TestWallBreakerScriptedClock(t *testing.T) {
+	now := 0.0
+	w := NewWallBreaker("sweep", Config{FailureThreshold: 2, CooldownSec: 1.0, HalfOpenSuccesses: 1}, func() float64 { return now })
+
+	if !w.Allow() {
+		t.Fatal("fresh breaker denied a call")
+	}
+	w.RecordFailure()
+	now = 0.1
+	w.RecordFailure()
+	if w.Current() != Open {
+		t.Fatalf("state %v after threshold failures, want Open", w.Current())
+	}
+	now = 0.5
+	if w.Allow() {
+		t.Fatal("open breaker admitted a call inside the cool-down")
+	}
+	now = 1.2
+	if !w.Allow() {
+		t.Fatal("open breaker denied the probe after the cool-down")
+	}
+	w.RecordSuccess()
+	if w.Current() != Closed {
+		t.Fatalf("state %v after successful probe, want Closed", w.Current())
+	}
+
+	trs := w.Inner().Transitions()
+	if len(trs) != 3 {
+		t.Fatalf("%d transitions, want 3", len(trs))
+	}
+	wantAt := []float64{0.1, 1.2, 1.2}
+	for i, tr := range trs {
+		if tr.AtSec != wantAt[i] {
+			t.Errorf("transition %d at %.3f, want %.3f (%s)", i, tr.AtSec, wantAt[i], tr)
+		}
+	}
+}
+
+// TestWallBreakerDefaultClock sanity-checks the monotonic default.
+func TestWallBreakerDefaultClock(t *testing.T) {
+	w := NewWallBreaker("x", DefaultConfig(), nil)
+	if !w.Allow() {
+		t.Fatal("fresh breaker denied")
+	}
+	w.RecordSuccess()
+	if w.Current() != Closed {
+		t.Fatal("not closed")
+	}
+}

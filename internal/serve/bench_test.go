@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -20,14 +21,15 @@ func BenchmarkServePredict(b *testing.B) {
 	s, _ := testServer(b)
 	fm := featureMap(b, "black_scholes")
 	req := Request{Target: "MIN_ENERGY", Features: fm}
-	if _, err := s.advise(&req); err != nil {
+	ctx := context.Background()
+	if _, err := s.advise(ctx, &req); err != nil {
 		b.Fatal(err)
 	}
 	perAdvise := 4 * len(s.Models().Spec.CoreFreqsMHz)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.advise(&req); err != nil {
+		if _, err := s.advise(ctx, &req); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"synergy/internal/telemetry"
+)
+
+// Shed reasons, used both as the serve_shed_total{reason} label and in
+// the 429/503 error envelope.
+const (
+	// ShedQueueFull: the in-flight gate and its wait queue are both at
+	// capacity.
+	ShedQueueFull = "queue-full"
+	// ShedDeadline: the request's deadline had already expired on
+	// arrival, or expired while it waited in the queue. Doing the work
+	// anyway would burn a slot computing an answer nobody is waiting
+	// for.
+	ShedDeadline = "deadline"
+	// ShedDraining: the server is draining for shutdown; load balancers
+	// have been told via /readyz and new work is refused.
+	ShedDraining = "draining"
+)
+
+// shedError reports an admission refusal with its reason.
+type shedError struct{ reason string }
+
+func (e *shedError) Error() string { return "serve: overloaded, request shed: " + e.reason }
+
+// gate is the admission controller: a bounded in-flight semaphore with
+// a bounded, deadline-aware wait queue in front of it. Requests past
+// both bounds — or whose deadline expires while queued — are shed
+// immediately instead of piling up unboundedly.
+type gate struct {
+	slots    chan struct{} // buffered; one token per in-flight request
+	maxQueue int
+
+	mu     sync.Mutex
+	queued int
+
+	inflight atomic.Int64
+	peak     atomic.Int64 // high-water mark of inflight
+
+	inflightG *telemetry.Gauge
+	queueG    *telemetry.Gauge
+}
+
+func newGate(maxInFlight, maxQueue int, reg *telemetry.Registry) *gate {
+	return &gate{
+		slots:     make(chan struct{}, maxInFlight),
+		maxQueue:  maxQueue,
+		inflightG: reg.Gauge("serve_inflight"),
+		queueG:    reg.Gauge("serve_queue_depth"),
+	}
+}
+
+// Acquire admits one request or sheds it with a *shedError. On success
+// the caller must Release exactly once.
+func (g *gate) Acquire(ctx context.Context) error {
+	// A request that arrives with its budget already spent is shed
+	// without touching the queue.
+	if ctx.Err() != nil {
+		return &shedError{reason: ShedDeadline}
+	}
+	// Fast path: a free slot, no queuing.
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted()
+		return nil
+	default:
+	}
+	// Slow path: queue if the queue has room.
+	g.mu.Lock()
+	if g.queued >= g.maxQueue {
+		g.mu.Unlock()
+		return &shedError{reason: ShedQueueFull}
+	}
+	g.queued++
+	depth := g.queued
+	g.mu.Unlock()
+	g.queueG.Set(float64(depth))
+
+	defer func() {
+		g.mu.Lock()
+		g.queued--
+		depth := g.queued
+		g.mu.Unlock()
+		g.queueG.Set(float64(depth))
+	}()
+
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted()
+		return nil
+	case <-ctx.Done():
+		return &shedError{reason: ShedDeadline}
+	}
+}
+
+// admitted updates the in-flight accounting after a slot acquisition.
+func (g *gate) admitted() {
+	n := g.inflight.Add(1)
+	for {
+		p := g.peak.Load()
+		if n <= p || g.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	g.inflightG.Set(float64(n))
+}
+
+// Release returns one slot.
+func (g *gate) Release() {
+	n := g.inflight.Add(-1)
+	g.inflightG.Set(float64(n))
+	<-g.slots
+}
+
+// InFlight returns the number of admitted, unfinished requests.
+func (g *gate) InFlight() int { return int(g.inflight.Load()) }
+
+// Queued returns the current wait-queue depth.
+func (g *gate) Queued() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.queued
+}
+
+// Peak returns the high-water mark of concurrent in-flight requests —
+// the chaos soak asserts it never exceeds the configured gate.
+func (g *gate) Peak() int { return int(g.peak.Load()) }

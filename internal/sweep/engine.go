@@ -425,6 +425,12 @@ func GroundTruth(spec *hw.Spec, k *kernelir.Kernel, items int64) (*metrics.Sweep
 	return shared.GroundTruth(spec, k, items)
 }
 
+// GroundTruthContext evaluates through the process-wide shared engine
+// with cancellation (see Engine.GroundTruthContext).
+func GroundTruthContext(ctx context.Context, spec *hw.Spec, k *kernelir.Kernel, items int64) (*metrics.Sweep, error) {
+	return shared.GroundTruthContext(ctx, spec, k, items)
+}
+
 // Prefetch warms the process-wide shared engine.
 func Prefetch(spec *hw.Spec, ks []*kernelir.Kernel, items int64) error {
 	return shared.Prefetch(spec, ks, items)
