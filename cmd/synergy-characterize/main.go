@@ -26,7 +26,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("synergy-characterize: ")
-	device := flag.String("device", "v100", "target device (v100, a100, mi100)")
+	device := flag.String("device", "v100", "target device ("+strings.Join(hw.BuiltinNames(), ", ")+")")
 	benchArg := flag.String("bench", "all", "comma-separated benchmark names, or 'all'")
 	full := flag.Bool("full", false, "print the full sweep instead of a sampled series")
 	flag.Parse()

@@ -42,7 +42,7 @@ func main() {
 func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("synergy-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	device := fs.String("device", "v100", "device spec for the roofline pass (v100, a100, mi100, xeon, none)")
+	device := fs.String("device", "v100", "device spec for the roofline pass ("+strings.Join(hw.BuiltinNames(), ", ")+", none)")
 	asJSON := fs.Bool("json", false, "emit reports as a JSON array")
 	strict := fs.Bool("strict", false, "treat warnings as errors for the exit status")
 	quiet := fs.Bool("quiet", false, "only print kernels with findings")

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"synergy/internal/benchsuite"
 	"synergy/internal/features"
@@ -23,7 +24,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("synergy-predict: ")
-	device := flag.String("device", "v100", "target device (v100, a100, mi100)")
+	device := flag.String("device", "v100", "target device ("+strings.Join(hw.BuiltinNames(), ", ")+")")
 	benchName := flag.String("bench", "black_scholes", "benchmark kernel to predict for")
 	targetArg := flag.String("target", "MIN_EDP", "energy target (MAX_PERF, MIN_ENERGY, MIN_EDP, MIN_ED2P, ES_x, PL_x)")
 	algo := flag.String("algo", model.AlgoForest, "model algorithm (Linear, Lasso, RandomForest, SVR_RBF)")

@@ -6,6 +6,7 @@
 //	synergy-report -fig 1|2|4|5|7|8|9|10
 //	synergy-report -table 1|2
 //	synergy-report -all
+//	synergy-report -fleet h100,xeon8480,alveo -budget 330
 //
 // The model-based outputs (Fig. 9, Table 2) train on the micro-benchmark
 // suite first; -stride trades training-sweep resolution for speed.
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"synergy/internal/apps"
 	"synergy/internal/hw"
@@ -35,13 +37,32 @@ func main() {
 	ablation := flag.Bool("ablation", false, "run the fine- vs coarse-grained tuning ablation (§2.2)")
 	stride := flag.Int("stride", 4, "training-sweep frequency stride for model-based outputs")
 	nodes := flag.Int("nodes", 16, "maximum node count for the Fig. 10 scaling study")
+	fleetArg := flag.String("fleet", "", "comma-separated device list for the fleet placement report (e.g. h100,xeon8480,alveo)")
+	budget := flag.Float64("budget", 0, "fleet power budget in watts for -fleet (0 = unconstrained)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	flag.Parse()
 	jsonMode = *asJSON
 
-	if !*all && *fig == 0 && *tab == 0 && !*ablation {
+	if !*all && *fig == 0 && *tab == 0 && !*ablation && *fleetArg == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *fleetArg != "" {
+		fleet, err := hw.FleetFromNames(strings.Split(*fleetArg, ","), hw.Budget{PowerW: *budget})
+		if err != nil {
+			log.Fatalf("fleet: %v", err)
+		}
+		rep, err := report.BuildFleetReport(fleet, nil)
+		if err != nil {
+			log.Fatalf("fleet report: %v", err)
+		}
+		if err := emit(rep); err != nil {
+			log.Fatal(err)
+		}
+		if !*all && *fig == 0 && *tab == 0 && !*ablation {
+			return
+		}
 	}
 
 	if *ablation {

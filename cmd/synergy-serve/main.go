@@ -30,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,7 +46,7 @@ func main() {
 	log.SetPrefix("synergy-serve: ")
 	addr := flag.String("addr", "127.0.0.1:8091", "listen address")
 	bundle := flag.String("bundle", "", "trained model bundle (from synergy-train -save); trains at startup when empty")
-	device := flag.String("device", "v100", "device to train for when no bundle is given (v100, a100, mi100, xeon)")
+	device := flag.String("device", "v100", "device to train for when no bundle is given ("+strings.Join(hw.BuiltinNames(), ", ")+")")
 	algo := flag.String("algo", model.AlgoForest, "training algorithm when no bundle is given")
 	stride := flag.Int("stride", 4, "training-sweep frequency stride when no bundle is given")
 	maxInFlight := flag.Int("max-inflight", 64, "max concurrently executing requests (admission gate)")

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"synergy/internal/hw"
 	"synergy/internal/microbench"
@@ -22,7 +23,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("synergy-train: ")
-	device := flag.String("device", "v100", "target device (v100, a100, mi100)")
+	device := flag.String("device", "v100", "target device ("+strings.Join(hw.BuiltinNames(), ", ")+")")
 	stride := flag.Int("stride", 4, "frequency-table stride for the training sweep")
 	jsonOut := flag.String("json", "", "write the training set to this file as JSON")
 	saveModels := flag.String("save", "", "write the trained model bundle (chosen with -algo) to this file")

@@ -21,7 +21,7 @@ func TestSuiteLintsClean(t *testing.T) {
 		"46/f27": true, "49/f30": true, "52/f33": true, "54/f35": true,
 		"57/f38": true, "59/f40": true, "62/f43": true, "65/f46": true,
 	}
-	for _, device := range []string{"v100", "a100", "mi100", "xeon"} {
+	for _, device := range hw.BuiltinNames() {
 		spec, err := hw.SpecByName(device)
 		if err != nil {
 			t.Fatal(err)

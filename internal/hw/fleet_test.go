@@ -1,0 +1,253 @@
+package hw
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func testFleet(t *testing.T, budget Budget, names ...string) *Fleet {
+	t.Helper()
+	f, err := FleetFromNames(names, budget)
+	if err != nil {
+		t.Fatalf("FleetFromNames(%v): %v", names, err)
+	}
+	return f
+}
+
+func TestFleetFromNamesOrderAndKeys(t *testing.T) {
+	t.Parallel()
+	f := testFleet(t, Budget{}, "v100", "mi100", "xeon")
+	if f.Name != "v100+mi100+xeon" {
+		t.Errorf("fleet name %q", f.Name)
+	}
+	want := []string{"v100", "mi100", "xeon"}
+	for i, k := range want {
+		if f.Devices[i].Key != k {
+			t.Errorf("device %d key %q, want %q (order must be preserved)", i, f.Devices[i].Key, k)
+		}
+		if f.DeviceByKey(k) != i {
+			t.Errorf("DeviceByKey(%q) = %d, want %d", k, f.DeviceByKey(k), i)
+		}
+	}
+	if f.DeviceByKey("h100") != -1 {
+		t.Error("DeviceByKey for absent device should be -1")
+	}
+}
+
+func TestFleetValidateRejections(t *testing.T) {
+	t.Parallel()
+	if _, err := FleetFromNames(nil, Budget{}); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := FleetFromNames([]string{"v100", "v100"}, Budget{}); err == nil {
+		t.Error("duplicate device key accepted")
+	}
+	if _, err := FleetFromNames([]string{"v100", "nope"}, Budget{}); err == nil {
+		t.Error("unknown device accepted")
+	}
+	// Power budget below the idle floor can never host anything.
+	if _, err := FleetFromNames([]string{"v100", "mi100"}, Budget{PowerW: 30}); err == nil {
+		t.Error("power budget below the idle floor accepted")
+	}
+	// Area budget smaller than the summed die area.
+	if _, err := FleetFromNames([]string{"v100", "a100"}, Budget{AreaMM2: 1000}); err == nil {
+		t.Error("area budget below the fleet die area accepted")
+	}
+	if _, err := NewFleet("bad", Budget{}, FleetDevice{Key: "", Spec: V100()}); err == nil {
+		t.Error("empty device key accepted")
+	}
+	if _, err := NewFleet("bad", Budget{}, FleetDevice{Key: "v100"}); err == nil {
+		t.Error("nil spec accepted")
+	}
+	if _, err := NewFleet("bad", Budget{PowerW: -1}, FleetDevice{Key: "v100", Spec: V100()}); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestFleetPowerAccounting(t *testing.T) {
+	t.Parallel()
+	f := testFleet(t, Budget{PowerW: 330}, "v100", "mi100", "xeon")
+	idle := V100().IdlePowerW + MI100().IdlePowerW + Xeon8160().IdlePowerW
+	if got := f.TotalIdleW(); got != idle {
+		t.Errorf("TotalIdleW = %v, want %v", got, idle)
+	}
+	if got := f.IdleOthersW(0); got != MI100().IdlePowerW+Xeon8160().IdlePowerW {
+		t.Errorf("IdleOthersW(0) = %v", got)
+	}
+	if got := f.FleetPowerW(1, 200); got != 200+V100().IdlePowerW+Xeon8160().IdlePowerW {
+		t.Errorf("FleetPowerW(1, 200) = %v", got)
+	}
+	// Feasibility against the budget: 330 - idleOthers(v100) = 258 W
+	// headroom for the V100 board.
+	if !f.Feasible(0, 250) {
+		t.Error("250 W on v100 should fit the 330 W budget")
+	}
+	if f.Feasible(0, 280) {
+		t.Error("280 W on v100 should exceed the 330 W budget")
+	}
+	unbounded := testFleet(t, Budget{}, "v100")
+	if !unbounded.Feasible(0, 1e6) {
+		t.Error("unset budget must admit everything")
+	}
+}
+
+func TestFleetClasses(t *testing.T) {
+	t.Parallel()
+	f := testFleet(t, Budget{}, "alveo", "xeon", "v100")
+	got := f.Classes()
+	want := []DeviceClass{ClassThroughput, ClassSerial, ClassAccelerator}
+	if len(got) != len(want) {
+		t.Fatalf("Classes() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Classes() = %v, want %v (class order)", got, want)
+		}
+	}
+	gpuOnly := testFleet(t, Budget{}, "v100", "a100")
+	if cs := gpuOnly.Classes(); len(cs) != 1 || cs[0] != ClassThroughput {
+		t.Errorf("GPU-only fleet classes = %v", cs)
+	}
+}
+
+// TestPartitionPowerConservation is the budget-split invariant: for any
+// non-negative weights, re-partitioning moves power between classes but
+// SumShares reconstructs the budget exactly.
+func TestPartitionPowerConservation(t *testing.T) {
+	t.Parallel()
+	f := testFleet(t, Budget{PowerW: 800}, "v100", "xeon", "alveo")
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		w := map[DeviceClass]float64{
+			ClassThroughput:  rng.Float64() * 10,
+			ClassSerial:      rng.Float64() * 10,
+			ClassAccelerator: rng.Float64() * 10,
+		}
+		if i%7 == 0 {
+			w[ClassSerial] = 0 // zero-weight classes are legal
+		}
+		shares, err := f.PartitionPower(w)
+		if err != nil {
+			t.Fatalf("PartitionPower(%v): %v", w, err)
+		}
+		if len(shares) != 3 {
+			t.Fatalf("want one share per present class, got %v", shares)
+		}
+		if got := SumShares(shares); got != f.Budget.PowerW {
+			t.Fatalf("iteration %d: shares sum to %v, want exactly %v (weights %v)",
+				i, got, f.Budget.PowerW, w)
+		}
+		for _, s := range shares {
+			if s.PowerW < 0 {
+				t.Fatalf("negative share %v under weights %v", s, w)
+			}
+		}
+	}
+}
+
+func TestPartitionPowerErrors(t *testing.T) {
+	t.Parallel()
+	f := testFleet(t, Budget{}, "v100")
+	if _, err := f.PartitionPower(map[DeviceClass]float64{ClassThroughput: 1}); err == nil {
+		t.Error("partitioning an unset budget should fail")
+	}
+	g := testFleet(t, Budget{PowerW: 400}, "v100")
+	if _, err := g.PartitionPower(map[DeviceClass]float64{ClassThroughput: -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := g.PartitionPower(map[DeviceClass]float64{ClassSerial: 5}); err == nil {
+		t.Error("weights only on absent classes accepted")
+	}
+	// Weight on an absent class is ignored, not an error, as long as a
+	// present class carries weight.
+	shares, err := g.PartitionPower(map[DeviceClass]float64{ClassThroughput: 1, ClassAccelerator: 9})
+	if err != nil {
+		t.Fatalf("PartitionPower: %v", err)
+	}
+	if len(shares) != 1 || shares[0].Class != ClassThroughput || shares[0].PowerW != 400 {
+		t.Errorf("single-class fleet shares = %v", shares)
+	}
+}
+
+// TestDegeneratePartitionSingleClass pins the degenerate-fleet shape:
+// with one class present the whole budget lands on it, whatever the
+// weights.
+func TestDegeneratePartitionSingleClass(t *testing.T) {
+	t.Parallel()
+	f := testFleet(t, Budget{PowerW: 512}, "v100", "a100", "mi100")
+	for _, w := range []float64{0.001, 1, 1e9} {
+		shares, err := f.PartitionPower(map[DeviceClass]float64{ClassThroughput: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(shares) != 1 || shares[0].PowerW != 512 {
+			t.Fatalf("weight %v: shares = %v, want the whole 512 W on throughput", w, shares)
+		}
+	}
+}
+
+func TestDeviceClassAndCatalog(t *testing.T) {
+	t.Parallel()
+	wantClass := map[string]DeviceClass{
+		"v100": ClassThroughput, "a100": ClassThroughput, "h100": ClassThroughput,
+		"mi100": ClassThroughput,
+		"xeon":  ClassSerial, "xeon8480": ClassSerial,
+		"alveo": ClassAccelerator,
+	}
+	names := BuiltinNames()
+	if len(names) != len(wantClass) {
+		t.Fatalf("BuiltinNames() = %v, want %d entries", names, len(wantClass))
+	}
+	for _, n := range names {
+		s, err := SpecByName(n)
+		if err != nil {
+			t.Fatalf("SpecByName(%q): %v", n, err)
+		}
+		if s.Class != wantClass[n] {
+			t.Errorf("%s class = %v, want %v", n, s.Class, wantClass[n])
+		}
+		if s.AreaMM2 <= 0 {
+			t.Errorf("%s has no die area; the fleet area budget needs one", n)
+		}
+	}
+	for c, want := range map[DeviceClass]string{
+		ClassThroughput: "throughput", ClassSerial: "serial",
+		ClassAccelerator: "accelerator", DeviceClass(9): "DeviceClass(9)",
+	} {
+		if c.String() != want {
+			t.Errorf("DeviceClass(%d).String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+}
+
+func TestBudgetString(t *testing.T) {
+	t.Parallel()
+	cases := map[Budget]string{
+		{}:                           "unconstrained",
+		{PowerW: 330}:                "330 W",
+		{AreaMM2: 2500}:              "2500 mm²",
+		{PowerW: 330, AreaMM2: 2500}: "330 W / 2500 mm²",
+	}
+	for b, want := range cases {
+		if got := b.String(); got != want {
+			t.Errorf("%+v.String() = %q, want %q", b, got, want)
+		}
+	}
+}
+
+// TestSpecByNameErrorNamesWholeCatalog is the regression test for the
+// stale hard-coded device list the error message used to carry: every
+// catalog entry must appear in it.
+func TestSpecByNameErrorNamesWholeCatalog(t *testing.T) {
+	t.Parallel()
+	_, err := SpecByName("nope")
+	if err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	for _, n := range BuiltinNames() {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("SpecByName error %q does not mention catalog device %q", err, n)
+		}
+	}
+}

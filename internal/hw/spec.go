@@ -8,7 +8,11 @@
 // substitution (see DESIGN.md §1). All behaviour is deterministic.
 package hw
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // Vendor identifies the GPU vendor, which selects the management-library
 // backend (NVML for NVIDIA, ROCm SMI for AMD).
@@ -38,12 +42,51 @@ func (v Vendor) String() string {
 	}
 }
 
-// Spec describes a GPU model: its DVFS capabilities and the parameters of
-// the analytic performance/power model. All power figures are in watts,
-// frequencies in MHz, bandwidth in bytes/second.
+// DeviceClass is the Lumos HeterogSys role a device plays inside a
+// heterogeneous fleet: latency-oriented serial cores (CPUs),
+// throughput cores (GPUs), or fixed-function/reconfigurable
+// accelerators. The fleet budget model (see Fleet) splits a shared
+// power envelope across the classes.
+type DeviceClass int
+
+const (
+	// ClassThroughput marks wide throughput devices (GPUs). It is the
+	// zero value, so plain GPU specs need no explicit class.
+	ClassThroughput DeviceClass = iota
+	// ClassSerial marks latency-oriented serial-core devices (CPUs).
+	ClassSerial
+	// ClassAccelerator marks ASIC/FPGA-style accelerators.
+	ClassAccelerator
+)
+
+// String returns the class name.
+func (c DeviceClass) String() string {
+	switch c {
+	case ClassThroughput:
+		return "throughput"
+	case ClassSerial:
+		return "serial"
+	case ClassAccelerator:
+		return "accelerator"
+	default:
+		return fmt.Sprintf("DeviceClass(%d)", int(c))
+	}
+}
+
+// Spec describes a compute device: its DVFS capabilities and the
+// parameters of the analytic performance/power model. All power figures
+// are in watts, frequencies in MHz, bandwidth in bytes/second.
 type Spec struct {
 	Name   string
 	Vendor Vendor
+
+	// Class is the device's role in a heterogeneous fleet (GPUs are
+	// throughput devices, CPUs serial, FPGAs/ASICs accelerators).
+	Class DeviceClass
+
+	// AreaMM2 is the die area in mm², the second axis of the Lumos-style
+	// fleet budget (zero: unspecified, exempt from area accounting).
+	AreaMM2 float64
 
 	// MemFreqMHz is the (fixed) HBM memory frequency. The paper notes
 	// that for HBM devices the memory frequency cannot be scaled.
@@ -140,6 +183,14 @@ func (s *Spec) Validate() error {
 	if s.VFloorFrac < 0 || s.VFloorFrac >= 1 {
 		return fmt.Errorf("hw: spec %s VFloorFrac must be in [0,1)", s.Name)
 	}
+	if s.AreaMM2 < 0 {
+		return fmt.Errorf("hw: spec %s has negative die area", s.Name)
+	}
+	switch s.Class {
+	case ClassThroughput, ClassSerial, ClassAccelerator:
+	default:
+		return fmt.Errorf("hw: spec %s has unknown device class %d", s.Name, int(s.Class))
+	}
 	return nil
 }
 
@@ -235,6 +286,7 @@ func V100() *Spec {
 	s := &Spec{
 		Name:                "NVIDIA V100",
 		Vendor:              NVIDIA,
+		AreaMM2:             815,
 		MemFreqMHz:          877,
 		CoreFreqsMHz:        nvidiaClockTable(135, 1530, 196),
 		DefaultCoreMHz:      0, // fixed below to an exact table entry
@@ -265,6 +317,7 @@ func A100() *Spec {
 	s := &Spec{
 		Name:                "NVIDIA A100",
 		Vendor:              NVIDIA,
+		AreaMM2:             826,
 		MemFreqMHz:          1215,
 		CoreFreqsMHz:        nvidiaClockTable(210, 1410, 81),
 		DefaultCoreMHz:      1410,
@@ -297,6 +350,7 @@ func MI100() *Spec {
 	s := &Spec{
 		Name:       "AMD MI100",
 		Vendor:     AMD,
+		AreaMM2:    750,
 		MemFreqMHz: 1200,
 		CoreFreqsMHz: []int{
 			300, 380, 460, 540, 620, 700, 780, 860,
@@ -335,6 +389,8 @@ func Xeon8160() *Spec {
 	s := &Spec{
 		Name:                "Intel Xeon 8160",
 		Vendor:              Intel,
+		Class:               ClassSerial,
+		AreaMM2:             694,
 		MemFreqMHz:          2666,
 		CoreFreqsMHz:        freqs,
 		DefaultCoreMHz:      2100, // base clock (turbo governed separately)
@@ -358,28 +414,157 @@ func Xeon8160() *Spec {
 	return s
 }
 
+// H100 returns the spec of an NVIDIA H100 SXM5 (80 GB), the newer GPU
+// generation of the fleet model: 119 core frequencies from 210 to
+// 1980 MHz, HBM3 fixed at 2619 MHz, default application clock at the
+// maximum boost state.
+func H100() *Spec {
+	s := &Spec{
+		Name:                "NVIDIA H100",
+		Vendor:              NVIDIA,
+		AreaMM2:             814,
+		MemFreqMHz:          2619,
+		CoreFreqsMHz:        nvidiaClockTable(210, 1980, 119),
+		DefaultCoreMHz:      1980,
+		SMs:                 132,
+		LanesPerSM:          128,
+		MemBWBytes:          3350e9,
+		BWKneeFrac:          0.48,
+		LaunchOverheadSec:   6e-6,
+		ClockSetOverheadSec: 1.5e-4,
+		IdlePowerW:          72,
+		TDPWatts:            700,
+		VMinVolts:           0.68,
+		VMaxVolts:           1.05,
+		VFloorFrac:          0.50,
+		CoreDynCoeff:        230,
+		MemDynCoeff:         95,
+		LeakCoeff:           34,
+		BaseActivity:        0.34,
+	}
+	mustValidate(s)
+	return s
+}
+
+// Xeon8480 returns the spec of an Intel Xeon Platinum 8480+ (Sapphire
+// Rapids) package: 31 P-states from 800 to 3800 MHz, DDR5-4800 memory.
+// Together with the 8160 it anchors the bandwidth-bound CPU end of the
+// CPU-vs-GPU portability scenarios (Reguly's SYCL study): per-core
+// compute throughput grows while the memory system stays far from GPU
+// bandwidth, so most streaming kernels are memory-bound on it.
+func Xeon8480() *Spec {
+	freqs := make([]int, 0, 31)
+	for f := 800; f <= 3800; f += 100 {
+		freqs = append(freqs, f)
+	}
+	s := &Spec{
+		Name:                "Intel Xeon 8480+",
+		Vendor:              Intel,
+		Class:               ClassSerial,
+		AreaMM2:             1510, // four compute tiles
+		MemFreqMHz:          4800,
+		CoreFreqsMHz:        freqs,
+		DefaultCoreMHz:      2000, // base clock
+		SMs:                 56,   // cores
+		LanesPerSM:          16,   // AVX-512 fp32 lanes
+		MemBWBytes:          307e9,
+		BWKneeFrac:          0.30,
+		LaunchOverheadSec:   2e-6,
+		ClockSetOverheadSec: 5e-5,
+		IdlePowerW:          60,
+		TDPWatts:            350,
+		VMinVolts:           0.65,
+		VMaxVolts:           1.15,
+		VFloorFrac:          0.32,
+		CoreDynCoeff:        55,
+		MemDynCoeff:         26,
+		LeakCoeff:           22,
+		BaseActivity:        0.30,
+	}
+	mustValidate(s)
+	return s
+}
+
+// AlveoV80 returns the descriptor of an AMD (Xilinx) Alveo V80-class
+// reconfigurable accelerator — the Lumos-style budgeted accelerator of
+// the fleet model: a wide, slow dataflow array with a handful of fabric
+// clock states, a narrow near-threshold voltage range and HBM2e. It has
+// no default clock (the loaded bitstream's Fmax governs; the effective
+// baseline is the top state), and it is the energy-efficiency end of
+// the fleet: low clocks and voltages buy joules at the price of
+// latency.
+func AlveoV80() *Spec {
+	s := &Spec{
+		Name:       "AMD Alveo V80",
+		Vendor:     AMD,
+		Class:      ClassAccelerator,
+		AreaMM2:    820,
+		MemFreqMHz: 1600,
+		CoreFreqsMHz: []int{
+			200, 300, 400, 500, 600, 700, 800,
+		},
+		DefaultCoreMHz:      0,
+		SMs:                 64, // dataflow regions
+		LanesPerSM:          96, // DSP lanes per region
+		MemBWBytes:          820e9,
+		BWKneeFrac:          0.60,
+		LaunchOverheadSec:   2e-5,
+		ClockSetOverheadSec: 3e-4,
+		IdlePowerW:          22,
+		TDPWatts:            190,
+		VMinVolts:           0.72,
+		VMaxVolts:           0.88,
+		VFloorFrac:          0.40,
+		CoreDynCoeff:        55,
+		MemDynCoeff:         22,
+		LeakCoeff:           14,
+		BaseActivity:        0.38,
+	}
+	mustValidate(s)
+	return s
+}
+
 func mustValidate(s *Spec) {
 	if err := s.Validate(); err != nil {
 		panic(err)
 	}
 }
 
-// BuiltinSpecs returns the three devices the paper characterises in
-// Fig. 1, keyed by a short identifier usable on command lines.
+// BuiltinSpecs returns the device catalog keyed by the short
+// identifiers usable on command lines: the three devices the paper
+// characterises in Fig. 1 plus the fleet-model additions (CPUs, the
+// H100 generation and the Alveo accelerator).
 func BuiltinSpecs() map[string]*Spec {
 	return map[string]*Spec{
-		"v100":  V100(),
-		"a100":  A100(),
-		"mi100": MI100(),
-		"xeon":  Xeon8160(),
+		"v100":     V100(),
+		"a100":     A100(),
+		"h100":     H100(),
+		"mi100":    MI100(),
+		"xeon":     Xeon8160(),
+		"xeon8480": Xeon8480(),
+		"alveo":    AlveoV80(),
 	}
+}
+
+// BuiltinNames lists the catalog's short identifiers in sorted order.
+// Command-line help and error messages derive from it, so adding a
+// device to the catalog never leaves a stale hard-coded list behind.
+func BuiltinNames() []string {
+	m := BuiltinSpecs()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // SpecByName returns a builtin spec by its short identifier.
 func SpecByName(name string) (*Spec, error) {
 	s, ok := BuiltinSpecs()[name]
 	if !ok {
-		return nil, fmt.Errorf("hw: unknown device %q (want v100, a100, mi100 or xeon)", name)
+		return nil, fmt.Errorf("hw: unknown device %q (want one of %s)",
+			name, strings.Join(BuiltinNames(), ", "))
 	}
 	return s, nil
 }

@@ -135,13 +135,15 @@ func TestSpecValidateRejectsBadSpecs(t *testing.T) {
 
 func TestSpecByName(t *testing.T) {
 	t.Parallel()
-	for _, name := range []string{"v100", "a100", "mi100"} {
+	// Every catalog entry must resolve — the list is derived from
+	// BuiltinSpecs so a new device can never be forgotten here.
+	for _, name := range BuiltinNames() {
 		if _, err := SpecByName(name); err != nil {
 			t.Errorf("SpecByName(%q): %v", name, err)
 		}
 	}
-	if _, err := SpecByName("h100"); err == nil {
-		t.Error("SpecByName(h100) should fail")
+	if _, err := SpecByName("gtx480"); err == nil {
+		t.Error("SpecByName(gtx480) should fail")
 	}
 }
 

@@ -1,0 +1,93 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+
+	"synergy/internal/hw"
+	"synergy/internal/kernelir"
+	"synergy/internal/kernelir/analysis"
+	"synergy/internal/sweep"
+)
+
+// Ridge-handling margins for the static-vs-sweep roofline cross-check.
+// They are the calibrated constants of the differential acceptance test
+// TestStaticRooflineMatchesSweep: off the roofline ridge
+// (|alpha − 1/2| > RidgeMargin) the labels must agree outright; on the
+// ridge the fitted slope carries the ground-truth model's measurement
+// noise and only the alphas are required to stay within AlphaTol.
+const (
+	RidgeMargin = 0.06
+	AlphaTol    = 0.25
+)
+
+// CrossCheck is the roofline agreement record for one fleet device: the
+// static classifier's label for the kernel versus the label recovered
+// from the dynamic frequency sweep the placement grid was built from.
+type CrossCheck struct {
+	Device      string         `json:"device"`
+	StaticLabel analysis.Bound `json:"static_label"`
+	StaticAlpha float64        `json:"static_alpha"`
+	SweepLabel  analysis.Bound `json:"sweep_label"`
+	SweepAlpha  float64        `json:"sweep_alpha"`
+	// OnRidge reports that the kernel sits on the roofline ridge of this
+	// device, where the label is decided by noise and only alpha
+	// proximity is checked.
+	OnRidge bool `json:"on_ridge"`
+	// Agree is the per-device verdict: off-ridge label equality, or
+	// on-ridge alpha agreement within AlphaTol.
+	Agree bool `json:"agree"`
+}
+
+// CrossValidate checks the placement grid's ground truth against the
+// static roofline classifier on every fleet device. A disagreement
+// means either the device spec or the analytic classifier mis-models
+// the kernel — the same signal the repo's differential acceptance test
+// uses, made available at placement time so a fleet recommendation can
+// carry (or fail on) its own evidence.
+func CrossValidate(eng *sweep.Engine, fleet *hw.Fleet, k *kernelir.Kernel, items int64) ([]CrossCheck, error) {
+	if eng == nil || fleet == nil || k == nil {
+		return nil, fmt.Errorf("placement: nil engine, fleet or kernel")
+	}
+	if err := fleet.Validate(); err != nil {
+		return nil, err
+	}
+	checks := make([]CrossCheck, 0, len(fleet.Devices))
+	for _, fd := range fleet.Devices {
+		static, err := analysis.StaticRoofline(k, fd.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("placement: static roofline on %s: %w", fd.Key, err)
+		}
+		sw, err := eng.GroundTruth(fd.Spec, k, items)
+		if err != nil {
+			return nil, fmt.Errorf("placement: sweep on %s: %w", fd.Key, err)
+		}
+		dynLabel, dynAlpha := analysis.ClassifySweep(sw)
+		c := CrossCheck{
+			Device:      fd.Key,
+			StaticLabel: static.Label,
+			StaticAlpha: static.Alpha,
+			SweepLabel:  dynLabel,
+			SweepAlpha:  dynAlpha,
+			OnRidge:     math.Abs(static.Alpha-0.5) <= RidgeMargin,
+		}
+		if c.OnRidge {
+			c.Agree = math.Abs(static.Alpha-dynAlpha) <= AlphaTol
+		} else {
+			c.Agree = static.Label == dynLabel
+		}
+		checks = append(checks, c)
+	}
+	return checks, nil
+}
+
+// Disagreements filters a cross-check run down to the failing devices.
+func Disagreements(checks []CrossCheck) []CrossCheck {
+	var bad []CrossCheck
+	for _, c := range checks {
+		if !c.Agree {
+			bad = append(bad, c)
+		}
+	}
+	return bad
+}

@@ -1,0 +1,103 @@
+package placement_test
+
+import (
+	"math"
+	"testing"
+
+	"synergy/internal/benchsuite"
+	"synergy/internal/hw"
+	"synergy/internal/placement"
+	"synergy/internal/sweep"
+)
+
+// TestCrossValidateAgreesOnSuite: the placement layer's roofline
+// cross-check must agree for every benchmark on every device of the
+// canonical fleet — the same bar the repo-wide differential test
+// TestStaticRooflineMatchesSweep holds the full catalog to, reached
+// through the placement API.
+func TestCrossValidateAgreesOnSuite(t *testing.T) {
+	t.Parallel()
+	f := canonicalFleet(t)
+	for _, bm := range benchsuite.All() {
+		checks, err := placement.CrossValidate(sweep.Shared(), f, bm.Kernel, bm.CharItems)
+		if err != nil {
+			t.Fatalf("%s: %v", bm.Name, err)
+		}
+		if len(checks) != len(f.Devices) {
+			t.Fatalf("%s: %d checks for %d devices", bm.Name, len(checks), len(f.Devices))
+		}
+		for _, bad := range placement.Disagreements(checks) {
+			t.Errorf("%s on %s: static %v (alpha %.3f) vs sweep %v (alpha %.3f), on-ridge=%v",
+				bm.Name, bad.Device, bad.StaticLabel, bad.StaticAlpha,
+				bad.SweepLabel, bad.SweepAlpha, bad.OnRidge)
+		}
+	}
+}
+
+// TestCrossCheckVerdictSemantics pins the ridge-handling rule on the
+// record level: off-ridge verdicts compare labels, on-ridge verdicts
+// compare alphas within AlphaTol.
+func TestCrossCheckVerdictSemantics(t *testing.T) {
+	t.Parallel()
+	f := canonicalFleet(t)
+	bm, err := benchsuite.ByName("black_scholes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks, err := placement.CrossValidate(sweep.Shared(), f, bm.Kernel, bm.CharItems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range checks {
+		wantRidge := math.Abs(c.StaticAlpha-0.5) <= placement.RidgeMargin
+		if c.OnRidge != wantRidge {
+			t.Errorf("%s: OnRidge=%v with static alpha %.3f", c.Device, c.OnRidge, c.StaticAlpha)
+		}
+		var want bool
+		if c.OnRidge {
+			want = math.Abs(c.StaticAlpha-c.SweepAlpha) <= placement.AlphaTol
+		} else {
+			want = c.StaticLabel == c.SweepLabel
+		}
+		if c.Agree != want {
+			t.Errorf("%s: Agree=%v, want %v (%+v)", c.Device, c.Agree, want, c)
+		}
+	}
+}
+
+// TestDisagreementsFilter checks the filter on synthetic records.
+func TestDisagreementsFilter(t *testing.T) {
+	t.Parallel()
+	in := []placement.CrossCheck{
+		{Device: "a", Agree: true},
+		{Device: "b", Agree: false},
+		{Device: "c", Agree: true},
+		{Device: "d", Agree: false},
+	}
+	bad := placement.Disagreements(in)
+	if len(bad) != 2 || bad[0].Device != "b" || bad[1].Device != "d" {
+		t.Errorf("Disagreements = %+v", bad)
+	}
+	if placement.Disagreements(nil) != nil {
+		t.Error("Disagreements(nil) should be nil")
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	t.Parallel()
+	f := canonicalFleet(t)
+	bm, err := benchsuite.ByName("vec_add")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := placement.CrossValidate(nil, f, bm.Kernel, bm.CharItems); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := placement.CrossValidate(sweep.Shared(), f, nil, bm.CharItems); err == nil {
+		t.Error("nil kernel accepted")
+	}
+	bad := &hw.Fleet{Name: "bad"}
+	if _, err := placement.CrossValidate(sweep.Shared(), bad, bm.Kernel, bm.CharItems); err == nil {
+		t.Error("invalid fleet accepted")
+	}
+}

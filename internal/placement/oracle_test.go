@@ -1,0 +1,244 @@
+package placement_test
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"synergy/internal/benchsuite"
+	"synergy/internal/hw"
+	"synergy/internal/metrics"
+	"synergy/internal/placement"
+	"synergy/internal/sweep"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// canonicalFleet is the 3-device fleet the oracle and golden tests pin:
+// one device per class — the H100 GPU, the Sapphire Rapids CPU and the
+// Alveo dataflow accelerator — under a 330 W power budget tight enough
+// that the GPU's high-frequency configurations are infeasible. On this
+// fleet the placements are genuinely heterogeneous: the GPU wins the
+// performance-weighted targets, the accelerator wins MIN_ENERGY, and
+// the ES/PL targets split between them per benchmark.
+func canonicalFleet(t testing.TB) *hw.Fleet {
+	t.Helper()
+	f, err := hw.FleetFromNames([]string{"h100", "xeon8480", "alveo"}, hw.Budget{PowerW: 330})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func buildGrid(t testing.TB, f *hw.Fleet, bm *benchsuite.Benchmark) *placement.Grid {
+	t.Helper()
+	g, err := placement.BuildGroundTruth(sweep.Shared(), f, bm.Kernel, bm.CharItems)
+	if err != nil {
+		t.Fatalf("%s: BuildGroundTruth: %v", bm.Name, err)
+	}
+	return g
+}
+
+// bruteForce is the enumeration oracle: an independent, straight-line
+// re-implementation of every target definition as an explicit scan of
+// the full (device × frequency) grid, with the paper's tie-break rule
+// (earlier fleet device, then lower frequency — i.e. first strict
+// minimum in grid order) spelled out longhand. It shares no selection
+// code with the package under test.
+func bruteForce(t *testing.T, g *placement.Grid, target metrics.Target) placement.Candidate {
+	t.Helper()
+	var feas []placement.Candidate
+	for _, c := range g.Candidates {
+		if c.Feasible {
+			feas = append(feas, c)
+		}
+	}
+	if len(feas) == 0 {
+		t.Fatal("oracle: empty feasible set")
+	}
+
+	scanMin := func(obj func(placement.Candidate) float64) placement.Candidate {
+		best := feas[0]
+		for _, c := range feas[1:] {
+			if obj(c) < obj(best) {
+				best = c
+			}
+		}
+		return best
+	}
+	timeOf := func(c placement.Candidate) float64 { return c.TimeSec }
+	energyOf := func(c placement.Candidate) float64 { return c.EnergyJ }
+
+	// Fleet baseline: fastest feasible default-clock configuration.
+	var def placement.Candidate
+	haveDef := false
+	for _, c := range feas {
+		if c.Baseline && (!haveDef || c.TimeSec < def.TimeSec) {
+			def, haveDef = c, true
+		}
+	}
+
+	switch target.Kind {
+	case metrics.KindMaxPerf:
+		return scanMin(timeOf)
+	case metrics.KindMinEnergy:
+		return scanMin(energyOf)
+	case metrics.KindMinEDP:
+		return scanMin(func(c placement.Candidate) float64 { return c.EnergyJ * c.TimeSec })
+	case metrics.KindMinED2P:
+		return scanMin(func(c placement.Candidate) float64 { return c.EnergyJ * c.TimeSec * c.TimeSec })
+	case metrics.KindES:
+		if !haveDef {
+			t.Fatal("oracle: ES target with no feasible baseline")
+		}
+		minE := scanMin(energyOf)
+		if minE.EnergyJ >= def.EnergyJ {
+			return def
+		}
+		targetE := def.EnergyJ - target.X/100*(def.EnergyJ-minE.EnergyJ)
+		best, found := placement.Candidate{TimeSec: math.Inf(1)}, false
+		for _, c := range feas {
+			if c.EnergyJ <= targetE+1e-12*def.EnergyJ && c.TimeSec < best.TimeSec {
+				best, found = c, true
+			}
+		}
+		if !found {
+			return minE
+		}
+		return best
+	case metrics.KindPL:
+		if !haveDef {
+			t.Fatal("oracle: PL target with no feasible baseline")
+		}
+		minE := scanMin(energyOf)
+		slow := math.Max(minE.TimeSec, def.TimeSec)
+		targetT := def.TimeSec + target.X/100*(slow-def.TimeSec)
+		best, found := placement.Candidate{EnergyJ: math.Inf(1)}, false
+		for _, c := range feas {
+			if c.TimeSec <= targetT+1e-12*def.TimeSec && c.EnergyJ < best.EnergyJ {
+				best, found = c, true
+			}
+		}
+		if !found {
+			return def
+		}
+		return best
+	}
+	t.Fatalf("oracle: unhandled target %v", target)
+	return placement.Candidate{}
+}
+
+// TestPlacementMatchesEnumerationOracle proves optimality by
+// enumeration: for every benchmark in the suite and every standard
+// target, the joint placement search must return exactly the argmin the
+// brute-forced (device × frequency) grid yields under the same power
+// constraint — same device, same frequency, bit-identical time and
+// energy.
+func TestPlacementMatchesEnumerationOracle(t *testing.T) {
+	t.Parallel()
+	f := canonicalFleet(t)
+	for _, bm := range benchsuite.All() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			t.Parallel()
+			g := buildGrid(t, f, bm)
+			for _, target := range metrics.StandardTargets {
+				want := bruteForce(t, g, target)
+				got, err := g.Select(target)
+				if err != nil {
+					t.Fatalf("%v: %v", target, err)
+				}
+				if got.Device != want.Device || got.FreqMHz != want.FreqMHz {
+					t.Errorf("%v: placement chose %s@%d, oracle %s@%d",
+						target, got.Device, got.FreqMHz, want.Device, want.FreqMHz)
+					continue
+				}
+				if got.TimeSec != want.TimeSec || got.EnergyJ != want.EnergyJ {
+					t.Errorf("%v: %s@%d time/energy (%v, %v) differ from oracle (%v, %v)",
+						target, got.Device, got.FreqMHz,
+						got.TimeSec, got.EnergyJ, want.TimeSec, want.EnergyJ)
+				}
+			}
+		})
+	}
+}
+
+// TestPlacementGolden pins the deterministic tie-breaking: the full
+// suite × standard-target placement table on the canonical fleet must
+// reproduce the golden byte for byte. Regenerate with -update after an
+// intentional model change.
+func TestPlacementGolden(t *testing.T) {
+	t.Parallel()
+	f := canonicalFleet(t)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# fleet %s budget %s\n", f.Name, f.Budget)
+	for _, bm := range benchsuite.All() {
+		g := buildGrid(t, f, bm)
+		for _, target := range metrics.StandardTargets {
+			p, err := g.Select(target)
+			if err != nil {
+				t.Fatalf("%s %v: %v", bm.Name, target, err)
+			}
+			fmt.Fprintf(&sb, "%s\t%s\t%s\t%d\n", bm.Name, target, p.Device, p.FreqMHz)
+		}
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "placements.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("placement table drifted from golden %s (run with -update if intentional)\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+// TestPlacementUsesMultipleDevices is the sanity check that the joint
+// search is genuinely heterogeneous on the canonical fleet: across the
+// suite and the standard targets the placements must not all land on
+// one device, and the perf- and energy-extreme targets must disagree on
+// at least one benchmark.
+func TestPlacementUsesMultipleDevices(t *testing.T) {
+	t.Parallel()
+	f := canonicalFleet(t)
+	devices := map[string]int{}
+	splits := 0
+	for _, bm := range benchsuite.All() {
+		g := buildGrid(t, f, bm)
+		var perDev []string
+		for _, target := range metrics.StandardTargets {
+			p, err := g.Select(target)
+			if err != nil {
+				t.Fatalf("%s %v: %v", bm.Name, target, err)
+			}
+			devices[p.Device]++
+			perDev = append(perDev, p.Device)
+		}
+		for _, d := range perDev[1:] {
+			if d != perDev[0] {
+				splits++
+				break
+			}
+		}
+	}
+	if len(devices) < 2 {
+		t.Errorf("placements all on one device: %v", devices)
+	}
+	if splits == 0 {
+		t.Error("no benchmark splits its targets across devices; fleet is degenerate")
+	}
+}

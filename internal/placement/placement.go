@@ -1,0 +1,359 @@
+// Package placement generalizes the SYnergy frequency search from
+// "pick a frequency" to "pick a device AND a frequency": given a
+// heterogeneous hw.Fleet (CPUs, GPU generations and accelerators under
+// a shared power budget, in the Lumos HeterogSys shape), it builds the
+// joint (device × frequency) candidate grid for one kernel — from the
+// memoized sweep engine for ground truth, or from per-device
+// model.Predictor sessions for predicted placement — filters it by the
+// fleet power budget, and selects the energy-optimal configuration for
+// any of the paper's targets (MAX_PERF, MIN_ENERGY, MIN_EDP, MIN_ED2P,
+// ES_x, PL_x).
+//
+// The target semantics deliberately mirror internal/metrics bit for
+// bit, with the fleet baseline (the best-performing feasible device at
+// its default clock) standing in for the single device's default
+// configuration. A single-device fleet with no budget therefore
+// reduces exactly — bit-identically — to metrics.Sweep.Select on that
+// device's sweep, which the degenerate-fleet tests pin, and the joint
+// search is provably the argmin over the brute-forced grid, which the
+// enumeration-oracle test pins.
+package placement
+
+import (
+	"fmt"
+	"math"
+
+	"synergy/internal/features"
+	"synergy/internal/hw"
+	"synergy/internal/kernelir"
+	"synergy/internal/metrics"
+	"synergy/internal/model"
+	"synergy/internal/sweep"
+)
+
+// Candidate is one (device, frequency) configuration of the joint grid.
+type Candidate struct {
+	// DeviceIdx indexes the fleet's device list; Device is that entry's
+	// key. Candidates are ordered device-major (fleet order) with
+	// frequencies ascending — the deterministic tie-break order.
+	DeviceIdx int    `json:"device_idx"`
+	Device    string `json:"device"`
+	FreqMHz   int    `json:"freq_mhz"`
+	// TimeSec and EnergyJ are per-item figures in the sweep engine's
+	// units (ns and nJ per work-item); uniform per-item scaling leaves
+	// every target selection invariant, and the same kernel at the same
+	// launch size is directly comparable across devices.
+	TimeSec float64 `json:"time"`
+	EnergyJ float64 `json:"energy"`
+	// PowerW is the hosting device's average board power at this
+	// configuration; FleetPowerW adds the idle draw of every other
+	// fleet device — the quantity the budget constrains.
+	PowerW      float64 `json:"power_w"`
+	FleetPowerW float64 `json:"fleet_power_w"`
+	// Feasible reports whether FleetPowerW fits the fleet power budget.
+	Feasible bool `json:"feasible"`
+	// Baseline marks the device's default-clock configuration.
+	Baseline bool `json:"baseline"`
+}
+
+// EDP returns energy × time.
+func (c Candidate) EDP() float64 { return c.EnergyJ * c.TimeSec }
+
+// ED2P returns energy × time².
+func (c Candidate) ED2P() float64 { return c.EnergyJ * c.TimeSec * c.TimeSec }
+
+// Grid is the joint (device × frequency) characterisation of one kernel
+// on a fleet.
+type Grid struct {
+	Fleet  *hw.Fleet
+	Kernel string
+	// Candidates holds every (device, frequency) point, device-major in
+	// fleet order, frequencies ascending within a device.
+	Candidates []Candidate
+	// baseline indexes the fleet baseline candidate (the best-performing
+	// feasible device at its default clock), -1 when no device's
+	// baseline configuration is feasible under the budget.
+	baseline int
+}
+
+// BuildGroundTruth assembles the grid from ground-truth frequency
+// sweeps of every fleet device, all served by the memoized sweep
+// engine — repeated fleet placements of the same kernel cost one sweep
+// per device process-wide.
+func BuildGroundTruth(eng *sweep.Engine, fleet *hw.Fleet, k *kernelir.Kernel, items int64) (*Grid, error) {
+	if eng == nil || fleet == nil || k == nil {
+		return nil, fmt.Errorf("placement: nil engine, fleet or kernel")
+	}
+	if err := fleet.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Grid{Fleet: fleet, Kernel: k.Name}
+	for di, fd := range fleet.Devices {
+		sw, err := eng.GroundTruth(fd.Spec, k, items)
+		if err != nil {
+			return nil, fmt.Errorf("placement: device %s: %w", fd.Key, err)
+		}
+		base := fd.Spec.BaselineCoreMHz()
+		for _, p := range sw.Points {
+			g.add(di, fd, p.FreqMHz, p.TimeSec, p.EnergyJ, base)
+		}
+	}
+	g.locateBaseline()
+	return g, nil
+}
+
+// BuildPredicted assembles the grid from per-device prediction
+// sessions: preds[i] must be a Predictor over fleet device i's spec.
+// Predicted times/energies are clamped to a positive floor exactly as
+// model.Predictor.Advise does, so the grid keeps the sweep invariants
+// at the edges of the training distribution.
+func BuildPredicted(fleet *hw.Fleet, preds []*model.Predictor, v features.Vector) (*Grid, error) {
+	if fleet == nil {
+		return nil, fmt.Errorf("placement: nil fleet")
+	}
+	if err := fleet.Validate(); err != nil {
+		return nil, err
+	}
+	if len(preds) != len(fleet.Devices) {
+		return nil, fmt.Errorf("placement: %d predictors for %d fleet devices", len(preds), len(fleet.Devices))
+	}
+	g := &Grid{Fleet: fleet, Kernel: "predicted"}
+	for di, fd := range fleet.Devices {
+		p := preds[di]
+		if p == nil {
+			return nil, fmt.Errorf("placement: nil predictor for device %s", fd.Key)
+		}
+		if got := p.Models().Spec.Name; got != fd.Spec.Name {
+			return nil, fmt.Errorf("placement: predictor for %q bound to fleet device %s (%s)",
+				got, fd.Key, fd.Spec.Name)
+		}
+		base := fd.Spec.BaselineCoreMHz()
+		for _, pt := range p.Curve(v) {
+			t, e := pt.TimeNs, pt.EnergyNanoJ
+			if t <= 0 {
+				t = 1e-9
+			}
+			if e <= 0 {
+				e = 1e-9
+			}
+			g.add(di, fd, pt.FreqMHz, t, e, base)
+		}
+	}
+	g.locateBaseline()
+	return g, nil
+}
+
+// add appends one candidate with its power accounting.
+func (g *Grid) add(di int, fd hw.FleetDevice, freqMHz int, timeSec, energyJ float64, baseMHz int) {
+	pw := energyJ / timeSec // per-item scaling cancels: nJ/ns = W
+	g.Candidates = append(g.Candidates, Candidate{
+		DeviceIdx:   di,
+		Device:      fd.Key,
+		FreqMHz:     freqMHz,
+		TimeSec:     timeSec,
+		EnergyJ:     energyJ,
+		PowerW:      pw,
+		FleetPowerW: g.Fleet.FleetPowerW(di, pw),
+		Feasible:    g.Fleet.Feasible(di, pw),
+		Baseline:    freqMHz == baseMHz,
+	})
+}
+
+// locateBaseline picks the fleet baseline: the best-performing feasible
+// device at its default clock (what a performance-oriented scheduler
+// would run with no energy awareness). Strict-< argmin over the
+// device-major order keeps ties deterministic: earlier fleet device,
+// then lower frequency.
+func (g *Grid) locateBaseline() {
+	g.baseline = -1
+	for i, c := range g.Candidates {
+		if !c.Baseline || !c.Feasible {
+			continue
+		}
+		if g.baseline < 0 || c.TimeSec < g.Candidates[g.baseline].TimeSec {
+			g.baseline = i
+		}
+	}
+}
+
+// BaselineCandidate returns the fleet baseline configuration the ES/PL
+// figures are relative to, or an error when no device's default-clock
+// configuration fits the power budget.
+func (g *Grid) BaselineCandidate() (Candidate, error) {
+	if g.baseline < 0 {
+		return Candidate{}, fmt.Errorf(
+			"placement: no device baseline configuration is feasible under the %s fleet power budget",
+			g.Fleet.Budget)
+	}
+	return g.Candidates[g.baseline], nil
+}
+
+// FeasibleCount returns how many grid candidates fit the power budget.
+func (g *Grid) FeasibleCount() int {
+	n := 0
+	for _, c := range g.Candidates {
+		if c.Feasible {
+			n++
+		}
+	}
+	return n
+}
+
+// Placement is one joint (device, frequency) recommendation.
+type Placement struct {
+	Target metrics.Target `json:"-"`
+	// TargetName is the paper notation of the target (for JSON output).
+	TargetName string `json:"target"`
+	Candidate
+	// BaselineDevice/BaselineFreqMHz identify the fleet baseline the
+	// ES/PL figures are relative to ("" when the budget leaves no
+	// baseline feasible — possible only for targets that need none).
+	BaselineDevice  string `json:"baseline_device,omitempty"`
+	BaselineFreqMHz int    `json:"baseline_freq_mhz,omitempty"`
+	// ESPct and PLPct are the energy saving and performance loss of the
+	// chosen configuration relative to the fleet baseline, in percent
+	// (zero when no baseline is feasible).
+	ESPct float64 `json:"es_pct"`
+	PLPct float64 `json:"pl_pct"`
+}
+
+// Select runs the joint placement search for one target. The result is
+// exactly the argmin over the feasible (device × frequency) grid under
+// the metrics-package target semantics, with deterministic tie-breaking
+// (earlier fleet device, then lower frequency).
+func (g *Grid) Select(t metrics.Target) (Placement, error) {
+	if err := t.Validate(); err != nil {
+		return Placement{}, err
+	}
+	feas := make([]int, 0, len(g.Candidates))
+	for i, c := range g.Candidates {
+		if c.Feasible {
+			feas = append(feas, i)
+		}
+	}
+	if len(feas) == 0 {
+		return Placement{}, fmt.Errorf(
+			"placement: no (device, frequency) configuration of fleet %s fits the %s power budget",
+			g.Fleet.Name, g.Fleet.Budget)
+	}
+
+	var chosen int
+	switch t.Kind {
+	case metrics.KindMaxPerf:
+		chosen = g.argmin(feas, Candidate.time)
+	case metrics.KindMinEnergy:
+		chosen = g.argmin(feas, Candidate.energy)
+	case metrics.KindMinEDP:
+		chosen = g.argmin(feas, Candidate.EDP)
+	case metrics.KindMinED2P:
+		chosen = g.argmin(feas, Candidate.ED2P)
+	case metrics.KindES:
+		i, err := g.selectES(feas, t.X)
+		if err != nil {
+			return Placement{}, err
+		}
+		chosen = i
+	case metrics.KindPL:
+		i, err := g.selectPL(feas, t.X)
+		if err != nil {
+			return Placement{}, err
+		}
+		chosen = i
+	default:
+		return Placement{}, fmt.Errorf("placement: unreachable target kind")
+	}
+
+	p := Placement{Target: t, TargetName: t.String(), Candidate: g.Candidates[chosen]}
+	if g.baseline >= 0 {
+		def := g.Candidates[g.baseline]
+		p.BaselineDevice = def.Device
+		p.BaselineFreqMHz = def.FreqMHz
+		p.ESPct = 100 * (def.EnergyJ - p.EnergyJ) / def.EnergyJ
+		if pl := 100 * (p.TimeSec - def.TimeSec) / def.TimeSec; pl > 0 {
+			p.PLPct = pl
+		}
+	}
+	return p, nil
+}
+
+func (c Candidate) time() float64   { return c.TimeSec }
+func (c Candidate) energy() float64 { return c.EnergyJ }
+
+// argmin returns the index (into Candidates) of the first strict
+// minimum of f over idxs — idxs is in device-major grid order, so ties
+// resolve to the earlier device, then the lower frequency, exactly as
+// metrics.Sweep.argmin resolves them to the lower frequency.
+func (g *Grid) argmin(idxs []int, f func(Candidate) float64) int {
+	best := idxs[0]
+	bestV := f(g.Candidates[best])
+	for _, i := range idxs[1:] {
+		if v := f(g.Candidates[i]); v < bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// selectES mirrors metrics.Sweep.selectES over the feasible joint grid:
+// on the interval between the fleet baseline's energy and the minimum
+// achievable energy, the target energy is e_def - x% of the potential
+// saving; among configurations at or below it, pick the best-performing
+// one. When no savings are possible the baseline is returned.
+func (g *Grid) selectES(feas []int, x float64) (int, error) {
+	if g.baseline < 0 {
+		_, err := g.BaselineCandidate()
+		return 0, err
+	}
+	def := g.Candidates[g.baseline]
+	minE := g.argmin(feas, Candidate.energy)
+	if g.Candidates[minE].EnergyJ >= def.EnergyJ {
+		return g.baseline, nil
+	}
+	targetE := def.EnergyJ - x/100*(def.EnergyJ-g.Candidates[minE].EnergyJ)
+	best := -1
+	for _, i := range feas {
+		c := g.Candidates[i]
+		if c.EnergyJ <= targetE+1e-12*def.EnergyJ {
+			if best < 0 || c.TimeSec < g.Candidates[best].TimeSec {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return minE, nil
+	}
+	return best, nil
+}
+
+// selectPL mirrors metrics.Sweep.selectPL over the feasible joint grid:
+// the potential performance loss is the slowdown from the fleet
+// baseline to the minimum-energy configuration; the target time is
+// t_def + x% of that interval; among configurations at or below it,
+// pick the most energy-efficient one.
+func (g *Grid) selectPL(feas []int, x float64) (int, error) {
+	if g.baseline < 0 {
+		_, err := g.BaselineCandidate()
+		return 0, err
+	}
+	def := g.Candidates[g.baseline]
+	minE := g.argmin(feas, Candidate.energy)
+	slow := g.Candidates[minE].TimeSec
+	if slow < def.TimeSec {
+		slow = def.TimeSec
+	}
+	targetT := def.TimeSec + x/100*(slow-def.TimeSec)
+	best := -1
+	bestE := math.Inf(1)
+	for _, i := range feas {
+		c := g.Candidates[i]
+		if c.TimeSec <= targetT+1e-12*def.TimeSec {
+			if best < 0 || c.EnergyJ < bestE {
+				best, bestE = i, c.EnergyJ
+			}
+		}
+	}
+	if best < 0 {
+		return g.baseline, nil
+	}
+	return best, nil
+}

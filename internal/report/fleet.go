@@ -1,0 +1,130 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"synergy/internal/benchsuite"
+	"synergy/internal/hw"
+	"synergy/internal/kernelir/analysis"
+	"synergy/internal/metrics"
+	"synergy/internal/placement"
+	"synergy/internal/sweep"
+)
+
+// FleetRow is one (benchmark, target) joint placement on a fleet.
+type FleetRow struct {
+	Benchmark string  `json:"benchmark"`
+	Target    string  `json:"target"`
+	Device    string  `json:"device"`
+	FreqMHz   int     `json:"freq_mhz"`
+	ESPct     float64 `json:"es_pct"`
+	PLPct     float64 `json:"pl_pct"`
+	// FleetPowerW is the fleet draw of the chosen configuration (hosting
+	// board plus everyone else's idle), the quantity the budget caps.
+	FleetPowerW float64 `json:"fleet_power_w"`
+	// Roofline is the static compute/memory classification of the
+	// benchmark on the chosen device.
+	Roofline string `json:"roofline"`
+}
+
+// FleetReport is the fleet-level report axis: for every suite benchmark
+// and requested target, the energy-optimal (device, frequency) choice
+// under the fleet's power budget, with the fleet-relative ES/PL
+// figures.
+type FleetReport struct {
+	Fleet   string     `json:"fleet"`
+	Budget  string     `json:"budget"`
+	Devices []string   `json:"devices"`
+	Rows    []FleetRow `json:"rows"`
+}
+
+// BuildFleetReport runs the joint placement search for every suite
+// benchmark × target on the shared sweep engine, sweeping benchmarks in
+// parallel.
+func BuildFleetReport(fleet *hw.Fleet, targets []metrics.Target) (*FleetReport, error) {
+	if fleet == nil {
+		return nil, fmt.Errorf("report: nil fleet")
+	}
+	if err := fleet.Validate(); err != nil {
+		return nil, err
+	}
+	if len(targets) == 0 {
+		targets = metrics.StandardTargets
+	}
+	suite := benchsuite.All()
+	rep := &FleetReport{Fleet: fleet.Name, Budget: fleet.Budget.String()}
+	for _, fd := range fleet.Devices {
+		rep.Devices = append(rep.Devices, fd.Key)
+	}
+	perBench := make([][]FleetRow, len(suite))
+	err := sweep.ForEach(len(suite), func(i int) error {
+		bm := suite[i]
+		g, err := placement.BuildGroundTruth(sweep.Shared(), fleet, bm.Kernel, bm.CharItems)
+		if err != nil {
+			return err
+		}
+		rows := make([]FleetRow, 0, len(targets))
+		for _, tgt := range targets {
+			p, err := g.Select(tgt)
+			if err != nil {
+				return fmt.Errorf("%s %v: %w", bm.Name, tgt, err)
+			}
+			di := fleet.DeviceByKey(p.Device)
+			rf, err := analysis.StaticRoofline(bm.Kernel, fleet.Devices[di].Spec)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, FleetRow{
+				Benchmark:   bm.Name,
+				Target:      tgt.String(),
+				Device:      p.Device,
+				FreqMHz:     p.FreqMHz,
+				ESPct:       p.ESPct,
+				PLPct:       p.PLPct,
+				FleetPowerW: p.FleetPowerW,
+				Roofline:    rf.Label.String(),
+			})
+		}
+		perBench[i] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range perBench {
+		rep.Rows = append(rep.Rows, rows...)
+	}
+	return rep, nil
+}
+
+// DeviceShares summarises how many placements each fleet device won.
+func (r *FleetReport) DeviceShares() map[string]int {
+	shares := make(map[string]int, len(r.Devices))
+	for _, row := range r.Rows {
+		shares[row.Device]++
+	}
+	return shares
+}
+
+// Render prints the fleet placement table plus the per-device share
+// summary.
+func (r *FleetReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fleet placement: %s under %s\n", r.Fleet, r.Budget)
+	t := &table{header: []string{"Benchmark", "Target", "Device", "FreqMHz", "ES%", "PL%", "FleetW", "Roofline"}}
+	for _, row := range r.Rows {
+		t.addRow(row.Benchmark, row.Target, row.Device,
+			fmt.Sprintf("%d", row.FreqMHz),
+			fmt.Sprintf("%.1f", row.ESPct), fmt.Sprintf("%.1f", row.PLPct),
+			fmt.Sprintf("%.0f", row.FleetPowerW), row.Roofline)
+	}
+	b.WriteString(t.String())
+	shares := r.DeviceShares()
+	var parts []string
+	for _, d := range r.Devices {
+		parts = append(parts, fmt.Sprintf("%s %d", d, shares[d]))
+	}
+	fmt.Fprintf(&b, "placements per device: %s\n", strings.Join(parts, ", "))
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"synergy/internal/benchsuite"
+	"synergy/internal/hw"
+	"synergy/internal/metrics"
+)
+
+func TestBuildFleetReport(t *testing.T) {
+	fleet, err := hw.FleetFromNames([]string{"h100", "xeon8480", "alveo"}, hw.Budget{PowerW: 330})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []metrics.Target{metrics.MaxPerf, metrics.MinEnergy, metrics.ES(50)}
+	rep, err := BuildFleetReport(fleet, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(benchsuite.All()) * len(targets); len(rep.Rows) != want {
+		t.Fatalf("%d rows, want %d", len(rep.Rows), want)
+	}
+	if rep.Fleet != "h100+xeon8480+alveo" || rep.Budget != "330 W" {
+		t.Errorf("header %q / %q", rep.Fleet, rep.Budget)
+	}
+	valid := map[string]bool{}
+	for _, d := range rep.Devices {
+		valid[d] = true
+	}
+	for _, row := range rep.Rows {
+		if !valid[row.Device] {
+			t.Errorf("%s %s placed on unknown device %q", row.Benchmark, row.Target, row.Device)
+		}
+		if row.FleetPowerW > 330*(1+1e-12) {
+			t.Errorf("%s %s: fleet power %.1f W over budget", row.Benchmark, row.Target, row.FleetPowerW)
+		}
+		if row.Roofline != "compute-bound" && row.Roofline != "memory-bound" {
+			t.Errorf("%s %s: roofline %q", row.Benchmark, row.Target, row.Roofline)
+		}
+	}
+	// The report axis is heterogeneous by construction on this fleet.
+	if shares := rep.DeviceShares(); len(shares) < 2 {
+		t.Errorf("placements all on one device: %v", shares)
+	}
+	out := rep.Render()
+	for _, want := range []string{"Fleet placement:", "330 W", "placements per device:", "black_scholes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestBuildFleetReportDefaultsAndErrors(t *testing.T) {
+	if _, err := BuildFleetReport(nil, nil); err == nil {
+		t.Error("nil fleet accepted")
+	}
+	bad := &hw.Fleet{Name: "bad"}
+	if _, err := BuildFleetReport(bad, nil); err == nil {
+		t.Error("invalid fleet accepted")
+	}
+	fleet, err := hw.FleetFromNames([]string{"v100"}, hw.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := BuildFleetReport(fleet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(benchsuite.All()) * len(metrics.StandardTargets); len(rep.Rows) != want {
+		t.Fatalf("nil targets should mean StandardTargets: %d rows, want %d", len(rep.Rows), want)
+	}
+}

@@ -62,7 +62,8 @@ func (t *table) String() string {
 	return b.String()
 }
 
-// Fig1 describes the available frequencies of the three devices.
+// Fig1 describes the available frequencies of the device catalog (the
+// paper's three characterised devices plus the fleet-model additions).
 type Fig1 struct {
 	Devices []Fig1Device
 }
@@ -76,10 +77,12 @@ type Fig1Device struct {
 	DefaultMHz     int // 0: auto (no default configuration)
 }
 
-// BuildFig1 gathers the Fig. 1 data.
+// BuildFig1 gathers the Fig. 1 data. The rows are derived from the full
+// hw catalog rather than a hard-coded device list, so a newly added
+// spec shows up without touching the report layer.
 func BuildFig1() Fig1 {
 	var f Fig1
-	for _, name := range []string{"v100", "a100", "mi100"} {
+	for _, name := range hw.BuiltinNames() {
 		s, err := hw.SpecByName(name)
 		if err != nil {
 			panic(err)

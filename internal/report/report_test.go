@@ -12,12 +12,23 @@ import (
 
 func TestBuildFig1MatchesPaper(t *testing.T) {
 	f := BuildFig1()
-	if len(f.Devices) != 3 {
-		t.Fatalf("%d devices, want 3", len(f.Devices))
+	// Regression for the hard-coded three-device list Fig. 1 used to
+	// carry: the rows must track the full hw catalog.
+	if len(f.Devices) != len(hw.BuiltinNames()) {
+		t.Fatalf("%d devices, want the whole catalog (%d)", len(f.Devices), len(hw.BuiltinNames()))
 	}
 	byName := map[string]Fig1Device{}
 	for _, d := range f.Devices {
 		byName[d.Name] = d
+	}
+	for _, key := range hw.BuiltinNames() {
+		s, err := hw.SpecByName(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := byName[s.Name]; !ok {
+			t.Errorf("catalog device %s (%s) missing from Fig. 1", key, s.Name)
+		}
 	}
 	v100 := byName["NVIDIA V100"]
 	if v100.CoreConfigs != 196 || v100.MinMHz != 135 || v100.MaxMHz != 1530 || v100.MemFreqMHz != 877 {
